@@ -1,0 +1,77 @@
+// E15 (ablation) — design choices DESIGN.md calls out, toggled one at
+// a time on the same bound transitive-closure workload:
+//
+//   * EDB hash indexes (class c/d selections probe vs scan);
+//   * the information passing strategy (greedy vs left-to-right vs
+//     qual-tree vs none);
+//   * batching and coalescing appear in bench_batching /
+//     bench_coalescing.
+//
+// Answers are identical across all configurations; the counters and
+// times isolate each choice's contribution.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "datalog/parser.h"
+#include "engine/evaluator.h"
+#include "workload/generators.h"
+
+namespace mpqe {
+namespace {
+
+void RunIndexed(benchmark::State& state, bool use_indexes) {
+  int64_t n = state.range(0);
+  size_t answers = 0;
+  for (auto _ : state) {
+    Database db;
+    MPQE_CHECK(workload::MakeChain(db, "edge", n).ok());
+    Program program;
+    MPQE_CHECK(ParseInto(workload::LinearTcProgram(0), program, db).ok());
+    EvaluationOptions options;
+    options.use_edb_indexes = use_indexes;
+    auto result = Evaluate(program, db, options);
+    MPQE_CHECK(result.ok()) << result.status();
+    answers = result->answers.size();
+  }
+  state.SetLabel(use_indexes ? "indexed" : "scan");
+  state.counters["answers"] = static_cast<double>(answers);
+}
+
+void BM_EdbIndexed(benchmark::State& state) { RunIndexed(state, true); }
+void BM_EdbScan(benchmark::State& state) { RunIndexed(state, false); }
+BENCHMARK(BM_EdbIndexed)->Arg(128)->Arg(512);
+BENCHMARK(BM_EdbScan)->Arg(128)->Arg(512);
+
+// Strategy ablation on the paper's P1: the same query under every
+// strategy; stored tuples show what each strategy's restriction buys.
+void BM_StrategyAblation(benchmark::State& state) {
+  const char* names[] = {"greedy", "greedy_no_e", "left_to_right",
+                         "qual_tree_or_greedy", "no_sips"};
+  const char* name = names[state.range(0)];
+  EvaluationResult result;
+  for (auto _ : state) {
+    Database db;
+    MPQE_CHECK(workload::MakeChain(db, "q", 48).ok());
+    MPQE_CHECK(workload::MakeChain(db, "r", 48).ok());
+    Program program;
+    MPQE_CHECK(ParseInto(workload::P1Program(0), program, db).ok());
+    EvaluationOptions options;
+    options.strategy = name;
+    auto r = Evaluate(program, db, options);
+    MPQE_CHECK(r.ok()) << r.status();
+    result = *std::move(r);
+  }
+  state.SetLabel(name);
+  state.counters["answers"] = static_cast<double>(result.answers.size());
+  state.counters["stored_tuples"] =
+      static_cast<double>(result.counters.stored_tuples);
+  state.counters["tuple_msgs"] =
+      static_cast<double>(result.message_stats.Count(MessageKind::kTuple));
+}
+BENCHMARK(BM_StrategyAblation)->DenseRange(0, 4);
+
+}  // namespace
+}  // namespace mpqe
+
+BENCHMARK_MAIN();

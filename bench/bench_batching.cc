@@ -1,0 +1,97 @@
+// E14 (extension) — footnote 2: "package a set of related tuple
+// requests ... the retrieval can be done in one scan". Packaging the
+// messages a node emits per handled message into per-destination
+// envelopes cuts physical message counts (the quantity the paper's
+// "communication is expensive" model charges for) without changing
+// answers or logical traffic.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "datalog/parser.h"
+#include "engine/evaluator.h"
+#include "workload/generators.h"
+
+namespace mpqe {
+namespace {
+
+void RunTc(benchmark::State& state, const std::string& shape, bool batch) {
+  int64_t n = state.range(0);
+  EvaluationResult result;
+  for (auto _ : state) {
+    Database db;
+    if (shape == "chain") {
+      MPQE_CHECK(workload::MakeChain(db, "edge", n).ok());
+    } else if (shape == "tree") {
+      MPQE_CHECK(workload::MakeBinaryTree(db, "edge", n).ok());
+    } else {
+      Rng rng(5);
+      MPQE_CHECK(workload::MakeRandomGraph(db, "edge", n, 2, rng).ok());
+    }
+    Program program;
+    MPQE_CHECK(ParseInto(workload::LinearTcProgram(0), program, db).ok());
+    EvaluationOptions options;
+    options.batch_messages = batch;
+    auto r = Evaluate(program, db, options);
+    MPQE_CHECK(r.ok()) << r.status();
+    result = *std::move(r);
+  }
+  const MessageStats& s = result.message_stats;
+  state.SetLabel(batch ? "batched" : "plain");
+  state.counters["physical_msgs"] = static_cast<double>(s.PhysicalTotal());
+  state.counters["logical_msgs"] =
+      static_cast<double>(s.Total() - s.Count(MessageKind::kBatch));
+  state.counters["envelopes"] =
+      static_cast<double>(s.Count(MessageKind::kBatch));
+  if (batch) {
+    state.counters["saving_factor"] =
+        static_cast<double>(s.Total() - s.Count(MessageKind::kBatch)) /
+        static_cast<double>(s.PhysicalTotal());
+  }
+}
+
+void BM_TreeTcPlain(benchmark::State& state) { RunTc(state, "tree", false); }
+void BM_TreeTcBatched(benchmark::State& state) { RunTc(state, "tree", true); }
+BENCHMARK(BM_TreeTcPlain)->Arg(255)->Arg(1023);
+BENCHMARK(BM_TreeTcBatched)->Arg(255)->Arg(1023);
+
+void BM_RandomTcPlain(benchmark::State& state) {
+  RunTc(state, "random", false);
+}
+void BM_RandomTcBatched(benchmark::State& state) {
+  RunTc(state, "random", true);
+}
+BENCHMARK(BM_RandomTcPlain)->Arg(64)->Arg(128);
+BENCHMARK(BM_RandomTcBatched)->Arg(64)->Arg(128);
+
+// Batching composes with coalescing: the combination is the
+// "single-processor, packaged" configuration.
+void BM_CombinedExtensions(benchmark::State& state) {
+  bool batch = state.range(0) & 1;
+  bool coalesce = state.range(0) & 2;
+  EvaluationResult result;
+  for (auto _ : state) {
+    Database db;
+    MPQE_CHECK(workload::MakeBinaryTree(db, "edge", 255).ok());
+    Program program;
+    MPQE_CHECK(ParseInto(workload::NonlinearTcProgram(0), program, db).ok());
+    EvaluationOptions options;
+    options.batch_messages = batch;
+    options.graph_options.coalesce_nodes = coalesce;
+    auto r = Evaluate(program, db, options);
+    MPQE_CHECK(r.ok()) << r.status();
+    result = *std::move(r);
+  }
+  state.SetLabel(StrCat(coalesce ? "coalesced" : "distributed", "/",
+                        batch ? "batched" : "plain"));
+  state.counters["physical_msgs"] =
+      static_cast<double>(result.message_stats.PhysicalTotal());
+  state.counters["answers"] = static_cast<double>(result.answers.size());
+}
+BENCHMARK(BM_CombinedExtensions)->DenseRange(0, 3);
+
+}  // namespace
+}  // namespace mpqe
+
+BENCHMARK_MAIN();

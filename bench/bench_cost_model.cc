@@ -1,0 +1,122 @@
+// E7 — §4.3: the cost model under the paper's "reasonable
+// assumptions" (alpha = 0.3, comparable large relations). Enumerates
+// every evaluation order for rules R1, R2, R3 and reports the cost of
+// the best order, the worst order, and the order the greedy /
+// qual-tree strategy actually picks — checking the conjecture that for
+// monotone-flow rules the greedy strategy is optimal.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "datalog/parser.h"
+#include "sips/cost_model.h"
+#include "sips/strategy.h"
+
+namespace mpqe {
+namespace {
+
+struct RuleCase {
+  const char* name;
+  const char* text;
+};
+
+const RuleCase kCases[] = {
+    {"R1", "p(X, Z) :- a(X, Y), b(Y, U), c(U, Z)."},
+    {"R2", "p(X, Z) :- a(X, Y, V), b(Y, U), c(V, T), d(T), e(U, Z)."},
+    {"R3", "p(X, Z) :- a(X, Y, V), b(Y, W, U), c(V, W, T), d(T), e(U, Z)."},
+};
+
+Adornment HeadDf() {
+  return {BindingClass::kDynamic, BindingClass::kFree};
+}
+
+void BM_EnumerateOrders(benchmark::State& state) {
+  const RuleCase& c = kCases[state.range(0)];
+  auto unit = Parse(c.text);
+  MPQE_CHECK(unit.ok());
+  const Rule& rule = unit->program.rules()[0];
+  CostModelParams params;  // n = 10^6, alpha = 0.3 as in the paper
+
+  std::vector<OrderCost> costs;
+  for (auto _ : state) {
+    auto r = EnumerateOrderCosts(rule, HeadDf(), params);
+    MPQE_CHECK(r.ok());
+    costs = *std::move(r);
+    benchmark::DoNotOptimize(costs);
+  }
+
+  // Where does the greedy order rank?
+  auto greedy = MakeGreedyStrategy()->Classify(rule, HeadDf(), unit->program);
+  MPQE_CHECK(greedy.ok());
+  OrderCost greedy_cost =
+      EstimateOrderCost(rule, HeadDf(), greedy->order, params);
+
+  state.SetLabel(c.name);
+  state.counters["orders"] = static_cast<double>(costs.size());
+  state.counters["best_log_cost"] = std::log10(costs.front().total_cost);
+  state.counters["worst_log_cost"] = std::log10(costs.back().total_cost);
+  state.counters["greedy_log_cost"] = std::log10(greedy_cost.total_cost);
+  state.counters["greedy_is_best"] =
+      greedy_cost.total_cost <= costs.front().total_cost * 1.0001 ? 1 : 0;
+}
+BENCHMARK(BM_EnumerateOrders)->DenseRange(0, 2);
+
+// The qual-tree order matches the model's optimum on monotone rules.
+void BM_QualTreeOrderOptimality(benchmark::State& state) {
+  const RuleCase& c = kCases[state.range(0)];  // R1 or R2 only
+  auto unit = Parse(c.text);
+  MPQE_CHECK(unit.ok());
+  const Rule& rule = unit->program.rules()[0];
+  CostModelParams params;
+
+  std::vector<OrderCost> costs;
+  std::vector<size_t> qual_order;
+  for (auto _ : state) {
+    auto qt = MakeQualTreeStrategy()->Classify(rule, HeadDf(), unit->program);
+    MPQE_CHECK(qt.ok());
+    qual_order = qt->order;
+    auto all = EnumerateOrderCosts(rule, HeadDf(), params);
+    MPQE_CHECK(all.ok());
+    costs = *std::move(all);
+    benchmark::DoNotOptimize(costs);
+  }
+  double qual_cost =
+      EstimateOrderCost(rule, HeadDf(), qual_order, params).total_cost;
+  double best_cost = costs.front().total_cost;
+  state.SetLabel(c.name);
+  state.counters["qual_tree_log_cost"] = std::log10(qual_cost);
+  state.counters["best_log_cost"] = std::log10(best_cost);
+  state.counters["qual_tree_is_best"] =
+      qual_cost <= best_cost * 1.0001 ? 1 : 0;
+}
+BENCHMARK(BM_QualTreeOrderOptimality)->DenseRange(0, 1);
+
+// Sensitivity to alpha: sweep the reduction factor and report the
+// spread between best and worst orders (larger alpha -> order matters
+// more).
+void BM_AlphaSensitivity(benchmark::State& state) {
+  auto unit = Parse(kCases[1].text);  // R2
+  MPQE_CHECK(unit.ok());
+  const Rule& rule = unit->program.rules()[0];
+  CostModelParams params;
+  params.alpha = static_cast<double>(state.range(0)) / 10.0;
+
+  double spread = 0;
+  for (auto _ : state) {
+    auto all = EnumerateOrderCosts(rule, HeadDf(), params);
+    MPQE_CHECK(all.ok());
+    spread = std::log10(all->back().total_cost) -
+             std::log10(all->front().total_cost);
+    benchmark::DoNotOptimize(spread);
+  }
+  state.counters["alpha"] = params.alpha;
+  state.counters["log_cost_spread"] = spread;
+}
+BENCHMARK(BM_AlphaSensitivity)->Arg(1)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
+
+}  // namespace
+}  // namespace mpqe
+
+BENCHMARK_MAIN();

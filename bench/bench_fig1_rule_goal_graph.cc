@@ -1,0 +1,104 @@
+// E1 — Fig. 1 / Example 2.1: construction of the greedy information
+// passing rule/goal graph for program P1 (and other program shapes).
+// Reports the structural counts that reproduce Fig. 1 (goal nodes,
+// rule nodes, cycle edges, EDB leaves, strong components) and measures
+// construction time.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "datalog/parser.h"
+#include "graph/rule_goal_graph.h"
+#include "sips/strategy.h"
+#include "workload/generators.h"
+
+namespace mpqe {
+namespace {
+
+void BM_BuildGraphP1(benchmark::State& state) {
+  Database db;
+  MPQE_CHECK(workload::MakeChain(db, "q", 4).ok());
+  MPQE_CHECK(workload::MakeChain(db, "r", 4).ok());
+  Program program;
+  MPQE_CHECK(ParseInto(workload::P1Program(0), program, db).ok());
+  MPQE_CHECK(program.Validate(&db).ok());
+  auto strategy = MakeGreedyStrategy();
+
+  GraphStats stats;
+  for (auto _ : state) {
+    auto graph = RuleGoalGraph::Build(program, *strategy);
+    MPQE_CHECK(graph.ok());
+    stats = (*graph)->Stats();
+    benchmark::DoNotOptimize(graph);
+  }
+  // Fig. 1's structure (including the two trivial goal levels the
+  // paper omits from the drawing).
+  state.counters["nodes"] = static_cast<double>(stats.node_count);
+  state.counters["goal_nodes"] = static_cast<double>(stats.goal_nodes);
+  state.counters["rule_nodes"] = static_cast<double>(stats.rule_nodes);
+  state.counters["cycle_edges"] = static_cast<double>(stats.cycle_refs);
+  state.counters["edb_leaves"] = static_cast<double>(stats.edb_leaves);
+  state.counters["sccs"] = static_cast<double>(stats.nontrivial_sccs);
+}
+BENCHMARK(BM_BuildGraphP1);
+
+// Graph construction time as the IDB grows: k independent TC layers
+// t1..tk, each defined over the previous one.
+void BM_BuildGraphLayeredIdb(benchmark::State& state) {
+  int64_t layers = state.range(0);
+  std::string text = "t0(X, Y) :- edge(X, Y).\n";
+  for (int64_t i = 1; i <= layers; ++i) {
+    text += StrCat("t", i, "(X, Y) :- t", i - 1, "(X, Y).\n");
+    text += StrCat("t", i, "(X, Y) :- t", i - 1, "(X, Z), t", i, "(Z, Y).\n");
+  }
+  text += StrCat("?- t", layers, "(0, W).\n");
+  auto unit = Parse(text);
+  MPQE_CHECK(unit.ok());
+  MPQE_CHECK(unit->program.Validate(&unit->database).ok());
+  auto strategy = MakeGreedyStrategy();
+
+  GraphStats stats;
+  for (auto _ : state) {
+    auto graph = RuleGoalGraph::Build(unit->program, *strategy);
+    MPQE_CHECK(graph.ok());
+    stats = (*graph)->Stats();
+    benchmark::DoNotOptimize(graph);
+  }
+  state.counters["nodes"] = static_cast<double>(stats.node_count);
+  state.counters["sccs"] = static_cast<double>(stats.nontrivial_sccs);
+}
+BENCHMARK(BM_BuildGraphLayeredIdb)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Strategy choice affects graph shape: no_sips collapses binding
+// patterns (fewer distinct goal nodes) while greedy specializes them.
+void BM_BuildGraphByStrategy(benchmark::State& state) {
+  const char* names[] = {"greedy", "left_to_right", "qual_tree_or_greedy",
+                         "no_sips"};
+  const char* name = names[state.range(0)];
+  Database db;
+  MPQE_CHECK(workload::MakeChain(db, "q", 4).ok());
+  MPQE_CHECK(workload::MakeChain(db, "r", 4).ok());
+  Program program;
+  MPQE_CHECK(ParseInto(workload::P1Program(0), program, db).ok());
+  MPQE_CHECK(program.Validate(&db).ok());
+  auto strategy = MakeStrategyByName(name);
+  MPQE_CHECK(strategy.ok());
+
+  GraphStats stats;
+  for (auto _ : state) {
+    auto graph = RuleGoalGraph::Build(program, **strategy);
+    MPQE_CHECK(graph.ok());
+    stats = (*graph)->Stats();
+    benchmark::DoNotOptimize(graph);
+  }
+  state.SetLabel(name);
+  state.counters["nodes"] = static_cast<double>(stats.node_count);
+  state.counters["cycle_edges"] = static_cast<double>(stats.cycle_refs);
+}
+BENCHMARK(BM_BuildGraphByStrategy)->DenseRange(0, 3);
+
+}  // namespace
+}  // namespace mpqe
+
+BENCHMARK_MAIN();

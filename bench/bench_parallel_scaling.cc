@@ -1,0 +1,122 @@
+// E8 — §1.2: "this formulation is amenable to parallel computation".
+// Evaluates a workload with several independent recursive components
+// on the threaded scheduler with 1..8 workers (UseRealTime: worker
+// threads don't count toward the main thread's CPU clock) against the
+// single-threaded deterministic scheduler. Setup (EDB, parse) happens
+// once per benchmark, outside the timed region.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "datalog/parser.h"
+#include "engine/evaluator.h"
+#include "workload/generators.h"
+
+namespace mpqe {
+namespace {
+
+constexpr int kComponents = 8;
+constexpr int64_t kNodes = 200;
+
+// k separate transitive closures over separate EDB graphs, unioned by
+// the query — several strong components with concurrent work.
+struct Fixture {
+  Program program;
+  Database db;
+
+  Fixture() {
+    Rng rng(7);
+    std::string text;
+    for (int i = 0; i < kComponents; ++i) {
+      MPQE_CHECK(
+          workload::MakeRandomGraph(db, StrCat("edge", i), kNodes, 2, rng)
+              .ok());
+      text += StrCat("t", i, "(X, Y) :- edge", i, "(X, Y).\n");
+      text += StrCat("t", i, "(X, Y) :- edge", i, "(X, Z), t", i, "(Z, Y).\n");
+      text += StrCat("goal(X) :- t", i, "(0, X).\n");
+    }
+    MPQE_CHECK(ParseInto(text, program, db).ok());
+    MPQE_CHECK(program.Validate(&db).ok());
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_ThreadedWorkers(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  int workers = static_cast<int>(state.range(0));
+  size_t answers = 0;
+  for (auto _ : state) {
+    EvaluationOptions options;
+    options.scheduler = SchedulerKind::kThreaded;
+    options.workers = workers;
+    options.skip_validation = true;
+    auto result = Evaluate(f.program, f.db, options);
+    MPQE_CHECK(result.ok()) << result.status();
+    MPQE_CHECK(result->ended_by_protocol);
+    answers = result->answers.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["workers"] = workers;
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_ThreadedWorkers)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_DeterministicReference(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  size_t answers = 0;
+  for (auto _ : state) {
+    EvaluationOptions options;
+    options.skip_validation = true;
+    auto result = Evaluate(f.program, f.db, options);
+    MPQE_CHECK(result.ok()) << result.status();
+    answers = result->answers.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_DeterministicReference)->Unit(benchmark::kMillisecond);
+
+// Message volume does not depend on the scheduler: the parallel run
+// does the same logical work.
+void BM_ThreadedMessageParity(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  uint64_t det_msgs = 0, thr_msgs = 0;
+  for (auto _ : state) {
+    EvaluationOptions det;
+    det.skip_validation = true;
+    auto r1 = Evaluate(f.program, f.db, det);
+    MPQE_CHECK(r1.ok());
+    det_msgs = r1->message_stats.ComputationTotal();
+
+    EvaluationOptions thr;
+    thr.scheduler = SchedulerKind::kThreaded;
+    thr.workers = 4;
+    thr.skip_validation = true;
+    auto r2 = Evaluate(f.program, f.db, thr);
+    MPQE_CHECK(r2.ok());
+    thr_msgs = r2->message_stats.ComputationTotal();
+    MPQE_CHECK(r1->answers == r2->answers);
+    benchmark::DoNotOptimize(r2);
+  }
+  state.counters["det_msgs"] = static_cast<double>(det_msgs);
+  state.counters["thr_msgs"] = static_cast<double>(thr_msgs);
+  state.counters["ratio"] =
+      static_cast<double>(thr_msgs) / static_cast<double>(det_msgs);
+}
+BENCHMARK(BM_ThreadedMessageParity)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mpqe
+
+BENCHMARK_MAIN();

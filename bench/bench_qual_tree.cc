@@ -1,0 +1,171 @@
+// E6 — Theorems 4.1 / 4.2 and Example 4.2: qual trees. Measures GYO
+// reduction and qual-tree construction over growing acyclic
+// hypergraphs, verifies that the qual-tree strategy's order is greedy
+// on R2, and measures qual-tree composition (the Fig. 5 operation)
+// chained to increasing depths.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "datalog/parser.h"
+#include "hypergraph/gyo.h"
+#include "hypergraph/monotone_flow.h"
+#include "sips/strategy.h"
+
+namespace mpqe {
+namespace {
+
+// Random join-tree hypergraph: acyclic by construction.
+Hypergraph RandomAcyclic(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  int next_var = 0;
+  std::vector<std::vector<int>> edge_vars(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) {
+      size_t parent = rng.Below(i);
+      int connector = next_var++;
+      edge_vars[parent].push_back(connector);
+      edge_vars[i].push_back(connector);
+    }
+    for (size_t k = rng.Below(3); k > 0; --k) {
+      edge_vars[i].push_back(next_var++);
+    }
+  }
+  Hypergraph hg;
+  for (size_t i = 0; i < n; ++i) hg.AddEdge(StrCat("e", i), edge_vars[i]);
+  return hg;
+}
+
+void BM_GyoReduceAcyclic(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Hypergraph hg = RandomAcyclic(n, 42);
+  bool acyclic = false;
+  for (auto _ : state) {
+    GyoResult r = GyoReduce(hg);
+    acyclic = r.acyclic;
+    benchmark::DoNotOptimize(r);
+  }
+  MPQE_CHECK(acyclic);
+  state.counters["edges"] = static_cast<double>(n);
+}
+BENCHMARK(BM_GyoReduceAcyclic)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_GyoReduceCyclic(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Hypergraph hg;
+  for (size_t i = 0; i < n; ++i) {
+    hg.AddEdge(StrCat("e", i),
+               {static_cast<int>(i), static_cast<int>((i + 1) % n)});
+  }
+  bool acyclic = true;
+  for (auto _ : state) {
+    GyoResult r = GyoReduce(hg);
+    acyclic = r.acyclic;
+    benchmark::DoNotOptimize(r);
+  }
+  MPQE_CHECK(!acyclic);
+  state.counters["edges"] = static_cast<double>(n);
+}
+BENCHMARK(BM_GyoReduceCyclic)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+// Qual-tree strategy vs greedy on R2: both must produce a greedy
+// classification (Thm. 4.1); measure strategy time.
+void BM_QualTreeStrategyR2(benchmark::State& state) {
+  auto unit =
+      Parse("p(X, Z) :- a(X, Y, V), b(Y, U), c(V, T), d(T), e(U, Z).");
+  MPQE_CHECK(unit.ok());
+  const Rule& rule = unit->program.rules()[0];
+  Adornment head = {BindingClass::kDynamic, BindingClass::kFree};
+  auto strategy = MakeQualTreeStrategy();
+  size_t matches = 0;
+  for (auto _ : state) {
+    auto r = strategy->Classify(rule, head, unit->program);
+    MPQE_CHECK(r.ok());
+    benchmark::DoNotOptimize(r);
+    ++matches;
+  }
+  state.counters["classified"] = static_cast<double>(matches);
+}
+BENCHMARK(BM_QualTreeStrategyR2);
+
+void BM_GreedyStrategyR2(benchmark::State& state) {
+  auto unit =
+      Parse("p(X, Z) :- a(X, Y, V), b(Y, U), c(V, T), d(T), e(U, Z).");
+  MPQE_CHECK(unit.ok());
+  const Rule& rule = unit->program.rules()[0];
+  Adornment head = {BindingClass::kDynamic, BindingClass::kFree};
+  auto strategy = MakeGreedyStrategy();
+  for (auto _ : state) {
+    auto r = strategy->Classify(rule, head, unit->program);
+    MPQE_CHECK(r.ok());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_GreedyStrategyR2);
+
+// Theorem 4.2: compose the linear-recursion qual tree with itself to
+// depth k (each composition resolves the recursive leaf p); the result
+// must keep the qual tree property at every step.
+void BM_QualTreeComposition(benchmark::State& state) {
+  int64_t depth = state.range(0);
+  bool property_held = true;
+  for (auto _ : state) {
+    // Base: p^b{0}, a{0,1}, p{1,2}, rooted at p^b; p is a leaf.
+    Hypergraph outer;
+    outer.AddEdge("p^b", {0});
+    outer.AddEdge("a", {0, 1});
+    outer.AddEdge("p", {1, 2});
+    GyoResult outer_gyo = GyoReduce(outer);
+    MPQE_CHECK(outer_gyo.acyclic);
+    ComposedQualTree composed;
+    composed.nodes = outer.edges();
+    composed.adjacency = outer_gyo.qual_tree.adjacency;
+    composed.root = 0;
+
+    int next_var = 3;
+    size_t leaf = 2;     // index of the current recursive leaf
+    int bound = 1;       // the leaf's bound (class d) variable
+    const int free = 2;  // the leaf's free variable (the answer)
+    for (int64_t d = 0; d < depth; ++d) {
+      // Leaf p(B, F): resolve against p(B, F) :- a(B, M), p(M, F).
+      int mid = next_var++;
+      Hypergraph inner;
+      inner.AddEdge("p^b", {bound});
+      inner.AddEdge("a", {bound, mid});
+      inner.AddEdge("p", {mid, free});
+      GyoResult inner_gyo = GyoReduce(inner);
+      MPQE_CHECK(inner_gyo.acyclic);
+
+      // Rebuild a Hypergraph view of the composed tree to compose
+      // again (ComposeQualTrees takes hypergraph + tree).
+      Hypergraph outer_hg;
+      for (const auto& e : composed.nodes) {
+        outer_hg.AddEdge(e.label, e.vars);
+      }
+      QualTree outer_tree;
+      outer_tree.adjacency = composed.adjacency;
+      auto next = ComposeQualTrees(outer_hg, outer_tree, composed.root, leaf,
+                                   inner, inner_gyo.qual_tree, 0);
+      MPQE_CHECK(next.ok()) << next.status();
+      composed = *std::move(next);
+      property_held =
+          property_held && HasQualTreeProperty(composed.nodes,
+                                               composed.adjacency);
+      // The new recursive leaf is the inner "p" (last node added).
+      leaf = composed.nodes.size() - 1;
+      bound = mid;
+    }
+    benchmark::DoNotOptimize(composed);
+  }
+  MPQE_CHECK(property_held);
+  state.counters["depth"] = static_cast<double>(depth);
+  state.counters["property_held"] = property_held ? 1 : 0;
+}
+BENCHMARK(BM_QualTreeComposition)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace mpqe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+// E12 — micro-costs of the substrates: message delivery throughput of
+// the simulated network (per scheduler), relation insert/probe, and
+// the join/semijoin kernels. These put the end-to-end numbers in
+// context ("communication is expensive" is a model assumption; here
+// it is a few hundred nanoseconds per hop).
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "msg/network.h"
+#include "relational/operators.h"
+
+namespace mpqe {
+namespace {
+
+// Ping-pong process: forwards a hop-counting tuple to a peer.
+class PingPong : public Process {
+ public:
+  explicit PingPong(ProcessId peer) : peer_(peer) {}
+  void OnMessage(const Message& m) override {
+    int64_t hops = m.values[0].payload();
+    if (hops > 0) Send(peer_, MakeTuple({}, {Value::Int(hops - 1)}));
+  }
+
+ private:
+  ProcessId peer_;
+};
+
+void BM_MessageHopDeterministic(benchmark::State& state) {
+  const int64_t kHops = 10000;
+  for (auto _ : state) {
+    Network net;
+    net.AddProcess(std::make_unique<PingPong>(1));
+    net.AddProcess(std::make_unique<PingPong>(0));
+    net.Start();
+    net.Send(kNoProcess, 0, MakeTuple({}, {Value::Int(kHops)}));
+    auto run = net.RunDeterministic();
+    MPQE_CHECK(run.ok() && run->quiescent);
+  }
+  state.SetItemsProcessed(state.iterations() * (kHops + 1));
+}
+BENCHMARK(BM_MessageHopDeterministic);
+
+void BM_MessageHopThreaded(benchmark::State& state) {
+  const int64_t kHops = 10000;
+  int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Network net;
+    net.AddProcess(std::make_unique<PingPong>(1));
+    net.AddProcess(std::make_unique<PingPong>(0));
+    net.Start();
+    net.Send(kNoProcess, 0, MakeTuple({}, {Value::Int(kHops)}));
+    auto run = net.RunThreaded(workers);
+    MPQE_CHECK(run.ok() && run->quiescent);
+  }
+  state.SetItemsProcessed(state.iterations() * (kHops + 1));
+}
+BENCHMARK(BM_MessageHopThreaded)->Arg(1)->Arg(4);
+
+void BM_RelationInsert(benchmark::State& state) {
+  int64_t n = state.range(0);
+  for (auto _ : state) {
+    Relation r(2);
+    for (int64_t i = 0; i < n; ++i) {
+      r.Insert({Value::Int(i), Value::Int(i + 1)});
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RelationInsert)->Arg(1000)->Arg(100000);
+
+void BM_IndexedProbe(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Relation r(2);
+  for (int64_t i = 0; i < n; ++i) {
+    r.Insert({Value::Int(i % (n / 10)), Value::Int(i)});
+  }
+  size_t idx = r.EnsureIndex({0});
+  Rng rng(3);
+  for (auto _ : state) {
+    Tuple key{Value::Int(static_cast<int64_t>(rng.Below(
+        static_cast<uint64_t>(n / 10))))};
+    benchmark::DoNotOptimize(r.Probe(idx, key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexedProbe)->Arg(100000);
+
+void BM_HashJoin(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Relation left(2), right(2);
+  Rng rng(5);
+  for (int64_t i = 0; i < n; ++i) {
+    left.Insert({Value::Int(i), Value::Int(static_cast<int64_t>(
+                                    rng.Below(static_cast<uint64_t>(n))))});
+    right.Insert({Value::Int(static_cast<int64_t>(
+                      rng.Below(static_cast<uint64_t>(n)))),
+                  Value::Int(i)});
+  }
+  size_t out = 0;
+  for (auto _ : state) {
+    Relation j = Join(left, right, {{1, 0}});
+    out = j.size();
+    benchmark::DoNotOptimize(j);
+  }
+  state.counters["output"] = static_cast<double>(out);
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SemiJoin(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Relation left(2), right(1);
+  for (int64_t i = 0; i < n; ++i) {
+    left.Insert({Value::Int(i), Value::Int(i)});
+    if (i % 3 == 0) right.Insert({Value::Int(i)});
+  }
+  for (auto _ : state) {
+    Relation s = SemiJoin(left, right, {{0, 0}});
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SemiJoin)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace mpqe
+
+BENCHMARK_MAIN();

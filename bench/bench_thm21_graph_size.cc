@@ -1,0 +1,92 @@
+// E2 — Theorem 2.1: "the size of the graph is independent of the
+// sizes of the EDB relations". Sweeps the EDB from 10^2 to 10^5 facts
+// with a fixed IDB and reports the node count (which must stay
+// constant) and construction time (which must not grow with the EDB).
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "datalog/parser.h"
+#include "graph/rule_goal_graph.h"
+#include "sips/strategy.h"
+#include "workload/generators.h"
+
+namespace mpqe {
+namespace {
+
+void BM_GraphSizeVsEdb(benchmark::State& state) {
+  int64_t edb_size = state.range(0);
+  Database db;
+  MPQE_CHECK(workload::MakeChain(db, "q", edb_size).ok());
+  MPQE_CHECK(workload::MakeChain(db, "r", edb_size).ok());
+  Program program;
+  MPQE_CHECK(ParseInto(workload::P1Program(0), program, db).ok());
+  MPQE_CHECK(program.Validate(&db).ok());
+  auto strategy = MakeGreedyStrategy();
+
+  size_t nodes = 0;
+  for (auto _ : state) {
+    auto graph = RuleGoalGraph::Build(program, *strategy);
+    MPQE_CHECK(graph.ok());
+    nodes = (*graph)->size();
+    benchmark::DoNotOptimize(graph);
+  }
+  state.counters["edb_facts"] = static_cast<double>(db.TotalFacts());
+  state.counters["graph_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_GraphSizeVsEdb)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// The flip side: the graph does grow with the IDB (number of rules).
+void BM_GraphSizeVsRuleCount(benchmark::State& state) {
+  int64_t alternatives = state.range(0);
+  std::string text;
+  for (int64_t i = 0; i < alternatives; ++i) {
+    text += StrCat("p(X, Y) :- e", i, "(X, Y).\n");
+    text += StrCat("p(X, Y) :- e", i, "(X, Z), p(Z, Y).\n");
+  }
+  text += "?- p(0, W).\n";
+  auto unit = Parse(text);
+  MPQE_CHECK(unit.ok());
+  MPQE_CHECK(unit->program.Validate(&unit->database).ok());
+  auto strategy = MakeGreedyStrategy();
+
+  size_t nodes = 0;
+  for (auto _ : state) {
+    auto graph = RuleGoalGraph::Build(unit->program, *strategy);
+    MPQE_CHECK(graph.ok());
+    nodes = (*graph)->size();
+    benchmark::DoNotOptimize(graph);
+  }
+  state.counters["rules"] = static_cast<double>(2 * alternatives);
+  state.counters["graph_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_GraphSizeVsRuleCount)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// Constants in the query do not leak EDB values into the graph: the
+// same program with different query constants yields isomorphic
+// graphs.
+void BM_GraphSizeVsQueryConstant(benchmark::State& state) {
+  int64_t from = state.range(0);
+  Database db;
+  MPQE_CHECK(workload::MakeChain(db, "edge", 1000).ok());
+  Program program;
+  MPQE_CHECK(ParseInto(workload::LinearTcProgram(from), program, db).ok());
+  MPQE_CHECK(program.Validate(&db).ok());
+  auto strategy = MakeGreedyStrategy();
+
+  size_t nodes = 0;
+  for (auto _ : state) {
+    auto graph = RuleGoalGraph::Build(program, *strategy);
+    MPQE_CHECK(graph.ok());
+    nodes = (*graph)->size();
+    benchmark::DoNotOptimize(graph);
+  }
+  state.counters["graph_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_GraphSizeVsQueryConstant)->Arg(0)->Arg(500)->Arg(999);
+
+}  // namespace
+}  // namespace mpqe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Watching the Fig. 2 termination protocol at work: transitive
+// closure over a cyclic graph, where only duplicate elimination makes
+// the strong component go idle and only the end-request/confirm waves
+// can detect it. Prints per-kind message counts and wave statistics
+// for increasing cycle sizes and several random schedules.
+//
+//   $ ./termination_trace [max_n]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "datalog/parser.h"
+#include "engine/evaluator.h"
+#include "workload/generators.h"
+
+int main(int argc, char** argv) {
+  int64_t max_n = argc > 1 ? std::atoll(argv[1]) : 32;
+
+  std::cout << "cycle-graph transitive closure tc(0, W), deterministic "
+               "schedule:\n";
+  std::cout << "  n   answers  tuple_msgs  dup_drops  waves  end_req  "
+               "end_neg  end_conf\n";
+  for (int64_t n = 4; n <= max_n; n *= 2) {
+    mpqe::Database db;
+    if (!mpqe::workload::MakeCycle(db, "edge", n).ok()) return 1;
+    mpqe::Program program;
+    if (!mpqe::ParseInto(mpqe::workload::LinearTcProgram(0), program, db)
+             .ok()) {
+      return 1;
+    }
+    auto result = mpqe::Evaluate(program, db);
+    if (!result.ok()) {
+      std::cerr << result.status() << "\n";
+      return 1;
+    }
+    const mpqe::MessageStats& s = result->message_stats;
+    std::printf("  %-4lld %-8zu %-11llu %-10llu %-6llu %-8llu %-8llu %llu\n",
+                static_cast<long long>(n), result->answers.size(),
+                static_cast<unsigned long long>(
+                    s.Count(mpqe::MessageKind::kTuple)),
+                static_cast<unsigned long long>(
+                    result->counters.duplicate_drops),
+                static_cast<unsigned long long>(
+                    result->counters.protocol_waves),
+                static_cast<unsigned long long>(
+                    s.Count(mpqe::MessageKind::kEndRequest)),
+                static_cast<unsigned long long>(
+                    s.Count(mpqe::MessageKind::kEndNegative)),
+                static_cast<unsigned long long>(
+                    s.Count(mpqe::MessageKind::kEndConfirmed)));
+  }
+
+  std::cout << "\nsame query (n=16) under random schedules — the protocol "
+               "concludes correctly on every interleaving:\n";
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    mpqe::Database db;
+    if (!mpqe::workload::MakeCycle(db, "edge", 16).ok()) return 1;
+    mpqe::Program program;
+    if (!mpqe::ParseInto(mpqe::workload::LinearTcProgram(0), program, db)
+             .ok()) {
+      return 1;
+    }
+    mpqe::EvaluationOptions options;
+    options.scheduler = mpqe::SchedulerKind::kRandom;
+    options.seed = seed;
+    auto result = mpqe::Evaluate(program, db, options);
+    if (!result.ok()) {
+      std::cerr << result.status() << "\n";
+      return 1;
+    }
+    std::cout << "  seed=" << seed << "  answers=" << result->answers.size()
+              << "  ended_by_protocol="
+              << (result->ended_by_protocol ? "yes" : "no")
+              << "  waves=" << result->counters.protocol_waves << "\n";
+  }
+  return 0;
+}

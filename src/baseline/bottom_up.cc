@@ -1,0 +1,326 @@
+#include "baseline/bottom_up.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "datalog/unify.h"
+
+namespace mpqe {
+namespace {
+
+// Backtracking matcher for one rule body over given relations, with
+// index probes on bound argument positions. Relations are mutable only
+// so lazily created indexes can be registered; tuples are never added
+// while matching (callers buffer inserts per round).
+class RuleMatcher {
+ public:
+  // `relations[i]` serves body atom i. `order` is the evaluation
+  // order; if empty, a greedy most-bound-first order is computed.
+  RuleMatcher(const Rule& rule, std::vector<Relation*> relations,
+              std::vector<size_t> order)
+      : rule_(rule), relations_(std::move(relations)), order_(std::move(order)) {
+    if (order_.empty()) order_ = GreedyOrder();
+  }
+
+  void Run(const std::function<void(const Tuple&)>& emit) {
+    emit_ = &emit;
+    Step(0);
+  }
+
+  // Greedy order: repeatedly pick the unchosen atom with the most
+  // statically bound arguments (constants or already-bound variables);
+  // the caller may force a first atom by passing it via `pinned`.
+  static std::vector<size_t> GreedyOrderFor(const Rule& rule, int pinned) {
+    std::unordered_set<VariableId> bound;
+    std::vector<size_t> order;
+    size_t n = rule.body.size();
+    std::vector<bool> taken(n, false);
+    auto bind_vars = [&](size_t k) {
+      std::vector<VariableId> vars;
+      CollectVariables(rule.body[k], vars);
+      bound.insert(vars.begin(), vars.end());
+    };
+    if (pinned >= 0) {
+      order.push_back(static_cast<size_t>(pinned));
+      taken[static_cast<size_t>(pinned)] = true;
+      bind_vars(static_cast<size_t>(pinned));
+    }
+    while (order.size() < n) {
+      size_t best = n, best_count = 0;
+      for (size_t k = 0; k < n; ++k) {
+        if (taken[k]) continue;
+        size_t count = 0;
+        for (const Term& t : rule.body[k].args) {
+          if (t.is_constant() || bound.count(t.var()) != 0) ++count;
+        }
+        if (best == n || count > best_count) {
+          best = k;
+          best_count = count;
+        }
+      }
+      taken[best] = true;
+      order.push_back(best);
+      bind_vars(best);
+    }
+    return order;
+  }
+
+ private:
+  std::vector<size_t> GreedyOrder() const {
+    return GreedyOrderFor(rule_, /*pinned=*/-1);
+  }
+
+  void Step(size_t depth) {
+    if (depth == order_.size()) {
+      Tuple head;
+      head.reserve(rule_.head.args.size());
+      for (const Term& t : rule_.head.args) {
+        head.push_back(t.is_constant() ? t.constant()
+                                       : bindings_.at(t.var()));
+      }
+      (*emit_)(head);
+      return;
+    }
+    size_t body_index = order_[depth];
+    const Atom& atom = rule_.body[body_index];
+    Relation* rel = relations_[body_index];
+
+    // Bound positions form the index key.
+    std::vector<size_t> key_positions;
+    Tuple key;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const Term& t = atom.args[i];
+      if (t.is_constant()) {
+        key_positions.push_back(i);
+        key.push_back(t.constant());
+      } else {
+        auto it = bindings_.find(t.var());
+        if (it != bindings_.end()) {
+          key_positions.push_back(i);
+          key.push_back(it->second);
+        }
+      }
+    }
+
+    auto try_tuple = [&](const Tuple& tuple) {
+      std::vector<VariableId> bound_here;
+      bool ok = true;
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        const Term& t = atom.args[i];
+        if (t.is_constant()) {
+          if (tuple[i] != t.constant()) {
+            ok = false;
+            break;
+          }
+          continue;
+        }
+        auto [it, inserted] = bindings_.emplace(t.var(), tuple[i]);
+        if (inserted) {
+          bound_here.push_back(t.var());
+        } else if (it->second != tuple[i]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) Step(depth + 1);
+      for (VariableId v : bound_here) bindings_.erase(v);
+    };
+
+    if (!key_positions.empty()) {
+      size_t handle = rel->EnsureIndex(key_positions);
+      const std::vector<size_t>* hits = rel->Probe(handle, key);
+      if (hits != nullptr) {
+        for (size_t pos : *hits) try_tuple(rel->tuple(pos));
+      }
+    } else {
+      for (const Tuple& t : rel->tuples()) try_tuple(t);
+    }
+  }
+
+  const Rule& rule_;
+  std::vector<Relation*> relations_;
+  std::vector<size_t> order_;
+  std::unordered_map<VariableId, Value> bindings_;
+  const std::function<void(const Tuple&)>* emit_ = nullptr;
+};
+
+// Shared state for both bottom-up evaluators.
+class BottomUpState {
+ public:
+  BottomUpState(const Program& program, Database& db)
+      : program_(program), db_(db) {
+    for (PredicateId p = 0;
+         p < static_cast<PredicateId>(program.predicates().size()); ++p) {
+      if (program.IsIdb(p)) {
+        idb_.emplace(p, Relation(program.predicates().Arity(p)));
+      }
+    }
+  }
+
+  Relation* RelationFor(PredicateId p) {
+    auto it = idb_.find(p);
+    if (it != idb_.end()) return &it->second;
+    return db_.GetMutableRelation(program_.predicates().Name(p));
+  }
+
+  Relation& Idb(PredicateId p) { return idb_.at(p); }
+
+  BottomUpResult Finish() {
+    BottomUpResult result;
+    PredicateId goal = program_.GoalPredicate();
+    result.goal = idb_.at(goal);
+    result.total_derived = derived_;
+    result.iterations = iterations_;
+    for (const auto& [p, rel] : idb_) {
+      result.idb_sizes[program_.predicates().Name(p)] = rel.size();
+    }
+    return result;
+  }
+
+  const Program& program_;
+  Database& db_;
+  std::unordered_map<PredicateId, Relation> idb_;
+  uint64_t derived_ = 0;
+  uint64_t iterations_ = 0;
+};
+
+}  // namespace
+
+StatusOr<BottomUpResult> NaiveBottomUp(const Program& program, Database& db) {
+  MPQE_RETURN_IF_ERROR(program.Validate(&db));
+  BottomUpState state(program, db);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++state.iterations_;
+    // Buffer inserts so every rule sees the relations as of the round
+    // start (and so index iteration is never invalidated mid-match).
+    std::vector<std::pair<PredicateId, Tuple>> fresh;
+    for (const Rule& rule : program.rules()) {
+      std::vector<Relation*> rels;
+      rels.reserve(rule.body.size());
+      for (const Atom& a : rule.body) {
+        rels.push_back(state.RelationFor(a.predicate));
+      }
+      RuleMatcher matcher(rule, std::move(rels), {});
+      matcher.Run([&](const Tuple& head) {
+        fresh.emplace_back(rule.head.predicate, head);
+      });
+    }
+    for (auto& [p, t] : fresh) {
+      if (state.Idb(p).Insert(std::move(t))) {
+        changed = true;
+        ++state.derived_;
+      }
+    }
+  }
+  return state.Finish();
+}
+
+StatusOr<BottomUpResult> SemiNaiveBottomUp(const Program& program,
+                                           Database& db) {
+  MPQE_RETURN_IF_ERROR(program.Validate(&db));
+  BottomUpState state(program, db);
+  PredicateDependencies deps = AnalyzeDependencies(program);
+
+  // Group IDB predicates by SCC; components are numbered callees
+  // before callers, so increasing id is a valid stratum order.
+  std::vector<std::vector<PredicateId>> strata(deps.scc_count);
+  for (PredicateId p = 0;
+       p < static_cast<PredicateId>(program.predicates().size()); ++p) {
+    if (program.IsIdb(p)) strata[deps.scc_of[p]].push_back(p);
+  }
+
+  for (int scc = 0; scc < deps.scc_count; ++scc) {
+    const std::vector<PredicateId>& preds = strata[scc];
+    if (preds.empty()) continue;
+    std::unordered_set<PredicateId> in_scc(preds.begin(), preds.end());
+    bool recursive = preds.size() > 1;
+    if (!recursive) {
+      PredicateId p = preds[0];
+      recursive = std::binary_search(deps.adjacency[p].begin(),
+                                     deps.adjacency[p].end(), p);
+    }
+
+    // Rules of this stratum, split into base (no in-SCC body atom) and
+    // recursive.
+    std::vector<const Rule*> base_rules, rec_rules;
+    for (const Rule& rule : program.rules()) {
+      if (in_scc.count(rule.head.predicate) == 0) continue;
+      bool rec = false;
+      for (const Atom& a : rule.body) {
+        if (in_scc.count(a.predicate) != 0) rec = true;
+      }
+      (rec ? rec_rules : base_rules).push_back(&rule);
+    }
+
+    // Base pass.
+    std::unordered_map<PredicateId, Relation> delta;
+    for (PredicateId p : preds) {
+      delta.emplace(p, Relation(program.predicates().Arity(p)));
+    }
+    ++state.iterations_;
+    for (const Rule* rule : base_rules) {
+      std::vector<Relation*> rels;
+      for (const Atom& a : rule->body) {
+        rels.push_back(state.RelationFor(a.predicate));
+      }
+      RuleMatcher matcher(*rule, std::move(rels), {});
+      matcher.Run([&](const Tuple& head) {
+        if (state.Idb(rule->head.predicate).Insert(head)) {
+          ++state.derived_;
+          delta.at(rule->head.predicate).Insert(head);
+        }
+      });
+    }
+    if (!recursive) continue;
+
+    // Delta iteration.
+    for (;;) {
+      bool any_delta = false;
+      for (const auto& [p, d] : delta) {
+        if (!d.empty()) any_delta = true;
+      }
+      if (!any_delta) break;
+      ++state.iterations_;
+
+      std::vector<std::pair<PredicateId, Tuple>> fresh;
+      for (const Rule* rule : rec_rules) {
+        for (size_t i = 0; i < rule->body.size(); ++i) {
+          PredicateId bp = rule->body[i].predicate;
+          if (in_scc.count(bp) == 0) continue;
+          if (delta.at(bp).empty()) continue;
+          std::vector<Relation*> rels;
+          for (size_t j = 0; j < rule->body.size(); ++j) {
+            PredicateId q = rule->body[j].predicate;
+            rels.push_back(j == i ? &delta.at(q) : state.RelationFor(q));
+          }
+          // Pin the delta atom first so each new tuple drives probes.
+          std::vector<size_t> order =
+              RuleMatcher::GreedyOrderFor(*rule, static_cast<int>(i));
+          RuleMatcher matcher(*rule, std::move(rels), std::move(order));
+          matcher.Run([&](const Tuple& head) {
+            fresh.emplace_back(rule->head.predicate, head);
+          });
+        }
+      }
+      // New deltas = fresh minus everything already known.
+      std::unordered_map<PredicateId, Relation> next_delta;
+      for (PredicateId p : preds) {
+        next_delta.emplace(p, Relation(program.predicates().Arity(p)));
+      }
+      for (auto& [p, t] : fresh) {
+        if (state.Idb(p).Insert(t)) {
+          ++state.derived_;
+          next_delta.at(p).Insert(std::move(t));
+        }
+      }
+      delta = std::move(next_delta);
+    }
+  }
+  return state.Finish();
+}
+
+}  // namespace mpqe

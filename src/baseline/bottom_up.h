@@ -1,0 +1,50 @@
+// Bottom-up baselines for comparison (§1.1):
+//
+//  * NaiveBottomUp    — the brute-force least-fixpoint computation
+//                       [VEK76, AU79]: apply every rule to the full
+//                       current relations until nothing new appears.
+//  * SemiNaiveBottomUp — stratified by predicate SCC with delta
+//                       iteration: each round only joins against
+//                       tuples new in the previous round.
+//
+// Both compute the entire minimum model reachable from the rules (no
+// relevance restriction), which is exactly the contrast the paper
+// draws with sideways information passing: they count every derived
+// tuple, relevant to the query or not.
+
+#ifndef MPQE_BASELINE_BOTTOM_UP_H_
+#define MPQE_BASELINE_BOTTOM_UP_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "datalog/program.h"
+#include "relational/database.h"
+
+namespace mpqe {
+
+struct BottomUpResult {
+  // The goal relation.
+  Relation goal{0};
+  // Tuples inserted into IDB relations (including goal) — the total
+  // work measure the paper cares about.
+  uint64_t total_derived = 0;
+  // Fixpoint rounds summed over strata.
+  uint64_t iterations = 0;
+  // Final size of every IDB relation.
+  std::unordered_map<std::string, size_t> idb_sizes;
+};
+
+/// Computes the minimum model naively. `db` supplies the EDB (indexes
+/// may be added to its relations).
+StatusOr<BottomUpResult> NaiveBottomUp(const Program& program, Database& db);
+
+/// Semi-naive (delta) evaluation, stratified by predicate SCC.
+StatusOr<BottomUpResult> SemiNaiveBottomUp(const Program& program,
+                                           Database& db);
+
+}  // namespace mpqe
+
+#endif  // MPQE_BASELINE_BOTTOM_UP_H_

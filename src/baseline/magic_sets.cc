@@ -1,0 +1,213 @@
+#include "baseline/magic_sets.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mpqe {
+namespace {
+
+// "b"/"f" pattern of one atom occurrence given its mpqe binding classes.
+std::string BoundPattern(const Adornment& adornment) {
+  std::string pattern;
+  pattern.reserve(adornment.size());
+  for (BindingClass c : adornment) {
+    pattern.push_back(IsBound(c) ? 'b' : 'f');
+  }
+  return pattern;
+}
+
+// Positions marked 'b' in `pattern`.
+std::vector<size_t> BoundPositionsOf(const std::string& pattern) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern[i] == 'b') out.push_back(i);
+  }
+  return out;
+}
+
+// Head binding classes for re-running the sips on a rule whose head is
+// to be evaluated with `pattern`: bound variable positions become d,
+// constants c, the rest f.
+Adornment HeadAdornmentFor(const Rule& rule, const std::string& pattern) {
+  Adornment adornment(rule.head.arity());
+  for (size_t i = 0; i < rule.head.arity(); ++i) {
+    if (rule.head.args[i].is_constant()) {
+      adornment[i] = BindingClass::kConstant;
+    } else {
+      adornment[i] =
+          pattern[i] == 'b' ? BindingClass::kDynamic : BindingClass::kFree;
+    }
+  }
+  return adornment;
+}
+
+class Rewriter {
+ public:
+  Rewriter(const Program& program, Database& db, const SipsStrategy& strategy)
+      : program_(program), db_(db), strategy_(strategy) {}
+
+  StatusOr<MagicSetsResult> Run() {
+    MagicSetsResult result;
+    out_ = &result.transformed;
+    out_->variables() = program_.variables();
+
+    PredicateId goal = program_.GoalPredicate();
+    std::string goal_pattern(program_.predicates().Arity(goal), 'f');
+    MPQE_ASSIGN_OR_RETURN(PredicateId adorned_goal,
+                          AdornedPredicate(goal, goal_pattern));
+    (void)adorned_goal;
+
+    // Seed: the magic fact for the (unbound) goal.
+    MPQE_ASSIGN_OR_RETURN(std::string magic_goal,
+                          MagicName(goal, goal_pattern));
+    MPQE_RETURN_IF_ERROR(db_.InsertFact(magic_goal, Tuple{}).status());
+
+    while (!worklist_.empty()) {
+      auto [p, pattern] = worklist_.front();
+      worklist_.pop_front();
+      MPQE_RETURN_IF_ERROR(RewritePredicate(p, pattern));
+    }
+    result.adorned_predicates = adorned_.size();
+    result.magic_rules = magic_rules_;
+    MPQE_ASSIGN_OR_RETURN(result.evaluation,
+                          SemiNaiveBottomUp(*out_, db_));
+    return result;
+  }
+
+ private:
+  // Name of the adorned copy of p for `pattern`. The goal keeps its
+  // name (there is only the all-free pattern for it, and the bottom-up
+  // evaluator looks `goal` up by name).
+  std::string AdornedName(PredicateId p, const std::string& pattern) const {
+    const std::string& name = program_.predicates().Name(p);
+    if (p == program_.GoalPredicate()) return name;
+    return StrCat(name, "__", pattern);
+  }
+
+  StatusOr<std::string> MagicName(PredicateId p, const std::string& pattern) {
+    return StrCat("m__", program_.predicates().Name(p), "__", pattern);
+  }
+
+  // Interns (and schedules for rewriting) the adorned copy of p.
+  StatusOr<PredicateId> AdornedPredicate(PredicateId p,
+                                         const std::string& pattern) {
+    auto key = std::make_pair(p, pattern);
+    auto it = adorned_.find(key);
+    if (it != adorned_.end()) return it->second;
+    MPQE_ASSIGN_OR_RETURN(
+        PredicateId id,
+        out_->predicates().Intern(AdornedName(p, pattern),
+                                  program_.predicates().Arity(p)));
+    adorned_.emplace(key, id);
+    worklist_.emplace_back(p, pattern);
+    return id;
+  }
+
+  StatusOr<PredicateId> MagicPredicate(PredicateId p,
+                                       const std::string& pattern) {
+    MPQE_ASSIGN_OR_RETURN(std::string name, MagicName(p, pattern));
+    size_t arity = BoundPositionsOf(pattern).size();
+    return out_->predicates().Intern(name, arity);
+  }
+
+  // Interns an EDB atom's predicate unchanged.
+  StatusOr<PredicateId> PassThrough(PredicateId p) {
+    return out_->predicates().Intern(program_.predicates().Name(p),
+                                     program_.predicates().Arity(p));
+  }
+
+  // The magic atom m__p__pattern(bound args of `atom`).
+  StatusOr<Atom> MagicAtom(PredicateId p, const std::string& pattern,
+                           const Atom& atom) {
+    Atom magic;
+    MPQE_ASSIGN_OR_RETURN(magic.predicate, MagicPredicate(p, pattern));
+    for (size_t pos : BoundPositionsOf(pattern)) {
+      magic.args.push_back(atom.args[pos]);
+    }
+    return magic;
+  }
+
+  Status RewritePredicate(PredicateId p, const std::string& pattern) {
+    for (size_t rule_index : program_.RuleIndexesFor(p)) {
+      const Rule& rule = program_.rules()[rule_index];
+      Adornment head_adornment = HeadAdornmentFor(rule, pattern);
+      MPQE_ASSIGN_OR_RETURN(
+          SipsResult sips,
+          strategy_.Classify(rule, head_adornment, program_));
+
+      MPQE_ASSIGN_OR_RETURN(Atom head_magic, MagicAtom(p, pattern, rule.head));
+
+      // Body in sips order, adorned.
+      std::vector<Atom> adorned_body;
+      adorned_body.reserve(rule.body.size());
+      for (size_t k : sips.order) {
+        Atom atom = rule.body[k];
+        std::string sub_pattern = BoundPattern(sips.subgoal_adornments[k]);
+        if (program_.IsIdb(atom.predicate)) {
+          // Magic rule: m__q(bound q args) :- m__p(...), preceding body.
+          Atom q_magic_head;
+          MPQE_ASSIGN_OR_RETURN(q_magic_head,
+                                MagicAtom(atom.predicate, sub_pattern, atom));
+          Rule magic_rule;
+          magic_rule.head = std::move(q_magic_head);
+          magic_rule.body.push_back(head_magic);
+          magic_rule.body.insert(magic_rule.body.end(), adorned_body.begin(),
+                                 adorned_body.end());
+          out_->AddRule(std::move(magic_rule));
+          ++magic_rules_;
+
+          MPQE_ASSIGN_OR_RETURN(atom.predicate,
+                                AdornedPredicate(atom.predicate, sub_pattern));
+        } else {
+          MPQE_ASSIGN_OR_RETURN(atom.predicate, PassThrough(atom.predicate));
+        }
+        adorned_body.push_back(std::move(atom));
+      }
+
+      // Modified rule: p__pattern(head) :- m__p__pattern(...), body.
+      Rule modified;
+      modified.head = rule.head;
+      MPQE_ASSIGN_OR_RETURN(modified.head.predicate,
+                            AdornedPredicate(p, pattern));
+      modified.body.push_back(std::move(head_magic));
+      modified.body.insert(modified.body.end(), adorned_body.begin(),
+                           adorned_body.end());
+      out_->AddRule(std::move(modified));
+    }
+    return Status::Ok();
+  }
+
+  struct PairHash {
+    size_t operator()(const std::pair<PredicateId, std::string>& key) const {
+      size_t seed = std::hash<PredicateId>{}(key.first);
+      HashCombine(seed, std::hash<std::string>{}(key.second));
+      return seed;
+    }
+  };
+
+  const Program& program_;
+  Database& db_;
+  const SipsStrategy& strategy_;
+  Program* out_ = nullptr;
+  std::unordered_map<std::pair<PredicateId, std::string>, PredicateId,
+                     PairHash>
+      adorned_;
+  std::deque<std::pair<PredicateId, std::string>> worklist_;
+  size_t magic_rules_ = 0;
+};
+
+}  // namespace
+
+StatusOr<MagicSetsResult> MagicSetsEvaluate(const Program& program,
+                                            Database& db,
+                                            const SipsStrategy& strategy) {
+  MPQE_RETURN_IF_ERROR(program.Validate(&db));
+  Rewriter rewriter(program, db, strategy);
+  return rewriter.Run();
+}
+
+}  // namespace mpqe

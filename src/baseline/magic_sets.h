@@ -1,0 +1,45 @@
+// Magic-sets rewriting (Bancilhon/Maier/Sagiv/Ullman, PODS 1986) — the
+// contemporaneous *bottom-up* realization of sideways information
+// passing, included as a third comparator: where Van Gelder's engine
+// restricts computation with class-d tuple requests at run time, magic
+// sets compile the same binding propagation into extra "magic"
+// predicates and then run ordinary semi-naive evaluation.
+//
+// The rewrite uses this repository's own sips machinery: binding
+// classes c/d map to "bound", e/f to "free", and the subgoal order is
+// the strategy's order, so the comparison isolates exactly the
+// run-time-messages vs compiled-rules difference.
+
+#ifndef MPQE_BASELINE_MAGIC_SETS_H_
+#define MPQE_BASELINE_MAGIC_SETS_H_
+
+#include <string>
+
+#include "baseline/bottom_up.h"
+#include "common/status.h"
+#include "datalog/program.h"
+#include "relational/database.h"
+#include "sips/strategy.h"
+
+namespace mpqe {
+
+struct MagicSetsResult {
+  // The rewritten (adorned + magic) program, for inspection.
+  Program transformed;
+  // Semi-naive evaluation of the rewritten program.
+  BottomUpResult evaluation;
+  // Rewrite statistics.
+  size_t adorned_predicates = 0;
+  size_t magic_rules = 0;
+};
+
+/// Rewrites `program` with magic sets (driven by `strategy`'s subgoal
+/// orders) and evaluates the result semi-naively over `db`. Magic seed
+/// facts are inserted into `db` under fresh "m_..." relation names.
+StatusOr<MagicSetsResult> MagicSetsEvaluate(const Program& program,
+                                            Database& db,
+                                            const SipsStrategy& strategy);
+
+}  // namespace mpqe
+
+#endif  // MPQE_BASELINE_MAGIC_SETS_H_

@@ -1,0 +1,222 @@
+#include "baseline/tabled_top_down.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "datalog/unify.h"
+
+namespace mpqe {
+namespace {
+
+// A partially resolved rule instance deriving answers for `table`.
+struct State {
+  size_t table = 0;   // index into Engine::tables_
+  Rule rule;          // renamed-apart instance
+  Substitution subst;
+  size_t next = 0;    // body position to resolve
+};
+
+// A derivation suspended on a table's answers.
+struct Consumer {
+  State state;  // state.next is the subgoal consuming the answers
+};
+
+struct Table {
+  Atom call;                       // canonical call atom
+  Relation answers;                // full-arity instantiations
+  std::vector<Consumer> consumers;
+
+  explicit Table(Atom c)
+      : call(std::move(c)), answers(call.args.size()) {}
+};
+
+class Engine {
+ public:
+  Engine(const Program& program, Database& db)
+      : program_(program), db_(db), vars_(program.variables()) {}
+
+  StatusOr<TabledResult> Run() {
+    PredicateId goal = program_.GoalPredicate();
+    Atom top;
+    top.predicate = goal;
+    for (size_t i = 0; i < program_.predicates().Arity(goal); ++i) {
+      top.args.push_back(Term::Var(vars_.Fresh("q")));
+    }
+    size_t root = EnsureTable(top);
+
+    while (!worklist_.empty()) {
+      State state = std::move(worklist_.front());
+      worklist_.pop_front();
+      Step(std::move(state));
+    }
+
+    TabledResult result;
+    result.answers = tables_[root]->answers;
+    result.tables = tables_.size();
+    result.derived = derived_;
+    result.resumptions = resumptions_;
+    return result;
+  }
+
+ private:
+  // Canonical key: predicate, constants, repeated-free-variable
+  // pattern. Two calls with the same key share one table.
+  static std::string KeyOf(const Atom& atom) {
+    std::string key = StrCat("p", atom.predicate);
+    std::unordered_map<VariableId, int> canon;
+    for (const Term& t : atom.args) {
+      if (t.is_constant()) {
+        key += StrCat("|k", static_cast<int>(t.constant().kind()), ":",
+                      t.constant().payload());
+      } else {
+        auto [it, inserted] =
+            canon.emplace(t.var(), static_cast<int>(canon.size()));
+        key += StrCat("|v", it->second);
+      }
+    }
+    return key;
+  }
+
+  // Finds or creates the table for (the canonical form of) `call`;
+  // on creation schedules its rule expansions.
+  size_t EnsureTable(const Atom& call) {
+    std::string key = KeyOf(call);
+    auto it = table_index_.find(key);
+    if (it != table_index_.end()) return it->second;
+
+    size_t index = tables_.size();
+    tables_.push_back(std::make_unique<Table>(call));
+    table_index_.emplace(std::move(key), index);
+
+    for (size_t rule_index : program_.RuleIndexesFor(call.predicate)) {
+      Rule renamed = RenameApart(program_.rules()[rule_index], vars_);
+      Substitution subst;
+      if (!ExtendMgu(renamed.head, call, subst)) continue;
+      State state;
+      state.table = index;
+      state.rule = std::move(renamed);
+      state.subst = std::move(subst);
+      state.next = 0;
+      worklist_.push_back(std::move(state));
+    }
+    return index;
+  }
+
+  void Step(State state) {
+    if (state.next == state.rule.body.size()) {
+      EmitAnswer(state);
+      return;
+    }
+    Atom selected = state.subst.Apply(state.rule.body[state.next]);
+    if (program_.IsEdb(selected.predicate)) {
+      ResolveAgainstEdb(state, selected);
+      return;
+    }
+    size_t table = EnsureTable(selected);
+    // Register, then replay the snapshot: later inserts notify the
+    // consumer exactly once each.
+    tables_[table]->consumers.push_back(Consumer{state});
+    size_t snapshot = tables_[table]->answers.size();
+    for (size_t i = 0; i < snapshot; ++i) {
+      Resume(state, tables_[table]->answers.tuple(i));
+    }
+  }
+
+  void EmitAnswer(const State& state) {
+    Atom head = state.subst.Apply(state.rule.head);
+    Tuple tuple;
+    tuple.reserve(head.args.size());
+    for (const Term& t : head.args) {
+      MPQE_CHECK(t.is_constant()) << "non-ground tabled answer";
+      tuple.push_back(t.constant());
+    }
+    Table& table = *tables_[state.table];
+    if (!table.answers.Insert(tuple)) return;
+    ++derived_;
+    // Deliver the new answer to every consumer registered so far.
+    // (Consumers registered later replay it from the snapshot.)
+    for (size_t i = 0; i < table.consumers.size(); ++i) {
+      Resume(table.consumers[i].state, tuple);
+    }
+  }
+
+  // Extends `state` (suspended at its current subgoal) with one answer
+  // instantiation and schedules the continuation.
+  void Resume(const State& state, const Tuple& answer) {
+    ++resumptions_;
+    State extended = state;
+    const Atom& raw = extended.rule.body[extended.next];
+    bool ok = true;
+    for (size_t i = 0; i < raw.args.size() && ok; ++i) {
+      Term lhs = extended.subst.Resolve(raw.args[i]);
+      if (lhs.is_constant()) {
+        ok = lhs.constant() == answer[i];
+      } else {
+        extended.subst.Bind(lhs.var(), Term::Const(answer[i]));
+      }
+    }
+    if (!ok) return;
+    ++extended.next;
+    worklist_.push_back(std::move(extended));
+  }
+
+  void ResolveAgainstEdb(const State& state, const Atom& selected) {
+    Relation* rel =
+        db_.GetMutableRelation(program_.predicates().Name(selected.predicate));
+    if (rel == nullptr) return;
+    std::vector<size_t> key_positions;
+    Tuple key;
+    for (size_t i = 0; i < selected.args.size(); ++i) {
+      if (selected.args[i].is_constant()) {
+        key_positions.push_back(i);
+        key.push_back(selected.args[i].constant());
+      }
+    }
+    auto try_fact = [&](const Tuple& fact) {
+      State extended = state;
+      bool ok = true;
+      for (size_t i = 0; i < selected.args.size() && ok; ++i) {
+        Term lhs = extended.subst.Resolve(selected.args[i]);
+        if (lhs.is_constant()) {
+          ok = lhs.constant() == fact[i];
+        } else {
+          extended.subst.Bind(lhs.var(), Term::Const(fact[i]));
+        }
+      }
+      if (!ok) return;
+      ++extended.next;
+      worklist_.push_back(std::move(extended));
+    };
+    if (!key_positions.empty()) {
+      size_t handle = rel->EnsureIndex(key_positions);
+      const std::vector<size_t>* hits = rel->Probe(handle, key);
+      if (hits != nullptr) {
+        for (size_t pos : *hits) try_fact(rel->tuple(pos));
+      }
+    } else {
+      for (const Tuple& fact : rel->tuples()) try_fact(fact);
+    }
+  }
+
+  const Program& program_;
+  Database& db_;
+  VariablePool vars_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, size_t> table_index_;
+  std::deque<State> worklist_;
+  uint64_t derived_ = 0;
+  uint64_t resumptions_ = 0;
+};
+
+}  // namespace
+
+StatusOr<TabledResult> TabledTopDown(const Program& program, Database& db) {
+  MPQE_RETURN_IF_ERROR(program.Validate(&db));
+  Engine engine(program, db);
+  return engine.Run();
+}
+
+}  // namespace mpqe

@@ -1,0 +1,39 @@
+// Tabled (memoizing) top-down evaluation — an OLDT/QSQ-style
+// comparator in the spirit of Vieille's recursive query processing,
+// which the paper cites ([Vie85]) among contemporary proposals. Like
+// the message-passing engine it explores only goal-relevant bindings
+// and terminates on recursion (answer tables break the loops that sink
+// plain SLD); unlike the engine it is a sequential algorithm with a
+// global worklist instead of communicating processes.
+
+#ifndef MPQE_BASELINE_TABLED_TOP_DOWN_H_
+#define MPQE_BASELINE_TABLED_TOP_DOWN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "datalog/program.h"
+#include "relational/database.h"
+
+namespace mpqe {
+
+struct TabledResult {
+  // The goal relation.
+  Relation answers{0};
+  // Distinct call patterns tabled (the analogue of engine goal nodes
+  // materialized at run time).
+  uint64_t tables = 0;
+  // Answers inserted across all tables (work measure comparable to
+  // the engine's stored tuples / magic sets' derived tuples).
+  uint64_t derived = 0;
+  // Consumer resumptions processed.
+  uint64_t resumptions = 0;
+};
+
+/// Evaluates the program's goal by tabled top-down resolution over the
+/// EDB in `db` (indexes may be registered on its relations).
+StatusOr<TabledResult> TabledTopDown(const Program& program, Database& db);
+
+}  // namespace mpqe
+
+#endif  // MPQE_BASELINE_TABLED_TOP_DOWN_H_

@@ -1,0 +1,131 @@
+#include "baseline/top_down_sld.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "datalog/unify.h"
+
+namespace mpqe {
+namespace {
+
+class SldEngine {
+ public:
+  SldEngine(const Program& program, Database& db, const SldOptions& options)
+      : program_(program),
+        db_(db),
+        options_(options),
+        vars_(program.variables()) {}
+
+  SldResult Run() {
+    PredicateId goal = program_.GoalPredicate();
+    result_.answers = Relation(program_.predicates().Arity(goal));
+    for (size_t idx : program_.RuleIndexesFor(goal)) {
+      Rule rule = RenameApart(program_.rules()[idx], vars_);
+      if (!Solve(rule.body, Substitution(), 0, rule.head)) break;
+    }
+    return std::move(result_);
+  }
+
+ private:
+  // Returns false when the global step cap is exhausted.
+  bool Solve(const std::vector<Atom>& goals, const Substitution& subst,
+             size_t depth, const Atom& answer_head) {
+    if (++result_.steps > options_.max_steps) {
+      result_.steps_exceeded = true;
+      return false;
+    }
+    if (goals.empty()) {
+      Atom head = subst.Apply(answer_head);
+      Tuple answer;
+      answer.reserve(head.args.size());
+      for (const Term& t : head.args) {
+        // Safe programs ground every head variable on success.
+        MPQE_CHECK(t.is_constant()) << "non-ground SLD answer";
+        answer.push_back(t.constant());
+      }
+      result_.answers.Insert(std::move(answer));
+      return true;
+    }
+    if (depth >= options_.max_depth) {
+      result_.depth_exceeded = true;
+      return true;  // prune this branch, keep searching others
+    }
+
+    // Leftmost selection.
+    Atom selected = subst.Apply(goals[0]);
+    std::vector<Atom> rest(goals.begin() + 1, goals.end());
+
+    if (program_.IsEdb(selected.predicate)) {
+      const std::string& name = program_.predicates().Name(selected.predicate);
+      Relation* rel = db_.GetMutableRelation(name);
+      if (rel == nullptr) return true;  // empty EDB relation
+      // Probe on ground positions.
+      std::vector<size_t> key_positions;
+      Tuple key;
+      for (size_t i = 0; i < selected.args.size(); ++i) {
+        if (selected.args[i].is_constant()) {
+          key_positions.push_back(i);
+          key.push_back(selected.args[i].constant());
+        }
+      }
+      auto try_fact = [&](const Tuple& fact) -> bool {
+        Substitution extended = subst;
+        bool ok = true;
+        for (size_t i = 0; i < selected.args.size() && ok; ++i) {
+          Term lhs = extended.Resolve(selected.args[i]);
+          if (lhs.is_constant()) {
+            ok = lhs.constant() == fact[i];
+          } else {
+            extended.Bind(lhs.var(), Term::Const(fact[i]));
+          }
+        }
+        if (!ok) return true;
+        return Solve(rest, extended, depth + 1, answer_head);
+      };
+      if (!key_positions.empty()) {
+        size_t handle = rel->EnsureIndex(key_positions);
+        const std::vector<size_t>* hits = rel->Probe(handle, key);
+        if (hits != nullptr) {
+          for (size_t pos : *hits) {
+            if (!try_fact(rel->tuple(pos))) return false;
+          }
+        }
+      } else {
+        for (const Tuple& fact : rel->tuples()) {
+          if (!try_fact(fact)) return false;
+        }
+      }
+      return true;
+    }
+
+    // IDB: resolve against each rule, in program order (Prolog-style).
+    for (size_t idx : program_.RuleIndexesFor(selected.predicate)) {
+      Rule rule = RenameApart(program_.rules()[idx], vars_);
+      Substitution extended = subst;
+      if (!ExtendMgu(rule.head, selected, extended)) continue;
+      std::vector<Atom> next;
+      next.reserve(rule.body.size() + rest.size());
+      next.insert(next.end(), rule.body.begin(), rule.body.end());
+      next.insert(next.end(), rest.begin(), rest.end());
+      if (!Solve(next, extended, depth + 1, answer_head)) return false;
+    }
+    return true;
+  }
+
+  const Program& program_;
+  Database& db_;
+  SldOptions options_;
+  VariablePool vars_;
+  SldResult result_;
+};
+
+}  // namespace
+
+StatusOr<SldResult> TopDownSld(const Program& program, Database& db,
+                               const SldOptions& options) {
+  MPQE_RETURN_IF_ERROR(program.Validate(&db));
+  SldEngine engine(program, db, options);
+  return engine.Run();
+}
+
+}  // namespace mpqe

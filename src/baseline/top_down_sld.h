@@ -1,0 +1,41 @@
+// Strictly top-down SLD resolution (Prolog-style, leftmost selection,
+// depth-first, rules in program order) — the comparison point for the
+// paper's §1.2 claim that the message-passing method "is certain to
+// terminate, avoiding the well-known 'left recursion' problems of
+// strictly top-down methods". SLD must run with resource caps; on
+// left-recursive programs it hits them instead of answering.
+
+#ifndef MPQE_BASELINE_TOP_DOWN_SLD_H_
+#define MPQE_BASELINE_TOP_DOWN_SLD_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "datalog/program.h"
+#include "relational/database.h"
+
+namespace mpqe {
+
+struct SldOptions {
+  size_t max_depth = 512;        // resolution depth cap
+  uint64_t max_steps = 1000000;  // total resolution steps cap
+};
+
+struct SldResult {
+  Relation answers{0};
+  bool depth_exceeded = false;  // some branch hit max_depth
+  bool steps_exceeded = false;  // the whole search hit max_steps
+  uint64_t steps = 0;
+
+  /// Answers are complete only if no cap was hit.
+  bool complete() const { return !depth_exceeded && !steps_exceeded; }
+};
+
+/// Runs SLD resolution for the program's goal rules. EDB subgoals
+/// match facts in `db` (indexes may be registered).
+StatusOr<SldResult> TopDownSld(const Program& program, Database& db,
+                               const SldOptions& options = {});
+
+}  // namespace mpqe
+
+#endif  // MPQE_BASELINE_TOP_DOWN_SLD_H_

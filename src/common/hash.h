@@ -1,0 +1,40 @@
+// Hash-combining utilities shared by relations, adornments, and graph
+// node signatures.
+
+#ifndef MPQE_COMMON_HASH_H_
+#define MPQE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mpqe {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline void HashCombine(size_t& seed, size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hashes a contiguous range of hashable elements into one value.
+template <typename It>
+size_t HashRange(It first, It last) {
+  size_t seed = 0xcbf29ce484222325ULL;
+  for (It it = first; it != last; ++it) {
+    HashCombine(seed, std::hash<typename std::iterator_traits<It>::value_type>{}(*it));
+  }
+  return seed;
+}
+
+/// Hash functor for vectors of hashable elements.
+template <typename T>
+struct VectorHash {
+  size_t operator()(const std::vector<T>& v) const {
+    return HashRange(v.begin(), v.end());
+  }
+};
+
+}  // namespace mpqe
+
+#endif  // MPQE_COMMON_HASH_H_

@@ -1,0 +1,53 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace mpqe {
+namespace {
+
+std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARNING";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(level); }
+LogLevel GetLogLevel() { return g_log_level.load(); }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= g_log_level.load()), level_(level) {
+  if (enabled_) {
+    stream_ << "[" << LevelName(level_) << " " << file << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) std::cerr << stream_.str() << std::endl;
+}
+
+CheckFailure::CheckFailure(const char* condition, const char* file, int line) {
+  stream_ << "[CHECK failed " << file << ":" << line << "] " << condition
+          << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  std::cerr << stream_.str() << std::endl;
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace mpqe

@@ -1,0 +1,77 @@
+// Minimal leveled logging. Disabled below the active level at runtime;
+// MPQE_CHECK aborts on violated invariants in all build modes.
+//
+// Usage:
+//   MPQE_LOG(kInfo) << "built graph with " << n << " nodes";
+//   MPQE_CHECK(x > 0) << "x must be positive, got " << x;
+
+#ifndef MPQE_COMMON_LOGGING_H_
+#define MPQE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mpqe {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that will be emitted (default kWarning).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class CheckFailure {
+ public:
+  CheckFailure(const char* condition, const char* file, int line);
+  [[noreturn]] ~CheckFailure();
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows a streamed expression when a check passes.
+struct Voidify {
+  template <typename T>
+  void operator&&(const T&) const {}
+};
+
+}  // namespace internal_logging
+}  // namespace mpqe
+
+#define MPQE_LOG(level)                                  \
+  ::mpqe::internal_logging::LogMessage(                  \
+      ::mpqe::LogLevel::level, __FILE__, __LINE__)
+
+#define MPQE_CHECK(condition)                            \
+  (condition) ? (void)0                                  \
+              : ::mpqe::internal_logging::Voidify{} &&   \
+                    ::mpqe::internal_logging::CheckFailure(#condition, \
+                                                           __FILE__, __LINE__)
+
+#endif  // MPQE_COMMON_LOGGING_H_

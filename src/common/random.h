@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation for tests, workload
+// generation, and the randomized message scheduler. A fixed seed yields
+// an identical stream on every platform (unlike std::default_random_engine).
+
+#ifndef MPQE_COMMON_RANDOM_H_
+#define MPQE_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mpqe {
+
+// SplitMix64-seeded xoshiro256**; small, fast, reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  /// Returns a uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Below(uint64_t bound);
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool Chance(double p);
+
+  /// Returns a uniform double in [0, 1).
+  double Uniform();
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = Below(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace mpqe
+
+#endif  // MPQE_COMMON_RANDOM_H_

@@ -1,0 +1,140 @@
+// Error handling primitives for MPQE. The project does not use C++
+// exceptions; every fallible operation returns a Status or StatusOr<T>.
+//
+// Example:
+//   StatusOr<Program> program = Parser::Parse(text);
+//   if (!program.ok()) return program.status();
+//   Use(program.value());
+
+#ifndef MPQE_COMMON_STATUS_H_
+#define MPQE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mpqe {
+
+// Canonical error codes, loosely following absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
+const char* StatusCodeToString(StatusCode code);
+
+// A Status is either OK or carries an error code plus message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "CODE: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Convenience constructors mirroring absl.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
+
+// Union of a Status and a value of type T. Exactly one is active: if
+// ok(), value() is valid; otherwise status() carries the error.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so functions can `return value;` or
+  // `return SomeError(...);` directly (mirrors absl::StatusOr).
+  StatusOr(const T& value) : value_(value) {}          // NOLINT
+  StatusOr(T&& value) : value_(std::move(value)) {}    // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK Status from an expression. Usable in functions
+// returning Status or StatusOr<U>.
+#define MPQE_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::mpqe::Status mpqe_status_tmp_ = (expr);        \
+    if (!mpqe_status_tmp_.ok()) return mpqe_status_tmp_; \
+  } while (false)
+
+// Evaluates a StatusOr expression, propagating errors; on success binds
+// the value to `lhs`. `lhs` may include a declaration, e.g.
+//   MPQE_ASSIGN_OR_RETURN(auto graph, BuildGraph(program));
+#define MPQE_ASSIGN_OR_RETURN(lhs, expr)                           \
+  MPQE_ASSIGN_OR_RETURN_IMPL_(                                     \
+      MPQE_STATUS_CONCAT_(mpqe_statusor_, __LINE__), lhs, expr)
+
+#define MPQE_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                                \
+  if (!var.ok()) return var.status();               \
+  lhs = std::move(var).value()
+
+#define MPQE_STATUS_CONCAT_(a, b) MPQE_STATUS_CONCAT_IMPL_(a, b)
+#define MPQE_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace mpqe
+
+#endif  // MPQE_COMMON_STATUS_H_

@@ -1,0 +1,71 @@
+#include "datalog/adornment.h"
+
+#include "common/string_util.h"
+
+namespace mpqe {
+
+char BindingClassToChar(BindingClass c) {
+  switch (c) {
+    case BindingClass::kConstant:
+      return 'c';
+    case BindingClass::kDynamic:
+      return 'd';
+    case BindingClass::kExistential:
+      return 'e';
+    case BindingClass::kFree:
+      return 'f';
+  }
+  return '?';
+}
+
+std::string AdornmentToString(const Adornment& adornment) {
+  std::string out;
+  out.reserve(adornment.size());
+  for (BindingClass c : adornment) out.push_back(BindingClassToChar(c));
+  return out;
+}
+
+StatusOr<Adornment> AdornmentFromString(const std::string& text) {
+  Adornment out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    switch (ch) {
+      case 'c':
+        out.push_back(BindingClass::kConstant);
+        break;
+      case 'd':
+        out.push_back(BindingClass::kDynamic);
+        break;
+      case 'e':
+        out.push_back(BindingClass::kExistential);
+        break;
+      case 'f':
+        out.push_back(BindingClass::kFree);
+        break;
+      default:
+        return InvalidArgumentError(
+            StrCat("invalid binding class character '", ch, "' in \"", text,
+                   "\""));
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> PositionsWithClass(const Adornment& adornment,
+                                       BindingClass c) {
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < adornment.size(); ++i) {
+    if (adornment[i] == c) positions.push_back(i);
+  }
+  return positions;
+}
+
+std::vector<size_t> BoundPositions(const Adornment& adornment) {
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < adornment.size(); ++i) {
+    if (IsBound(adornment[i])) positions.push_back(i);
+  }
+  return positions;
+}
+
+}  // namespace mpqe

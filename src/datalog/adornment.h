@@ -1,0 +1,60 @@
+// Binding classes for predicate arguments (§2.2). Each argument of a
+// goal or subgoal is classified:
+//
+//   c  ("constant")    — a constant known at graph-construction time;
+//   d  ("dynamic")     — bound during the computation to a set of
+//                        needed values; functions as a semi-join
+//                        operand and restricts the computed part of
+//                        the relation (§1.2);
+//   e  ("existential") — a free variable whose value is never used;
+//                        only existence matters, so the producer emits
+//                        one tuple per unique non-e combination;
+//   f  ("free")        — a free variable whose bindings must be found
+//                        and transmitted.
+
+#ifndef MPQE_DATALOG_ADORNMENT_H_
+#define MPQE_DATALOG_ADORNMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mpqe {
+
+enum class BindingClass : uint8_t {
+  kConstant = 0,     // "c"
+  kDynamic = 1,      // "d"
+  kExistential = 2,  // "e"
+  kFree = 3,         // "f"
+};
+
+/// Single-letter mnemonic for `c` ('c', 'd', 'e' or 'f').
+char BindingClassToChar(BindingClass c);
+
+// The classification of every argument position of an atom, e.g. the
+// paper's p(V^d, Z^f) has adornment "df".
+using Adornment = std::vector<BindingClass>;
+
+/// Renders e.g. "cdf".
+std::string AdornmentToString(const Adornment& adornment);
+
+/// Parses "cdf" back into an Adornment (tests convenience).
+StatusOr<Adornment> AdornmentFromString(const std::string& text);
+
+/// True iff the argument is bound before evaluation starts (c or d).
+inline bool IsBound(BindingClass c) {
+  return c == BindingClass::kConstant || c == BindingClass::kDynamic;
+}
+
+/// Positions with the given class.
+std::vector<size_t> PositionsWithClass(const Adornment& adornment,
+                                       BindingClass c);
+
+/// Positions where IsBound() holds.
+std::vector<size_t> BoundPositions(const Adornment& adornment);
+
+}  // namespace mpqe
+
+#endif  // MPQE_DATALOG_ADORNMENT_H_

@@ -1,0 +1,330 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace mpqe {
+namespace {
+
+enum class TokenKind {
+  kIdent,     // lowercase-leading identifier
+  kVariable,  // uppercase/underscore-leading identifier
+  kInteger,
+  kString,
+  kLparen,
+  kRparen,
+  kComma,
+  kPeriod,
+  kIf,     // :-
+  kQuery,  // ?-
+  kEof,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int64_t integer = 0;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  StatusOr<Token> Next() {
+    SkipWhitespaceAndComments();
+    Token token;
+    token.line = line_;
+    if (pos_ >= text_.size()) {
+      token.kind = TokenKind::kEof;
+      return token;
+    }
+    char c = text_[pos_];
+    if (c == '(') return Punct(TokenKind::kLparen);
+    if (c == ')') return Punct(TokenKind::kRparen);
+    if (c == ',') return Punct(TokenKind::kComma);
+    if (c == '.') return Punct(TokenKind::kPeriod);
+    if (c == ':' && Peek(1) == '-') return Punct2(TokenKind::kIf);
+    if (c == '?' && Peek(1) == '-') return Punct2(TokenKind::kQuery);
+    if (c == '"') return LexString();
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      return LexInteger();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return LexIdentifier();
+    }
+    return InvalidArgumentError(
+        StrCat("line ", line_, ": unexpected character '", c, "'"));
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        if (text_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '%') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token Punct(TokenKind kind) {
+    Token t{kind, std::string(1, text_[pos_]), 0, line_};
+    ++pos_;
+    return t;
+  }
+
+  Token Punct2(TokenKind kind) {
+    Token t{kind, std::string(text_.substr(pos_, 2)), 0, line_};
+    pos_ += 2;
+    return t;
+  }
+
+  StatusOr<Token> LexString() {
+    size_t start = ++pos_;  // skip opening quote
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return InvalidArgumentError(
+          StrCat("line ", line_, ": unterminated string literal"));
+    }
+    Token t{TokenKind::kString, std::string(text_.substr(start, pos_ - start)),
+            0, line_};
+    ++pos_;  // skip closing quote
+    return t;
+  }
+
+  StatusOr<Token> LexInteger() {
+    size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    Token t;
+    t.kind = TokenKind::kInteger;
+    t.text = std::string(text_.substr(start, pos_ - start));
+    t.line = line_;
+    errno = 0;
+    char* end = nullptr;
+    t.integer = std::strtoll(t.text.c_str(), &end, 10);
+    if (errno == ERANGE || end != t.text.c_str() + t.text.size()) {
+      return InvalidArgumentError(
+          StrCat("line ", line_, ": integer literal out of range: ", t.text));
+    }
+    return t;
+  }
+
+  StatusOr<Token> LexIdentifier() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    Token t;
+    t.text = std::string(text_.substr(start, pos_ - start));
+    t.line = line_;
+    char first = t.text[0];
+    t.kind = (std::isupper(static_cast<unsigned char>(first)) || first == '_')
+                 ? TokenKind::kVariable
+                 : TokenKind::kIdent;
+    return t;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class ParserImpl {
+ public:
+  ParserImpl(std::string_view text, Program& program, Database& db)
+      : lexer_(text), program_(program), db_(db) {}
+
+  Status Run() {
+    MPQE_RETURN_IF_ERROR(Advance());
+    while (current_.kind != TokenKind::kEof) {
+      MPQE_RETURN_IF_ERROR(ParseStatement());
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status Advance() {
+    MPQE_ASSIGN_OR_RETURN(current_, lexer_.Next());
+    return Status::Ok();
+  }
+
+  Status Expect(TokenKind kind, std::string_view what) {
+    if (current_.kind != kind) {
+      return InvalidArgumentError(StrCat("line ", current_.line, ": expected ",
+                                         what, ", found '", current_.text,
+                                         "'"));
+    }
+    return Advance();
+  }
+
+  // statement := '?-' atoms '.' | atom '.' | atom ':-' atoms '.'
+  Status ParseStatement() {
+    clause_variables_.clear();
+    ++clause_counter_;
+    if (current_.kind == TokenKind::kQuery) {
+      MPQE_RETURN_IF_ERROR(Advance());
+      std::vector<Atom> body;
+      MPQE_RETURN_IF_ERROR(ParseAtoms(body));
+      MPQE_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "'.'"));
+      MPQE_ASSIGN_OR_RETURN(size_t ignored, program_.AddQuery(std::move(body)));
+      (void)ignored;
+      return Status::Ok();
+    }
+    int line = current_.line;
+    Atom head;
+    MPQE_RETURN_IF_ERROR(ParseAtom(head));
+    if (current_.kind == TokenKind::kPeriod) {
+      MPQE_RETURN_IF_ERROR(Advance());
+      return AddFact(head, line);
+    }
+    MPQE_RETURN_IF_ERROR(Expect(TokenKind::kIf, "':-' or '.'"));
+    Rule rule;
+    rule.head = std::move(head);
+    MPQE_RETURN_IF_ERROR(ParseAtoms(rule.body));
+    MPQE_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "'.'"));
+    program_.AddRule(std::move(rule));
+    return Status::Ok();
+  }
+
+  Status AddFact(const Atom& atom, int line) {
+    Tuple tuple;
+    tuple.reserve(atom.args.size());
+    for (const Term& t : atom.args) {
+      if (t.is_variable()) {
+        return InvalidArgumentError(
+            StrCat("line ", line, ": fact for ",
+                   program_.predicates().Name(atom.predicate),
+                   " contains a variable; facts must be ground"));
+      }
+      tuple.push_back(t.constant());
+    }
+    MPQE_ASSIGN_OR_RETURN(
+        bool inserted,
+        db_.InsertFact(program_.predicates().Name(atom.predicate),
+                       std::move(tuple)));
+    (void)inserted;  // duplicate facts are silently merged
+    return Status::Ok();
+  }
+
+  Status ParseAtoms(std::vector<Atom>& out) {
+    for (;;) {
+      Atom atom;
+      MPQE_RETURN_IF_ERROR(ParseAtom(atom));
+      out.push_back(std::move(atom));
+      if (current_.kind != TokenKind::kComma) return Status::Ok();
+      MPQE_RETURN_IF_ERROR(Advance());
+    }
+  }
+
+  // atom := IDENT ['(' term (',' term)* ')']
+  Status ParseAtom(Atom& out) {
+    if (current_.kind != TokenKind::kIdent) {
+      return InvalidArgumentError(StrCat("line ", current_.line,
+                                         ": expected predicate name, found '",
+                                         current_.text, "'"));
+    }
+    std::string name = current_.text;
+    MPQE_RETURN_IF_ERROR(Advance());
+    std::vector<Term> args;
+    if (current_.kind == TokenKind::kLparen) {
+      MPQE_RETURN_IF_ERROR(Advance());
+      for (;;) {
+        MPQE_ASSIGN_OR_RETURN(Term term, ParseTerm());
+        args.push_back(term);
+        if (current_.kind == TokenKind::kComma) {
+          MPQE_RETURN_IF_ERROR(Advance());
+          continue;
+        }
+        break;
+      }
+      MPQE_RETURN_IF_ERROR(Expect(TokenKind::kRparen, "')'"));
+    }
+    MPQE_ASSIGN_OR_RETURN(out.predicate,
+                          program_.predicates().Intern(name, args.size()));
+    out.args = std::move(args);
+    return Status::Ok();
+  }
+
+  StatusOr<Term> ParseTerm() {
+    Token t = current_;
+    switch (t.kind) {
+      case TokenKind::kVariable: {
+        MPQE_RETURN_IF_ERROR(Advance());
+        return Term::Var(ClauseVariable(t.text));
+      }
+      case TokenKind::kIdent:
+      case TokenKind::kString: {
+        MPQE_RETURN_IF_ERROR(Advance());
+        return Term::Const(db_.Sym(t.text));
+      }
+      case TokenKind::kInteger: {
+        MPQE_RETURN_IF_ERROR(Advance());
+        return Term::Const(Value::Int(t.integer));
+      }
+      default:
+        return InvalidArgumentError(StrCat("line ", t.line,
+                                           ": expected term, found '", t.text,
+                                           "'"));
+    }
+  }
+
+  // Variables are clause-scoped: "X" in two clauses is two distinct
+  // variables. "_" is a fresh anonymous variable at each occurrence.
+  VariableId ClauseVariable(const std::string& name) {
+    if (name == "_") return program_.variables().Fresh("anon");
+    auto it = clause_variables_.find(name);
+    if (it != clause_variables_.end()) return it->second;
+    VariableId id = program_.variables().Intern(
+        StrCat(name, "#", clause_counter_));
+    clause_variables_.emplace(name, id);
+    return id;
+  }
+
+  Lexer lexer_;
+  Program& program_;
+  Database& db_;
+  Token current_{TokenKind::kEof, "", 0, 0};
+  std::unordered_map<std::string, VariableId> clause_variables_;
+  int clause_counter_ = 0;
+};
+
+}  // namespace
+
+Status ParseInto(std::string_view text, Program& program, Database& db) {
+  ParserImpl impl(text, program, db);
+  return impl.Run();
+}
+
+StatusOr<ParsedUnit> Parse(std::string_view text) {
+  ParsedUnit unit;
+  MPQE_RETURN_IF_ERROR(ParseInto(text, unit.program, unit.database));
+  return unit;
+}
+
+}  // namespace mpqe

@@ -1,0 +1,48 @@
+// Parser for Prolog-style Datalog text (Example 2.1 syntax):
+//
+//   % facts populate the EDB
+//   r(a, b).
+//   q(b, 3).
+//
+//   % rules populate the IDB; read ":-" as "if"
+//   p(X, Y) :- p(X, V), q(V, W), p(W, Y).
+//   p(X, Y) :- r(X, Y).
+//
+//   % a query; sugar for  goal(Z) :- p(a, Z).
+//   ?- p(a, Z).
+//
+//   % query rules may also be written explicitly
+//   goal(Z) :- p(a, Z).
+//
+// Identifiers starting with a lowercase letter are predicate/constant
+// symbols; identifiers starting with an uppercase letter or '_' are
+// variables (scoped to their clause); integers and double-quoted
+// strings are constants. '%' starts a line comment.
+
+#ifndef MPQE_DATALOG_PARSER_H_
+#define MPQE_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "datalog/program.h"
+#include "relational/database.h"
+
+namespace mpqe {
+
+// A freshly parsed program plus the EDB facts from the same text.
+struct ParsedUnit {
+  Program program;
+  Database database;
+};
+
+/// Parses `text` into `program` (rules, queries) and `db` (facts).
+/// Clause variables are interned fresh per clause.
+Status ParseInto(std::string_view text, Program& program, Database& db);
+
+/// Parses `text` into a fresh Program + Database pair.
+StatusOr<ParsedUnit> Parse(std::string_view text);
+
+}  // namespace mpqe
+
+#endif  // MPQE_DATALOG_PARSER_H_

@@ -1,0 +1,99 @@
+#include "datalog/unify.h"
+
+#include "common/logging.h"
+
+namespace mpqe {
+
+std::optional<Term> Substitution::Lookup(VariableId v) const {
+  auto it = bindings_.find(v);
+  if (it == bindings_.end()) return std::nullopt;
+  return it->second;
+}
+
+Term Substitution::Resolve(Term t) const {
+  while (t.is_variable()) {
+    auto it = bindings_.find(t.var());
+    if (it == bindings_.end()) return t;
+    t = it->second;
+  }
+  return t;
+}
+
+void Substitution::Bind(VariableId v, Term t) {
+  MPQE_CHECK(!(t.is_variable() && t.var() == v)) << "binding v := v";
+  // Keep idempotence: rewrite occurrences of v in existing images.
+  for (auto& [var, image] : bindings_) {
+    if (image.is_variable() && image.var() == v) image = t;
+  }
+  bindings_.emplace(v, t);
+}
+
+Atom Substitution::Apply(const Atom& atom) const {
+  Atom out;
+  out.predicate = atom.predicate;
+  out.args.reserve(atom.args.size());
+  for (const Term& t : atom.args) out.args.push_back(Resolve(t));
+  return out;
+}
+
+Rule Substitution::Apply(const Rule& rule) const {
+  Rule out;
+  out.head = Apply(rule.head);
+  out.body.reserve(rule.body.size());
+  for (const Atom& a : rule.body) out.body.push_back(Apply(a));
+  return out;
+}
+
+bool ExtendMgu(const Atom& a, const Atom& b, Substitution& subst) {
+  if (a.predicate != b.predicate || a.arity() != b.arity()) return false;
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    Term x = subst.Resolve(a.args[i]);
+    Term y = subst.Resolve(b.args[i]);
+    if (x == y) continue;
+    if (x.is_variable()) {
+      subst.Bind(x.var(), y);
+    } else if (y.is_variable()) {
+      subst.Bind(y.var(), x);
+    } else {
+      return false;  // distinct constants
+    }
+  }
+  return true;
+}
+
+std::optional<Substitution> Mgu(const Atom& a, const Atom& b) {
+  Substitution subst;
+  if (!ExtendMgu(a, b, subst)) return std::nullopt;
+  return subst;
+}
+
+Rule RenameApart(const Rule& rule, VariablePool& pool) {
+  std::vector<VariableId> vars;
+  CollectVariables(rule, vars);
+  Substitution renaming;
+  for (VariableId v : vars) {
+    renaming.Bind(v, Term::Var(pool.Fresh()));
+  }
+  return renaming.Apply(rule);
+}
+
+bool IsVariant(const Atom& a, const Atom& b) {
+  if (a.predicate != b.predicate || a.arity() != b.arity()) return false;
+  std::unordered_map<VariableId, VariableId> fwd;
+  std::unordered_map<VariableId, VariableId> bwd;
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    const Term& x = a.args[i];
+    const Term& y = b.args[i];
+    if (x.is_constant() || y.is_constant()) {
+      if (x != y) return false;
+      continue;
+    }
+    auto [fit, finserted] = fwd.emplace(x.var(), y.var());
+    if (!finserted && fit->second != y.var()) return false;
+    auto [bit, binserted] = bwd.emplace(y.var(), x.var());
+    if (!binserted && bit->second != x.var()) return false;
+  }
+  return true;
+}
+
+}  // namespace mpqe

@@ -1,0 +1,66 @@
+// Unification for the function-free case: substitutions, most general
+// unifiers, renaming apart, and variant testing. Graph construction
+// (§2.1) unifies rule heads with subgoals and tests whether a new
+// subgoal is a variant of an ancestor.
+
+#ifndef MPQE_DATALOG_UNIFY_H_
+#define MPQE_DATALOG_UNIFY_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "datalog/ast.h"
+
+namespace mpqe {
+
+// A substitution maps variables to terms (constants or variables).
+// Kept idempotent: no bound variable appears in any binding's image.
+class Substitution {
+ public:
+  bool empty() const { return bindings_.empty(); }
+  size_t size() const { return bindings_.size(); }
+
+  /// The binding for `v`, or nullopt.
+  std::optional<Term> Lookup(VariableId v) const;
+
+  /// Follows variable-to-variable chains to the final term.
+  Term Resolve(Term t) const;
+
+  /// Binds v := t (t already resolved). Re-resolves existing images so
+  /// the substitution stays idempotent.
+  void Bind(VariableId v, Term t);
+
+  Term Apply(const Term& t) const { return Resolve(t); }
+  Atom Apply(const Atom& atom) const;
+  Rule Apply(const Rule& rule) const;
+
+  const std::unordered_map<VariableId, Term>& bindings() const {
+    return bindings_;
+  }
+
+ private:
+  std::unordered_map<VariableId, Term> bindings_;
+};
+
+/// Most general unifier of two atoms, or nullopt if they don't unify
+/// (different predicates, arities, or clashing constants).
+std::optional<Substitution> Mgu(const Atom& a, const Atom& b);
+
+/// Extends `subst` so it also unifies `a` and `b`; nullopt on failure
+/// (in which case `subst` may be partially extended — pass a copy if
+/// rollback matters).
+bool ExtendMgu(const Atom& a, const Atom& b, Substitution& subst);
+
+/// Returns `rule` with every variable replaced by a fresh one from
+/// `pool` ("began with all new variables", §2.1).
+Rule RenameApart(const Rule& rule, VariablePool& pool);
+
+/// True iff `a` and `b` are variants: identical up to a bijective
+/// renaming of variables (constants must match exactly). Repeated-
+/// variable patterns must correspond, e.g. p(X,X) is not a variant of
+/// p(X,Y).
+bool IsVariant(const Atom& a, const Atom& b);
+
+}  // namespace mpqe
+
+#endif  // MPQE_DATALOG_UNIFY_H_

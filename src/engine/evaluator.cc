@@ -1,0 +1,107 @@
+#include "engine/evaluator.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mpqe {
+
+StatusOr<EvaluationResult> EvaluateWithGraph(const RuleGoalGraph& graph,
+                                             Database& db,
+                                             const EvaluationOptions& options) {
+  Network network;
+  if (options.observer) network.SetSendObserver(options.observer);
+  EngineShared shared;
+  shared.graph = &graph;
+  shared.db = &db;
+  shared.batch_messages = options.batch_messages;
+  shared.use_edb_indexes = options.use_edb_indexes;
+
+  // One process per graph node (pid == node id), plus the sink. The
+  // pid map is filled up front because process constructors plan
+  // against it.
+  for (NodeId id = 0; id < static_cast<NodeId>(graph.size()); ++id) {
+    shared.node_pid.push_back(id);
+  }
+  std::vector<NodeProcessBase*> node_processes;
+  node_processes.reserve(graph.size());
+  for (NodeId id = 0; id < static_cast<NodeId>(graph.size()); ++id) {
+    auto process = MakeNodeProcess(shared, id);
+    node_processes.push_back(process.get());
+    ProcessId pid = network.AddProcess(std::move(process));
+    MPQE_CHECK(pid == id);
+  }
+  size_t goal_arity =
+      graph.program().predicates().Arity(graph.program().GoalPredicate());
+  auto sink = std::make_unique<SinkProcess>(shared.node_pid[graph.root()],
+                                            goal_arity);
+  SinkProcess* sink_ptr = sink.get();
+  shared.sink_pid = network.AddProcess(std::move(sink));
+
+  // Engage the Fig. 2 protocol for members of nontrivial SCCs.
+  for (NodeId id = 0; id < static_cast<NodeId>(graph.size()); ++id) {
+    const GraphNode& n = graph.node(id);
+    if (n.scc_is_trivial) continue;
+    std::vector<ProcessId> children;
+    for (NodeId c : n.bfst_children) children.push_back(shared.node_pid[c]);
+    NodeId leader = graph.scc_leader(n.scc_id);
+    node_processes[id]->ConfigureTermination(
+        &network, n.is_leader, shared.node_pid[leader],
+        n.bfst_parent == kNoNode ? kNoProcess : shared.node_pid[n.bfst_parent],
+        std::move(children));
+  }
+
+  StatusOr<RunResult> run = InternalError("scheduler did not run");
+  switch (options.scheduler) {
+    case SchedulerKind::kDeterministic:
+      run = network.RunDeterministic(options.max_messages);
+      break;
+    case SchedulerKind::kRandom:
+      run = network.RunRandom(options.seed, options.max_messages);
+      break;
+    case SchedulerKind::kThreaded:
+      run = network.RunThreaded(options.workers, options.max_messages);
+      break;
+  }
+  if (!run.ok()) return run.status();
+
+  EvaluationResult result;
+  result.answers = sink_ptr->answers();
+  result.ended_by_protocol = sink_ptr->done();
+  result.quiescent_after = network.TotalPending() == 0;
+  result.message_stats = network.stats();
+  result.graph_stats = graph.Stats();
+  result.delivered = run->delivered;
+  for (NodeProcessBase* p : node_processes) {
+    p->AccumulateCounters(result.counters);
+  }
+  if (options.collect_node_counters) {
+    result.node_counters.reserve(node_processes.size());
+    for (NodeId id = 0; id < static_cast<NodeId>(node_processes.size());
+         ++id) {
+      NodeCounters row;
+      row.node = id;
+      node_processes[id]->AccumulateCounters(row.counters);
+      result.node_counters.push_back(std::move(row));
+    }
+  }
+  if (!result.ended_by_protocol && !run->quiescent) {
+    return InternalError(
+        "evaluation stopped without protocol end or quiescence");
+  }
+  return result;
+}
+
+StatusOr<EvaluationResult> Evaluate(const Program& program, Database& db,
+                                    const EvaluationOptions& options) {
+  if (!options.skip_validation) {
+    MPQE_RETURN_IF_ERROR(program.Validate(&db));
+  }
+  MPQE_ASSIGN_OR_RETURN(std::unique_ptr<SipsStrategy> strategy,
+                        MakeStrategyByName(options.strategy));
+  MPQE_ASSIGN_OR_RETURN(
+      std::unique_ptr<RuleGoalGraph> graph,
+      RuleGoalGraph::Build(program, *strategy, options.graph_options));
+  return EvaluateWithGraph(*graph, db, options);
+}
+
+}  // namespace mpqe

@@ -1,0 +1,117 @@
+// The public entry point: evaluate a Datalog query over an EDB with
+// the paper's message-passing framework.
+//
+// Quickstart:
+//   auto unit = Parse(R"(
+//     edge(a, b).  edge(b, c).
+//     path(X, Y) :- edge(X, Y).
+//     path(X, Y) :- edge(X, Z), path(Z, Y).
+//     ?- path(a, W).
+//   )");
+//   EvaluationOptions options;
+//   auto result = Evaluate(unit->program, unit->database, options);
+//   // result->answers is the goal relation {(b), (c)}.
+
+#ifndef MPQE_ENGINE_EVALUATOR_H_
+#define MPQE_ENGINE_EVALUATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/program.h"
+#include "engine/node_processes.h"
+#include "graph/rule_goal_graph.h"
+#include "msg/network.h"
+#include "relational/database.h"
+#include "sips/strategy.h"
+
+namespace mpqe {
+
+enum class SchedulerKind {
+  kDeterministic,  // round-robin FIFO (reproducible)
+  kRandom,         // seeded random interleaving
+  kThreaded,       // actual thread pool
+};
+
+struct EvaluationOptions {
+  // Information passing strategy name (see MakeStrategyByName):
+  // "greedy" (the paper's default), "left_to_right", "qual_tree",
+  // "qual_tree_or_greedy", "no_sips" (McKay-Shapiro-style baseline).
+  std::string strategy = "greedy";
+
+  SchedulerKind scheduler = SchedulerKind::kDeterministic;
+  uint64_t seed = 1;    // kRandom
+  int workers = 4;      // kThreaded
+
+  // Package the messages a node emits while handling one message into
+  // per-destination batch envelopes (the paper's footnote 2): far
+  // fewer physical messages, identical logical traffic and answers.
+  bool batch_messages = false;
+
+  // Safety valve against runaway computations (0 = unlimited).
+  uint64_t max_messages = 0;
+
+  GraphBuildOptions graph_options;
+
+  // Skip Program::Validate (when the caller already validated).
+  bool skip_validation = false;
+
+  // Fill EvaluationResult::node_counters with a per-node breakdown.
+  bool collect_node_counters = false;
+
+  // Ablation: disable EDB hash indexes (EDB leaves scan instead of
+  // probe). Answers are unchanged; only time differs.
+  bool use_edb_indexes = true;
+
+  // Optional observer invoked for every message sent (tracing,
+  // protocol-order assertions in tests). Must synchronize itself under
+  // the threaded scheduler.
+  Network::SendObserver observer;
+};
+
+// Per-node counter row (populated when
+// EvaluationOptions::collect_node_counters is set).
+struct NodeCounters {
+  NodeId node = kNoNode;
+  EngineCounters counters;
+};
+
+struct EvaluationResult {
+  // The goal relation (arity = the goal predicate's arity).
+  Relation answers{0};
+
+  // True when the computation finished through the end-message
+  // protocol (the sink received `end`), as opposed to mere network
+  // quiescence — Theorem 3.1 in action.
+  bool ended_by_protocol = false;
+  // True when every mailbox also drained (always checked after stop).
+  bool quiescent_after = false;
+
+  MessageStats message_stats;
+  EngineCounters counters;
+  GraphStats graph_stats;
+  uint64_t delivered = 0;
+
+  // One row per graph node (empty unless requested). Use together
+  // with RuleGoalGraph::NodeLabel to see where tuples accumulate.
+  std::vector<NodeCounters> node_counters;
+};
+
+/// Builds the rule/goal graph for `program`, wires the process
+/// network, runs it, and returns the goal relation. `db` must hold the
+/// EDB; indexes may be added to its relations.
+StatusOr<EvaluationResult> Evaluate(const Program& program, Database& db,
+                                    const EvaluationOptions& options = {});
+
+/// As Evaluate, but over a pre-built graph (reuse across EDB scales;
+/// the graph's program must match).
+StatusOr<EvaluationResult> EvaluateWithGraph(const RuleGoalGraph& graph,
+                                             Database& db,
+                                             const EvaluationOptions& options = {});
+
+}  // namespace mpqe
+
+#endif  // MPQE_ENGINE_EVALUATOR_H_

@@ -1,0 +1,836 @@
+#include "engine/node_processes.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "relational/operators.h"
+
+namespace mpqe {
+
+std::string EngineCounters::ToString() const {
+  return StrCat("{stored=", stored_tuples, " dups=", duplicate_drops,
+                " contexts=", contexts, " max_rel=", max_node_relation,
+                " waves=", protocol_waves, "}");
+}
+
+void NodeProcessBase::ConfigureTermination(
+    Network* network, bool is_leader, ProcessId leader, ProcessId bfst_parent,
+    std::vector<ProcessId> bfst_children) {
+  termination_.Configure(this, network, process_id(), is_leader, leader,
+                         bfst_parent, std::move(bfst_children));
+}
+
+void NodeProcessBase::OnMessage(const Message& message) {
+  switch (message.kind) {
+    case MessageKind::kEndRequest:
+      termination_.OnEndRequest(message);
+      break;
+    case MessageKind::kEndNegative:
+      termination_.OnEndNegative(message);
+      break;
+    case MessageKind::kEndConfirmed:
+      termination_.OnEndConfirmed(message);
+      break;
+    case MessageKind::kSccConcluded:
+      termination_.OnSccConcluded(message);
+      break;
+    case MessageKind::kWorkNotice:
+      termination_.OnWorkNotice(message);
+      break;
+    case MessageKind::kBatch: {
+      termination_.OnWorkMessage();
+      for (const Message& packaged : message.batch) {
+        Message sub = packaged;
+        sub.from = message.from;
+        HandleWork(sub);
+      }
+      break;
+    }
+    default:
+      termination_.OnWorkMessage();
+      HandleWork(message);
+      break;
+  }
+  FlushEmits();
+  termination_.MaybeInitiate();
+}
+
+void NodeProcessBase::Emit(ProcessId to, Message m) {
+  if (!shared_.batch_messages) {
+    Send(to, std::move(m));
+    return;
+  }
+  outbox_.emplace_back(to, std::move(m));
+}
+
+void NodeProcessBase::FlushEmits() {
+  if (outbox_.empty()) return;
+  // Group by destination, preserving per-destination send order and
+  // first-appearance destination order.
+  std::vector<ProcessId> order;
+  std::unordered_map<ProcessId, std::vector<Message>> groups;
+  for (auto& [to, m] : outbox_) {
+    auto [it, inserted] = groups.emplace(to, std::vector<Message>());
+    if (inserted) order.push_back(to);
+    it->second.push_back(std::move(m));
+  }
+  outbox_.clear();
+  for (ProcessId to : order) {
+    std::vector<Message>& messages = groups[to];
+    if (messages.size() == 1) {
+      Send(to, std::move(messages.front()));
+    } else {
+      Send(to, MakeBatch(std::move(messages)));
+    }
+  }
+}
+
+void NodeProcessBase::AccumulateCounters(EngineCounters& out) const {
+  out.protocol_waves += static_cast<uint64_t>(termination_.waves_started());
+}
+
+namespace {
+
+// Per-consumer stream state at a producer (§3.1: "A goal node with
+// multiple out-edges needs to furnish answers in separate streams to
+// each successor node ... different successors normally will have
+// requested different subsets of the total temporary relation").
+struct ConsumerStream {
+  bool external = false;  // in a different SCC (or the sink)
+  std::unordered_set<Tuple, TupleHash> bindings;
+  std::unordered_set<Tuple, TupleHash> ended;
+};
+
+// ---------------------------------------------------------------------------
+// GoalProcess
+// ---------------------------------------------------------------------------
+
+class GoalProcess : public NodeProcessBase {
+ public:
+  GoalProcess(const EngineShared& shared, NodeId id)
+      : NodeProcessBase(shared, id),
+        answers_(gnode().OutputPositions().size()) {
+    out_positions_ = gnode().OutputPositions();
+    d_positions_ = PositionsWithClass(gnode().adornment,
+                                      BindingClass::kDynamic);
+    for (size_t dp : d_positions_) {
+      auto it = std::find(out_positions_.begin(), out_positions_.end(), dp);
+      MPQE_CHECK(it != out_positions_.end());
+      d_in_out_.push_back(static_cast<size_t>(it - out_positions_.begin()));
+    }
+    d_index_ = answers_.EnsureIndex(d_in_out_);
+    for (NodeId rc : gnode().rule_children) {
+      if (!SameScc(rc)) ++ending_children_;
+    }
+  }
+
+  bool LocallyIdle() const override { return open_feeder_requests_ == 0; }
+
+  bool HasOpenCustomerWork() const override {
+    for (const auto& [pid, c] : consumers_) {
+      if (c.external && c.ended.size() < c.bindings.size()) return true;
+    }
+    return false;
+  }
+
+  void SnapshotForConclusion() override { snapshot_ = requested_; }
+
+  void ConcludeScc() override {
+    // The component was quiescent with feeders ended throughout the
+    // confirming waves: every binding in the snapshot is final.
+    // Bindings requested after the snapshot belong to the next
+    // protocol round.
+    for (const Tuple& b : snapshot_) completed_.insert(b);
+    for (auto& [pid, c] : consumers_) {
+      if (!c.external) continue;
+      for (const Tuple& b : c.bindings) {
+        if (snapshot_.count(b) != 0 && c.ended.insert(b).second) {
+          Emit(pid, MakeEnd(b));
+        }
+      }
+    }
+  }
+
+  void AccumulateCounters(EngineCounters& out) const override {
+    NodeProcessBase::AccumulateCounters(out);
+    out.stored_tuples += answers_.size();
+    out.duplicate_drops += duplicate_drops_;
+    out.max_node_relation =
+        std::max(out.max_node_relation, static_cast<uint64_t>(answers_.size()));
+  }
+
+ protected:
+  void HandleWork(const Message& m) override {
+    switch (m.kind) {
+      case MessageKind::kRelationRequest:
+        OnRelationRequest(m);
+        break;
+      case MessageKind::kTupleRequest:
+        OnTupleRequest(m);
+        break;
+      case MessageKind::kTuple:
+        OnTuple(m);
+        break;
+      case MessageKind::kEnd:
+        OnEnd(m);
+        break;
+      default:
+        MPQE_CHECK(false) << "unexpected " << m.ToString();
+    }
+  }
+
+ private:
+  bool IsExternal(ProcessId from) const {
+    if (from == shared_.sink_pid) return true;
+    return shared_.graph->node(static_cast<NodeId>(from)).scc_id !=
+           gnode().scc_id;
+  }
+
+  void OnRelationRequest(const Message& m) {
+    ConsumerStream& c = consumers_[m.from];
+    c.external = IsExternal(m.from);
+    if (!activated_) {
+      activated_ = true;
+      for (NodeId rc : gnode().rule_children) {
+        Emit(Pid(rc), MakeRelationRequest());
+      }
+    }
+  }
+
+  void OnTupleRequest(const Message& m) {
+    ConsumerStream& c = consumers_[m.from];
+    if (!c.bindings.insert(m.binding).second) return;  // duplicate request
+
+    // Replay the stored stream restricted to this binding.
+    const std::vector<size_t>* hits = answers_.Probe(d_index_, m.binding);
+    if (hits != nullptr) {
+      for (size_t pos : *hits) {
+        Emit(m.from, MakeTuple(m.binding, answers_.tuple(pos)));
+      }
+    }
+    if (completed_.count(m.binding) != 0) {
+      if (c.external && c.ended.insert(m.binding).second) {
+        Emit(m.from, MakeEnd(m.binding));
+      }
+      return;
+    }
+    // Coalesced components may be entered at any member; tell the
+    // leader there is work to conclude (footnote 4).
+    if (c.external && !gnode().scc_is_trivial) {
+      termination_.NotifyExternalWork();
+    }
+    if (requested_.insert(m.binding).second) {
+      outstanding_[m.binding] = ending_children_;
+      open_feeder_requests_ += ending_children_;
+      for (NodeId rc : gnode().rule_children) {
+        Emit(Pid(rc), MakeTupleRequest(m.binding));
+      }
+      if (gnode().rule_children.empty()) {
+        // No rule unified with this goal: the relation is empty/final.
+        CompleteBinding(m.binding);
+      }
+    }
+  }
+
+  void OnTuple(const Message& m) {
+    if (!answers_.Insert(m.values)) {
+      ++duplicate_drops_;
+      return;
+    }
+    Tuple dproj = ProjectTuple(m.values, d_in_out_);
+    for (auto& [pid, c] : consumers_) {
+      if (c.bindings.count(dproj) != 0) Emit(pid, MakeTuple(dproj, m.values));
+    }
+  }
+
+  void OnEnd(const Message& m) {
+    auto it = outstanding_.find(m.binding);
+    MPQE_CHECK(it != outstanding_.end())
+        << "end for unknown binding at goal node " << node_id_;
+    MPQE_CHECK(it->second > 0);
+    --open_feeder_requests_;
+    if (--it->second == 0 && gnode().scc_is_trivial) {
+      CompleteBinding(m.binding);
+    }
+  }
+
+  void CompleteBinding(const Tuple& b) {
+    completed_.insert(b);
+    for (auto& [pid, c] : consumers_) {
+      if (c.external && c.bindings.count(b) != 0 && c.ended.insert(b).second) {
+        Emit(pid, MakeEnd(b));
+      }
+    }
+  }
+
+  std::vector<size_t> out_positions_;
+  std::vector<size_t> d_positions_;
+  std::vector<size_t> d_in_out_;
+  size_t d_index_ = 0;
+  size_t ending_children_ = 0;
+
+  bool activated_ = false;
+  std::unordered_map<ProcessId, ConsumerStream> consumers_;
+  std::unordered_set<Tuple, TupleHash> requested_;
+  std::unordered_set<Tuple, TupleHash> snapshot_;
+  std::unordered_set<Tuple, TupleHash> completed_;
+  std::unordered_map<Tuple, size_t, TupleHash> outstanding_;
+  Relation answers_;
+  int64_t open_feeder_requests_ = 0;
+  uint64_t duplicate_drops_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// CycleRefProcess
+// ---------------------------------------------------------------------------
+
+class CycleRefProcess : public NodeProcessBase {
+ public:
+  CycleRefProcess(const EngineShared& shared, NodeId id)
+      : NodeProcessBase(shared, id) {
+    MPQE_CHECK(gnode().cycle_source != kNoNode);
+    MPQE_CHECK(SameScc(gnode().cycle_source))
+        << "a cycle reference and its ancestor are in one strong component";
+  }
+
+ protected:
+  void HandleWork(const Message& m) override {
+    switch (m.kind) {
+      case MessageKind::kRelationRequest:
+        if (!activated_) {
+          activated_ = true;
+          Emit(Pid(gnode().cycle_source), MakeRelationRequest());
+        }
+        break;
+      case MessageKind::kTupleRequest:
+        if (requested_.insert(m.binding).second) {
+          Emit(Pid(gnode().cycle_source), MakeTupleRequest(m.binding));
+        }
+        break;
+      case MessageKind::kTuple:
+        // The selection on the ancestor's relation already happened at
+        // the ancestor (it streams only our subscribed bindings).
+        Emit(Pid(gnode().parent), MakeTuple(m.binding, m.values));
+        break;
+      case MessageKind::kEnd:
+        MPQE_CHECK(false)
+            << "per-request end inside a strong component (cycle ref)";
+        break;
+      default:
+        MPQE_CHECK(false) << "unexpected " << m.ToString();
+    }
+  }
+
+ private:
+  bool activated_ = false;
+  std::unordered_set<Tuple, TupleHash> requested_;
+};
+
+// ---------------------------------------------------------------------------
+// EdbProcess
+// ---------------------------------------------------------------------------
+
+class EdbProcess : public NodeProcessBase {
+ public:
+  EdbProcess(const EngineShared& shared, NodeId id)
+      : NodeProcessBase(shared, id) {
+    out_positions_ = gnode().OutputPositions();
+  }
+
+  void OnStart() override {
+    const std::string& name =
+        shared_.graph->program().predicates().Name(gnode().atom.predicate);
+    relation_ = shared_.db->GetRelation(name);
+    MPQE_CHECK(relation_ != nullptr)
+        << "EDB relation " << name << " missing (program not validated?)";
+
+    const Atom& atom = gnode().atom;
+    const Adornment& adornment = gnode().adornment;
+    std::vector<size_t> d_positions =
+        PositionsWithClass(adornment, BindingClass::kDynamic);
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (atom.args[i].is_constant()) {
+        key_positions_.push_back(i);
+        key_template_.push_back(atom.args[i].constant());
+      } else if (adornment[i] == BindingClass::kDynamic) {
+        size_t ordinal = static_cast<size_t>(
+            std::find(d_positions.begin(), d_positions.end(), i) -
+            d_positions.begin());
+        key_d_slots_.emplace_back(key_positions_.size(), ordinal);
+        key_positions_.push_back(i);
+        key_template_.push_back(Value());
+      }
+    }
+    // Repeated-variable equality filters (e.g. r(X, X)).
+    std::unordered_map<VariableId, size_t> first_seen;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (!atom.args[i].is_variable()) continue;
+      auto [it, inserted] = first_seen.emplace(atom.args[i].var(), i);
+      if (!inserted) equalities_.emplace_back(it->second, i);
+    }
+    if (!key_positions_.empty() && shared_.use_edb_indexes) {
+      // Network::Start is single-threaded, and EnsureIndex deduplicates
+      // by key columns, so sharing the relation across EDB processes is
+      // safe.
+      index_handle_ = shared_.db->GetMutableRelation(name)->EnsureIndex(
+          key_positions_);
+      has_index_ = true;
+    }
+  }
+
+  void AccumulateCounters(EngineCounters& out) const override {
+    NodeProcessBase::AccumulateCounters(out);
+    out.duplicate_drops += duplicate_drops_;
+  }
+
+ protected:
+  void HandleWork(const Message& m) override {
+    switch (m.kind) {
+      case MessageKind::kRelationRequest:
+        break;  // nothing to do: requests identify the consumer
+      case MessageKind::kTupleRequest:
+        Answer(m);
+        break;
+      default:
+        MPQE_CHECK(false) << "unexpected " << m.ToString();
+    }
+  }
+
+ private:
+  bool Matches(const Tuple& t) const {
+    for (const auto& [a, b] : equalities_) {
+      if (t[a] != t[b]) return false;
+    }
+    return true;
+  }
+
+  void Answer(const Message& m) {
+    std::unordered_set<Tuple, TupleHash> sent;
+    auto emit = [&](const Tuple& t) {
+      if (!Matches(t)) return;
+      Tuple out = ProjectTuple(t, out_positions_);
+      if (sent.insert(out).second) {
+        Emit(m.from, MakeTuple(m.binding, std::move(out)));
+      } else {
+        ++duplicate_drops_;
+      }
+    };
+    Tuple key = key_template_;
+    for (const auto& [key_slot, binding_ordinal] : key_d_slots_) {
+      key[key_slot] = m.binding[binding_ordinal];
+    }
+    if (has_index_) {
+      const std::vector<size_t>* hits = relation_->Probe(index_handle_, key);
+      if (hits != nullptr) {
+        for (size_t pos : *hits) emit(relation_->tuple(pos));
+      }
+    } else {
+      // Scan, filtering on the key columns manually (index ablation or
+      // a fully-free request).
+      for (const Tuple& t : relation_->tuples()) {
+        bool match = true;
+        for (size_t i = 0; i < key_positions_.size() && match; ++i) {
+          match = t[key_positions_[i]] == key[i];
+        }
+        if (match) emit(t);
+      }
+    }
+    Emit(m.from, MakeEnd(m.binding));
+  }
+
+  const Relation* relation_ = nullptr;
+  std::vector<size_t> out_positions_;
+  std::vector<size_t> key_positions_;
+  Tuple key_template_;
+  std::vector<std::pair<size_t, size_t>> key_d_slots_;
+  std::vector<std::pair<size_t, size_t>> equalities_;
+  size_t index_handle_ = 0;
+  bool has_index_ = false;
+  uint64_t duplicate_drops_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// RuleProcess
+// ---------------------------------------------------------------------------
+
+// Incremental multiway join driven by the rule's information passing
+// strategy. Stage k holds the partial join of the head bindings with
+// the first k subgoals (in sips order); a context is the tuple of
+// values of all variables bound after stage k. Arriving subgoal tuples
+// extend every waiting context; new contexts issue tuple requests to
+// the next subgoal. Duplicate contexts and duplicate child tuples are
+// dropped, which is what lets recursive cycles reach a fixpoint.
+class RuleProcess : public NodeProcessBase {
+ public:
+  RuleProcess(const EngineShared& shared, NodeId id)
+      : NodeProcessBase(shared, id),
+        head_answers_(gnode().OutputPositions().size()) {
+    BuildPlan();
+  }
+
+  bool LocallyIdle() const override { return open_feeder_requests_ == 0; }
+
+  void AccumulateCounters(EngineCounters& out) const override {
+    NodeProcessBase::AccumulateCounters(out);
+    out.stored_tuples += head_answers_.size();
+    uint64_t ctx = 0;
+    for (const auto& s : contexts_) ctx += s.size();
+    out.contexts += ctx;
+    out.duplicate_drops += duplicate_drops_;
+    out.max_node_relation = std::max(
+        out.max_node_relation, static_cast<uint64_t>(head_answers_.size()));
+  }
+
+ protected:
+  void HandleWork(const Message& m) override {
+    switch (m.kind) {
+      case MessageKind::kRelationRequest:
+        if (!activated_) {
+          activated_ = true;
+          for (NodeId c : gnode().subgoal_children) {
+            Emit(Pid(c), MakeRelationRequest());
+          }
+        }
+        break;
+      case MessageKind::kTupleRequest:
+        OnHeadRequest(m);
+        break;
+      case MessageKind::kTuple:
+        OnChildTuple(m);
+        break;
+      case MessageKind::kEnd:
+        OnChildEnd(m);
+        break;
+      default:
+        MPQE_CHECK(false) << "unexpected " << m.ToString();
+    }
+  }
+
+ private:
+  struct ChildPlan {
+    size_t body_index = 0;
+    ProcessId pid = kNoProcess;
+    bool expects_end = false;  // child is outside this node's SCC
+    // Context slots supplying the child's d-position values (in the
+    // child's d-position order).
+    std::vector<size_t> binding_slots;
+    // (child output ordinal -> new context slot) for the child's
+    // newly bound (class f) variables.
+    std::vector<std::pair<size_t, size_t>> extensions;
+    // (child output ordinal -> existing context slot) join checks for
+    // variables already bound before this stage but not passed as d
+    // bindings (e.g. under the no-sips strategy the whole relation
+    // arrives and the equi-join happens here).
+    std::vector<std::pair<size_t, size_t>> checks;
+  };
+
+  struct ChildReq {
+    bool ended = false;
+    std::vector<Tuple> answers;
+    std::unordered_set<Tuple, TupleHash> answer_set;
+    // Head bindings whose completion awaits this request's end.
+    std::unordered_set<Tuple, TupleHash> dependents;
+  };
+
+  void BuildPlan() {
+    const Rule& rule = gnode().rule;
+    const SipsResult& sips = gnode().sips;
+    const Adornment& head_adornment = gnode().adornment;
+    size_t n = rule.body.size();
+    MPQE_CHECK(sips.order.size() == n);
+
+    // Stage 0: head d variables, in head d-position order.
+    for (size_t i = 0; i < rule.head.args.size(); ++i) {
+      if (head_adornment[i] != BindingClass::kDynamic) continue;
+      const Term& t = rule.head.args[i];
+      MPQE_CHECK(t.is_variable()) << "class d on a constant argument";
+      auto [it, inserted] = var_slot_.emplace(t.var(), var_slot_.size());
+      head_binding_slots_.push_back(it->second);
+    }
+    stage_width_.push_back(var_slot_.size());
+
+    // Stages 1..n: one per subgoal in sips order.
+    children_.resize(n);
+    for (size_t k = 1; k <= n; ++k) {
+      size_t body_index = sips.order[k - 1];
+      const Atom& atom = rule.body[body_index];
+      const Adornment& adornment = sips.subgoal_adornments[body_index];
+      ChildPlan& plan = children_[k - 1];
+      plan.body_index = body_index;
+      NodeId child_node = gnode().subgoal_children[body_index];
+      plan.pid = Pid(child_node);
+      plan.expects_end = !SameScc(child_node);
+      pid_to_stage_[plan.pid] = k;
+
+      // d-position binding sources.
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        if (adornment[i] != BindingClass::kDynamic) continue;
+        auto it = var_slot_.find(atom.args[i].var());
+        MPQE_CHECK(it != var_slot_.end())
+            << "d argument not bound by an earlier stage";
+        plan.binding_slots.push_back(it->second);
+      }
+      // Extensions and join checks from the child's output (non-e)
+      // positions.
+      const GraphNode& child = shared_.graph->node(child_node);
+      std::vector<size_t> out_positions = child.OutputPositions();
+      std::unordered_set<VariableId> seen_here;
+      for (size_t j = 0; j < out_positions.size(); ++j) {
+        const Term& t = atom.args[out_positions[j]];
+        if (!t.is_variable()) continue;
+        auto [it, inserted] = var_slot_.emplace(t.var(), var_slot_.size());
+        if (inserted) {
+          plan.extensions.emplace_back(j, it->second);
+          seen_here.insert(t.var());
+        } else if (adornment[out_positions[j]] != BindingClass::kDynamic &&
+                   seen_here.count(t.var()) == 0) {
+          // Bound earlier but not furnished as a d binding: the value
+          // comes back in the answer and must join-match the context.
+          // (d positions echo the request binding; repeated in-atom
+          // variables are equal by the producer's construction.)
+          plan.checks.emplace_back(j, it->second);
+        }
+      }
+      stage_width_.push_back(var_slot_.size());
+    }
+
+    // Head output plan: constant or bound slot per non-e head position.
+    for (size_t pos : gnode().OutputPositions()) {
+      const Term& t = rule.head.args[pos];
+      if (t.is_constant()) {
+        head_out_.push_back({true, 0, t.constant()});
+      } else {
+        auto it = var_slot_.find(t.var());
+        MPQE_CHECK(it != var_slot_.end())
+            << "unsafe head variable escaped validation";
+        head_out_.push_back({false, it->second, Value()});
+      }
+    }
+
+    contexts_.resize(n + 1);
+    waiting_.resize(n);
+    child_reqs_.resize(n + 1);
+  }
+
+  std::optional<Tuple> BuildStage0(const Tuple& binding) const {
+    Tuple ctx(stage_width_[0], Value());
+    std::vector<bool> set(stage_width_[0], false);
+    MPQE_CHECK(binding.size() == head_binding_slots_.size());
+    for (size_t i = 0; i < binding.size(); ++i) {
+      size_t slot = head_binding_slots_[i];
+      if (set[slot] && ctx[slot] != binding[i]) {
+        return std::nullopt;  // repeated head variable, clashing values
+      }
+      ctx[slot] = binding[i];
+      set[slot] = true;
+    }
+    return ctx;
+  }
+
+  Tuple HeadBindingOf(const Tuple& ctx) const {
+    Tuple b;
+    b.reserve(head_binding_slots_.size());
+    for (size_t slot : head_binding_slots_) b.push_back(ctx[slot]);
+    return b;
+  }
+
+  std::optional<Tuple> Extend(const Tuple& ctx, size_t stage,
+                              const Tuple& values) const {
+    const ChildPlan& plan = children_[stage - 1];
+    for (const auto& [ordinal, slot] : plan.checks) {
+      if (ctx[slot] != values[ordinal]) return std::nullopt;
+    }
+    Tuple out(stage_width_[stage], Value());
+    std::copy(ctx.begin(), ctx.end(), out.begin());
+    for (const auto& [ordinal, slot] : plan.extensions) {
+      out[slot] = values[ordinal];
+    }
+    return out;
+  }
+
+  void OnHeadRequest(const Message& m) {
+    if (!head_seen_.insert(m.binding).second) return;
+    head_outstanding_.emplace(m.binding, 0);
+    dirty_.push_back(m.binding);
+    std::optional<Tuple> ctx0 = BuildStage0(m.binding);
+    if (ctx0.has_value()) AddContext(0, *std::move(ctx0));
+    FlushEnds();
+  }
+
+  void OnChildTuple(const Message& m) {
+    size_t stage = pid_to_stage_.at(m.from);
+    ChildReq& cr = child_reqs_[stage][m.binding];
+    if (!cr.answer_set.insert(m.values).second) {
+      ++duplicate_drops_;
+      return;
+    }
+    cr.answers.push_back(m.values);
+    std::vector<Tuple>& waiters = waiting_[stage - 1][m.binding];
+    for (size_t i = 0; i < waiters.size(); ++i) {
+      std::optional<Tuple> extended = Extend(waiters[i], stage, m.values);
+      if (extended.has_value()) AddContext(stage, *std::move(extended));
+    }
+    FlushEnds();
+  }
+
+  void OnChildEnd(const Message& m) {
+    size_t stage = pid_to_stage_.at(m.from);
+    auto it = child_reqs_[stage].find(m.binding);
+    MPQE_CHECK(it != child_reqs_[stage].end());
+    ChildReq& cr = it->second;
+    MPQE_CHECK(!cr.ended) << "double end from child";
+    cr.ended = true;
+    --open_feeder_requests_;
+    for (const Tuple& hb : cr.dependents) {
+      auto oit = head_outstanding_.find(hb);
+      MPQE_CHECK(oit != head_outstanding_.end() && oit->second > 0);
+      --oit->second;
+      dirty_.push_back(hb);
+    }
+    cr.dependents.clear();
+    FlushEnds();
+  }
+
+  void AddContext(size_t k, Tuple ctx) {
+    if (!contexts_[k].insert(ctx).second) {
+      ++duplicate_drops_;
+      return;
+    }
+    size_t n = children_.size();
+    if (k == n) {
+      EmitHead(ctx);
+      return;
+    }
+    size_t stage = k + 1;
+    const ChildPlan& plan = children_[k];
+    Tuple nb;
+    nb.reserve(plan.binding_slots.size());
+    for (size_t slot : plan.binding_slots) nb.push_back(ctx[slot]);
+
+    Tuple hb = HeadBindingOf(ctx);
+    waiting_[k][nb].push_back(ctx);
+
+    auto [it, is_new] = child_reqs_[stage].emplace(nb, ChildReq());
+    ChildReq& cr = it->second;
+    if (is_new) {
+      Emit(plan.pid, MakeTupleRequest(nb));
+      if (plan.expects_end) {
+        ++open_feeder_requests_;
+        cr.dependents.insert(hb);
+        ++head_outstanding_[hb];
+        dirty_.push_back(hb);
+      }
+    } else if (!cr.ended && plan.expects_end &&
+               cr.dependents.insert(hb).second) {
+      ++head_outstanding_[hb];
+      dirty_.push_back(hb);
+    }
+    // Join with already-received answers for this request.
+    for (size_t i = 0; i < cr.answers.size(); ++i) {
+      std::optional<Tuple> extended = Extend(ctx, stage, cr.answers[i]);
+      if (extended.has_value()) AddContext(stage, *std::move(extended));
+    }
+  }
+
+  void EmitHead(const Tuple& ctx) {
+    Tuple out;
+    out.reserve(head_out_.size());
+    for (const HeadOut& h : head_out_) {
+      out.push_back(h.is_constant ? h.constant : ctx[h.slot]);
+    }
+    if (head_answers_.Insert(out)) {
+      Emit(Pid(gnode().parent), MakeTuple(HeadBindingOf(ctx), std::move(out)));
+    } else {
+      ++duplicate_drops_;
+    }
+  }
+
+  void FlushEnds() {
+    if (!gnode().scc_is_trivial) {
+      dirty_.clear();
+      return;
+    }
+    for (const Tuple& hb : dirty_) {
+      auto it = head_outstanding_.find(hb);
+      if (it == head_outstanding_.end() || it->second != 0) continue;
+      if (head_ended_.insert(hb).second) {
+        Emit(Pid(gnode().parent), MakeEnd(hb));
+      }
+    }
+    dirty_.clear();
+  }
+
+  struct HeadOut {
+    bool is_constant = false;
+    size_t slot = 0;
+    Value constant;
+  };
+
+  // Static plan.
+  std::unordered_map<VariableId, size_t> var_slot_;
+  std::vector<size_t> stage_width_;
+  std::vector<size_t> head_binding_slots_;
+  std::vector<ChildPlan> children_;
+  std::vector<HeadOut> head_out_;
+  std::unordered_map<ProcessId, size_t> pid_to_stage_;
+
+  // Dynamic state.
+  bool activated_ = false;
+  std::vector<std::unordered_set<Tuple, TupleHash>> contexts_;
+  std::vector<std::unordered_map<Tuple, std::vector<Tuple>, TupleHash>>
+      waiting_;
+  std::vector<std::unordered_map<Tuple, ChildReq, TupleHash>> child_reqs_;
+  std::unordered_set<Tuple, TupleHash> head_seen_;
+  std::unordered_set<Tuple, TupleHash> head_ended_;
+  std::unordered_map<Tuple, int64_t, TupleHash> head_outstanding_;
+  std::vector<Tuple> dirty_;
+  Relation head_answers_;
+  int64_t open_feeder_requests_ = 0;
+  uint64_t duplicate_drops_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<NodeProcessBase> MakeNodeProcess(const EngineShared& shared,
+                                                 NodeId id) {
+  switch (shared.graph->node(id).kind) {
+    case NodeKind::kGoal:
+      return std::make_unique<GoalProcess>(shared, id);
+    case NodeKind::kRule:
+      return std::make_unique<RuleProcess>(shared, id);
+    case NodeKind::kEdbLeaf:
+      return std::make_unique<EdbProcess>(shared, id);
+    case NodeKind::kCycleRef:
+      return std::make_unique<CycleRefProcess>(shared, id);
+  }
+  MPQE_CHECK(false);
+  return nullptr;
+}
+
+void SinkProcess::OnStart() {
+  Send(root_pid_, MakeRelationRequest());
+  Send(root_pid_, MakeTupleRequest(Tuple{}));
+}
+
+void SinkProcess::OnMessage(const Message& message) {
+  switch (message.kind) {
+    case MessageKind::kTuple:
+      answers_.Insert(message.values);
+      break;
+    case MessageKind::kEnd:
+      done_ = true;
+      network().RequestStop();
+      break;
+    case MessageKind::kBatch:
+      for (const Message& sub : message.batch) OnMessage(sub);
+      break;
+    default:
+      MPQE_CHECK(false) << "unexpected " << message.ToString();
+  }
+}
+
+}  // namespace mpqe

@@ -1,0 +1,152 @@
+// The node processes of the message-controlled computation (§3):
+//
+//  * GoalProcess      — "predicate nodes with rule-children compute the
+//                       union of the relations computed by their
+//                       children"; stores its temporary relation,
+//                       forwards only genuinely new answer tuples, and
+//                       serves each successor a separate stream
+//                       restricted to the bindings it requested.
+//  * RuleProcess      — "rule nodes combine their subgoal relations
+//                       using join, select, and project"; stores its
+//                       subgoals' temporary relations and, when a tuple
+//                       arrives that does not duplicate one already
+//                       received, matches it against the others to form
+//                       new tuples via joins; issues tuple requests per
+//                       its information passing strategy.
+//  * CycleRefProcess  — "the predicate nodes that are connected to an
+//                       ancestor predicate node by a cyclic edge
+//                       perform a selection on the relation computed by
+//                       the ancestor".
+//  * EdbProcess       — a leaf serving an EDB relation with the c/d
+//                       arguments as an indexed selection; answers each
+//                       tuple request completely and ends it.
+//  * SinkProcess      — the evaluator's query client: subscribes to the
+//                       top goal node, accumulates answers, and stops
+//                       the network when the top-level end arrives.
+//
+// End-message discipline: per-tuple-request `end`s cross strong-
+// component boundaries only. Inside a nontrivial SCC the Fig. 2
+// protocol (engine/termination.h) detects quiescence, after which the
+// component's leader ends all open customer requests.
+
+#ifndef MPQE_ENGINE_NODE_PROCESSES_H_
+#define MPQE_ENGINE_NODE_PROCESSES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/termination.h"
+#include "graph/rule_goal_graph.h"
+#include "msg/network.h"
+#include "relational/database.h"
+#include "relational/relation.h"
+
+namespace mpqe {
+
+// Aggregated evaluation-side counters (summed over all node
+// processes at the end of a run).
+struct EngineCounters {
+  uint64_t stored_tuples = 0;      // tuples kept in temporary relations
+  uint64_t duplicate_drops = 0;    // arrivals rejected by dedup
+  uint64_t contexts = 0;           // rule-node partial join results
+  uint64_t max_node_relation = 0;  // largest single temporary relation
+  uint64_t protocol_waves = 0;     // Fig. 2 waves initiated
+
+  std::string ToString() const;
+};
+
+// Immutable state shared by all node processes of one evaluation.
+struct EngineShared {
+  const RuleGoalGraph* graph = nullptr;
+  // Mutable only for index registration during the single-threaded
+  // Start() phase; the run phase reads it concurrently.
+  Database* db = nullptr;
+  // Package the computation messages emitted while handling one
+  // message into per-destination batch envelopes (footnote 2).
+  bool batch_messages = false;
+  // Ablation: when false, EDB node processes answer tuple requests by
+  // scanning instead of probing hash indexes.
+  bool use_edb_indexes = true;
+  // node id -> process id (processes are registered in node order, so
+  // this is the identity; kept explicit for clarity).
+  std::vector<ProcessId> node_pid;
+  ProcessId sink_pid = kNoProcess;
+};
+
+// Base for graph-node processes: message dispatch, the termination
+// participant, counters.
+class NodeProcessBase : public Process, public TerminationOwner {
+ public:
+  ~NodeProcessBase() override = default;
+
+  void OnMessage(const Message& message) final;
+
+  /// Engages the Fig. 2 protocol for members of nontrivial SCCs
+  /// (called by the evaluator during wiring, before Network::Start).
+  void ConfigureTermination(Network* network, bool is_leader,
+                            ProcessId leader, ProcessId bfst_parent,
+                            std::vector<ProcessId> bfst_children);
+
+  // TerminationOwner defaults; subclasses override as needed.
+  bool LocallyIdle() const override { return true; }
+  bool HasOpenCustomerWork() const override { return false; }
+  void SnapshotForConclusion() override {}
+  void ConcludeScc() override {}
+
+  /// Contributes this node's counters into `out`.
+  virtual void AccumulateCounters(EngineCounters& out) const;
+
+ protected:
+  NodeProcessBase(const EngineShared& shared, NodeId node_id)
+      : shared_(shared), node_id_(node_id) {}
+
+  const GraphNode& gnode() const { return shared_.graph->node(node_id_); }
+  ProcessId Pid(NodeId n) const { return shared_.node_pid[n]; }
+  bool SameScc(NodeId other) const {
+    return shared_.graph->node(other).scc_id == gnode().scc_id;
+  }
+
+  virtual void HandleWork(const Message& message) = 0;
+
+  /// Sends `m` to `to`, or queues it for the end-of-handler batch
+  /// flush when packaging is enabled. All computation messages from
+  /// HandleWork should go through this.
+  void Emit(ProcessId to, Message m);
+
+  const EngineShared& shared_;
+  NodeId node_id_;
+  TerminationParticipant termination_;
+
+ private:
+  void FlushEmits();
+
+  std::vector<std::pair<ProcessId, Message>> outbox_;
+};
+
+/// Creates the process for graph node `id`.
+std::unique_ptr<NodeProcessBase> MakeNodeProcess(const EngineShared& shared,
+                                                 NodeId id);
+
+// The query client at the top of the network.
+class SinkProcess : public Process {
+ public:
+  SinkProcess(ProcessId root_pid, size_t answer_arity)
+      : root_pid_(root_pid), answers_(answer_arity) {}
+
+  void OnStart() override;
+  void OnMessage(const Message& message) override;
+
+  bool done() const { return done_; }
+  const Relation& answers() const { return answers_; }
+
+ private:
+  ProcessId root_pid_;
+  Relation answers_;
+  bool done_ = false;
+};
+
+}  // namespace mpqe
+
+#endif  // MPQE_ENGINE_NODE_PROCESSES_H_

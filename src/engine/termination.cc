@@ -1,0 +1,163 @@
+#include "engine/termination.h"
+
+#include "common/logging.h"
+
+namespace mpqe {
+
+void TerminationParticipant::Configure(TerminationOwner* owner,
+                                       Network* network, ProcessId self,
+                                       bool is_leader, ProcessId leader,
+                                       ProcessId bfst_parent,
+                                       std::vector<ProcessId> bfst_children) {
+  owner_ = owner;
+  network_ = network;
+  self_ = self;
+  is_leader_ = is_leader;
+  leader_ = leader;
+  bfst_parent_ = bfst_parent;
+  bfst_children_ = std::move(bfst_children);
+  MPQE_CHECK(!is_leader_ || !bfst_children_.empty())
+      << "a nontrivial SCC leader must have BFST children";
+}
+
+bool TerminationParticipant::EmptyQueues() const {
+  // "received end messages from all its feeders, and is itself idle".
+  // Inspecting one's own queue is local knowledge: no unprocessed
+  // messages may sit behind the one being handled.
+  return owner_->LocallyIdle() && network_->PendingCount(self_) == 0;
+}
+
+void TerminationParticipant::OnWorkMessage() {
+  if (!configured()) return;
+  idleness_ = 0;
+}
+
+void TerminationParticipant::NotifyExternalWork() {
+  if (!configured() || is_leader_) return;
+  network_->Send(self_, leader_, MakeWorkNotice());
+}
+
+void TerminationParticipant::OnWorkNotice(const Message& m) {
+  (void)m;
+  MPQE_CHECK(configured() && is_leader_) << "work notice at a non-leader";
+  notice_pending_ = true;
+}
+
+void TerminationParticipant::MaybeInitiate() {
+  if (!configured() || !is_leader_ || wave_active_) return;
+  if (!owner_->HasOpenCustomerWork() && !notice_pending_) return;
+  if (!EmptyQueues()) return;
+  // Fig. 2, send-answer-tuple: "idleness := 1; create-end-request;
+  // process-end-request".
+  idleness_ = 1;
+  StartWave();
+}
+
+void TerminationParticipant::StartWave() {
+  wave_active_ = true;
+  notice_pending_ = false;  // re-reported by answers' open-work bits
+  ++wave_;
+  ++waves_started_;
+  ProcessEndRequest();
+}
+
+void TerminationParticipant::ProcessEndRequest() {
+  if (EmptyQueues()) {
+    ++idleness_;
+  } else {
+    idleness_ = 0;
+  }
+  waiting_for_ = static_cast<int>(bfst_children_.size());
+  all_confirmed_ = true;
+  subtree_open_work_ = owner_->HasOpenCustomerWork();
+  if (waiting_for_ > 0) {
+    for (ProcessId child : bfst_children_) {
+      network_->Send(self_, child, MakeEndRequest(wave_));
+    }
+  } else {
+    AnswerParent();
+  }
+}
+
+void TerminationParticipant::AnswerParent() {
+  MPQE_CHECK(!is_leader_) << "leader has children; it never answers a parent";
+  if (all_confirmed_ && idleness_ > 1) {
+    owner_->SnapshotForConclusion();
+    network_->Send(self_, bfst_parent_,
+                   MakeEndConfirmed(wave_, subtree_open_work_));
+  } else {
+    network_->Send(self_, bfst_parent_,
+                   MakeEndNegative(wave_, subtree_open_work_));
+  }
+}
+
+void TerminationParticipant::OnEndRequest(const Message& m) {
+  MPQE_CHECK(configured()) << "end request at a trivial-SCC node";
+  wave_ = m.wave;
+  ProcessEndRequest();
+}
+
+void TerminationParticipant::ConcludeAndBroadcast() {
+  owner_->SnapshotForConclusion();
+  owner_->ConcludeScc();
+  // Footnote 4: propagate the conclusion around the strong component —
+  // members with their own customers emit their ends on receipt.
+  for (ProcessId child : bfst_children_) {
+    network_->Send(self_, child, MakeSccConcluded());
+  }
+}
+
+void TerminationParticipant::OnSccConcluded(const Message& m) {
+  (void)m;
+  MPQE_CHECK(configured() && !is_leader_);
+  owner_->ConcludeScc();
+  for (ProcessId child : bfst_children_) {
+    network_->Send(self_, child, MakeSccConcluded());
+  }
+}
+
+void TerminationParticipant::OnWaveComplete() {
+  if (is_leader_) {
+    wave_active_ = false;
+    if (all_confirmed_ && idleness_ > 1) {
+      // "If the BFST leader receives end confirmed from all its
+      // children and has itself been idle since its last end request,
+      // then it concludes the protocol."
+      // Open work reported in the confirming wave is covered by the
+      // members' snapshots and ends with this conclusion; only a work
+      // notice (which may signal a post-snapshot arrival) forces
+      // another round.
+      bool more_work = notice_pending_;
+      ConcludeAndBroadcast();
+      if (more_work && EmptyQueues()) {
+        idleness_ = 1;
+        StartWave();
+      }
+      return;
+    }
+    // Fig. 2, process-end-negative: restart immediately while idle.
+    if (EmptyQueues() &&
+        (owner_->HasOpenCustomerWork() || subtree_open_work_ ||
+         notice_pending_)) {
+      idleness_ = 1;
+      StartWave();
+    }
+    return;
+  }
+  AnswerParent();
+}
+
+void TerminationParticipant::OnEndNegative(const Message& m) {
+  MPQE_CHECK(configured());
+  all_confirmed_ = false;
+  subtree_open_work_ = subtree_open_work_ || m.flag;
+  if (--waiting_for_ == 0) OnWaveComplete();
+}
+
+void TerminationParticipant::OnEndConfirmed(const Message& m) {
+  MPQE_CHECK(configured());
+  subtree_open_work_ = subtree_open_work_ || m.flag;
+  if (--waiting_for_ == 0) OnWaveComplete();
+}
+
+}  // namespace mpqe

@@ -1,0 +1,73 @@
+#include "engine/trace.h"
+
+#include "common/string_util.h"
+
+namespace mpqe {
+
+Network::SendObserver MessageTrace::Observer() {
+  return [this](ProcessId to, const Message& m) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TraceEntry entry;
+    entry.sequence = next_sequence_++;
+    entry.from = m.from;
+    entry.to = to;
+    entry.message = m;
+    entries_.push_back(std::move(entry));
+    if (capacity_ != 0 && entries_.size() > capacity_) {
+      entries_.pop_front();
+    }
+  };
+}
+
+uint64_t MessageTrace::total_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_sequence_;
+}
+
+std::vector<TraceEntry> MessageTrace::Entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<TraceEntry>(entries_.begin(), entries_.end());
+}
+
+std::vector<TraceEntry> MessageTrace::EntriesFor(ProcessId pid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEntry> out;
+  for (const TraceEntry& e : entries_) {
+    if (e.from == pid || e.to == pid) out.push_back(e);
+  }
+  return out;
+}
+
+namespace {
+
+std::string Endpoint(ProcessId pid, const RuleGoalGraph* graph) {
+  if (pid == kNoProcess) return "(external)";
+  if (graph != nullptr) {
+    if (static_cast<size_t>(pid) < graph->size()) {
+      return graph->NodeLabel(pid);
+    }
+    return "sink";
+  }
+  return StrCat("#", pid);
+}
+
+}  // namespace
+
+std::string MessageTrace::ToString(const RuleGoalGraph* graph,
+                                   const SymbolTable* symbols) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const TraceEntry& e : entries_) {
+    out += StrCat(e.sequence, ": ", Endpoint(e.from, graph), " => ",
+                  Endpoint(e.to, graph), " ", e.message.ToString(symbols),
+                  "\n");
+  }
+  return out;
+}
+
+void MessageTrace::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace mpqe

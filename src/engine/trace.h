@@ -1,0 +1,62 @@
+// Message tracing: a thread-safe recorder pluggable into
+// EvaluationOptions::observer that keeps the last N sends and renders
+// them with graph-node labels — the "what did the network actually
+// say" debugging view.
+
+#ifndef MPQE_ENGINE_TRACE_H_
+#define MPQE_ENGINE_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/rule_goal_graph.h"
+#include "msg/network.h"
+
+namespace mpqe {
+
+// One recorded send.
+struct TraceEntry {
+  uint64_t sequence = 0;
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  Message message;
+};
+
+class MessageTrace {
+ public:
+  /// Keeps at most `capacity` most recent entries (0 = unlimited;
+  /// beware of memory on large runs).
+  explicit MessageTrace(size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// The observer to install in EvaluationOptions.
+  Network::SendObserver Observer();
+
+  /// Number of sends seen (including evicted ones).
+  uint64_t total_seen() const;
+
+  /// Snapshot of the retained entries, oldest first.
+  std::vector<TraceEntry> Entries() const;
+
+  /// Entries touching process `pid` (as sender or receiver).
+  std::vector<TraceEntry> EntriesFor(ProcessId pid) const;
+
+  /// Renders the retained entries, resolving process ids to graph-node
+  /// labels when `graph` is given (the sink prints as "sink").
+  std::string ToString(const RuleGoalGraph* graph = nullptr,
+                       const SymbolTable* symbols = nullptr) const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  uint64_t next_sequence_ = 0;
+  std::deque<TraceEntry> entries_;
+};
+
+}  // namespace mpqe
+
+#endif  // MPQE_ENGINE_TRACE_H_

@@ -1,0 +1,200 @@
+#include "hypergraph/gyo.h"
+
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mpqe {
+
+GyoResult GyoReduce(const Hypergraph& hg) {
+  GyoResult result;
+  size_t n = hg.edge_count();
+  result.qual_tree.adjacency.assign(n, {});
+
+  // Working copies: var sets per edge plus alive flags.
+  std::vector<std::set<int>> work(n);
+  std::vector<bool> alive(n, true);
+  for (size_t i = 0; i < n; ++i) {
+    work[i] = std::set<int>(hg.edge(i).vars.begin(), hg.edge(i).vars.end());
+  }
+  size_t alive_count = n;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Rule 1: delete variables occurring in exactly one edge.
+    std::map<int, std::pair<size_t, size_t>> occurrences;  // var -> (count, edge)
+    for (size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      for (int v : work[i]) {
+        auto [it, inserted] = occurrences.emplace(v, std::make_pair(1u, i));
+        if (!inserted) it->second.first++;
+      }
+    }
+    for (const auto& [v, where] : occurrences) {
+      if (where.first == 1) {
+        work[where.second].erase(v);
+        changed = true;
+      }
+    }
+
+    // Rule 2: delete an edge that is a subset of another, recording the
+    // qual tree attachment. Lowest indexes first for determinism.
+    for (size_t i = 0; i < n && alive_count > 1; ++i) {
+      if (!alive[i]) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j || !alive[j]) continue;
+        if (std::includes(work[j].begin(), work[j].end(), work[i].begin(),
+                          work[i].end())) {
+          result.qual_tree.adjacency[i].push_back(j);
+          result.qual_tree.adjacency[j].push_back(i);
+          alive[i] = false;
+          --alive_count;
+          result.kill_order.push_back(i);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  result.acyclic = (alive_count == 1);
+  if (result.acyclic) {
+    // The survivor is empty by rule 1; record it last in kill order.
+    for (size_t i = 0; i < n; ++i) {
+      if (alive[i]) result.kill_order.push_back(i);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      Hyperedge e;
+      e.label = hg.edge(i).label;
+      e.vars.assign(work[i].begin(), work[i].end());
+      result.core.push_back(std::move(e));
+    }
+    result.qual_tree.adjacency.clear();
+  }
+  return result;
+}
+
+bool IsAcyclic(const Hypergraph& hg) { return GyoReduce(hg).acyclic; }
+
+RootedQualTree RootQualTree(const QualTree& tree, size_t root) {
+  RootedQualTree rooted;
+  size_t n = tree.node_count();
+  rooted.root = root;
+  rooted.parent.assign(n, -1);
+  rooted.children.assign(n, {});
+  std::vector<bool> visited(n, false);
+  rooted.preorder.push_back(root);
+  visited[root] = true;
+  for (size_t head = 0; head < rooted.preorder.size(); ++head) {
+    size_t u = rooted.preorder[head];
+    for (size_t v : tree.adjacency[u]) {
+      if (visited[v]) continue;
+      visited[v] = true;
+      rooted.parent[v] = static_cast<int>(u);
+      rooted.children[u].push_back(v);
+      rooted.preorder.push_back(v);
+    }
+  }
+  return rooted;
+}
+
+bool HasQualTreeProperty(const std::vector<Hyperedge>& edges,
+                         const std::vector<std::vector<size_t>>& adjacency) {
+  size_t n = edges.size();
+  // Collect all vars.
+  std::set<int> vars;
+  for (const Hyperedge& e : edges) vars.insert(e.vars.begin(), e.vars.end());
+
+  for (int v : vars) {
+    // Nodes containing v must induce a connected subgraph.
+    std::vector<size_t> holders;
+    for (size_t i = 0; i < n; ++i) {
+      if (edges[i].Contains(v)) holders.push_back(i);
+    }
+    if (holders.size() <= 1) continue;
+    // BFS within holders from holders[0].
+    std::set<size_t> holder_set(holders.begin(), holders.end());
+    std::vector<size_t> frontier{holders[0]};
+    std::set<size_t> reached{holders[0]};
+    while (!frontier.empty()) {
+      size_t u = frontier.back();
+      frontier.pop_back();
+      for (size_t w : adjacency[u]) {
+        if (holder_set.count(w) != 0 && reached.insert(w).second) {
+          frontier.push_back(w);
+        }
+      }
+    }
+    if (reached.size() != holders.size()) return false;
+  }
+  return true;
+}
+
+StatusOr<ComposedQualTree> ComposeQualTrees(
+    const Hypergraph& outer_hg, const QualTree& outer_tree, size_t outer_root,
+    size_t outer_leaf, const Hypergraph& inner_hg, const QualTree& inner_tree,
+    size_t inner_root) {
+  if (outer_leaf == outer_root) {
+    return InvalidArgumentError("resolved subgoal must not be the root");
+  }
+  RootedQualTree outer_rooted = RootQualTree(outer_tree, outer_root);
+  if (!outer_rooted.children[outer_leaf].empty()) {
+    return FailedPreconditionError(StrCat(
+        "Theorem 4.2 requires subgoal '", outer_hg.edge(outer_leaf).label,
+        "' to appear as a leaf in the outer qual tree"));
+  }
+  int attach_parent = outer_rooted.parent[outer_leaf];
+  MPQE_CHECK(attach_parent >= 0);
+
+  ComposedQualTree out;
+  // Map surviving outer nodes, then surviving inner nodes, to composed ids.
+  std::vector<int> outer_id(outer_hg.edge_count(), -1);
+  std::vector<int> inner_id(inner_hg.edge_count(), -1);
+  for (size_t i = 0; i < outer_hg.edge_count(); ++i) {
+    if (i == outer_leaf) continue;
+    outer_id[i] = static_cast<int>(out.nodes.size());
+    out.nodes.push_back(outer_hg.edge(i));
+  }
+  for (size_t i = 0; i < inner_hg.edge_count(); ++i) {
+    if (i == inner_root) continue;
+    inner_id[i] = static_cast<int>(out.nodes.size());
+    out.nodes.push_back(inner_hg.edge(i));
+  }
+  out.adjacency.assign(out.nodes.size(), {});
+  out.root = static_cast<size_t>(outer_id[outer_root]);
+
+  auto link = [&out](size_t a, size_t b) {
+    out.adjacency[a].push_back(b);
+    out.adjacency[b].push_back(a);
+  };
+  // Outer edges not incident to the removed leaf.
+  for (size_t u = 0; u < outer_tree.adjacency.size(); ++u) {
+    if (u == outer_leaf) continue;
+    for (size_t v : outer_tree.adjacency[u]) {
+      if (v == outer_leaf || v < u) continue;
+      link(static_cast<size_t>(outer_id[u]), static_cast<size_t>(outer_id[v]));
+    }
+  }
+  // Inner edges not incident to the removed root.
+  for (size_t u = 0; u < inner_tree.adjacency.size(); ++u) {
+    if (u == inner_root) continue;
+    for (size_t v : inner_tree.adjacency[u]) {
+      if (v == inner_root || v < u) continue;
+      link(static_cast<size_t>(inner_id[u]), static_cast<size_t>(inner_id[v]));
+    }
+  }
+  // Attach the neighbors of the inner root to the parent of the leaf.
+  for (size_t v : inner_tree.adjacency[inner_root]) {
+    link(static_cast<size_t>(outer_id[attach_parent]),
+         static_cast<size_t>(inner_id[v]));
+  }
+  return out;
+}
+
+}  // namespace mpqe

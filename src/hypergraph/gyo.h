@@ -1,0 +1,88 @@
+// GYO (Graham) reduction, α-acyclicity testing, and qual trees (§4.1).
+//
+// The reduction applies two rules as long as possible:
+//   1. If a variable is currently in only one hyperedge, delete it.
+//   2. If a hyperedge h1 is a subset of another hyperedge h2, add an
+//      edge between h1 and h2 to the qual tree and delete h1.
+// The hypergraph is acyclic (α-acyclic, [BFM*81,Yan81]) iff this
+// reduces it to one empty edge; the recorded attachments then form a
+// qual tree.
+//
+// The qual tree property: for any variable and any two hyperedges
+// containing it, the tree path between them only involves hyperedges
+// that also contain that variable.
+
+#ifndef MPQE_HYPERGRAPH_GYO_H_
+#define MPQE_HYPERGRAPH_GYO_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "hypergraph/hypergraph.h"
+
+namespace mpqe {
+
+// Undirected tree over the hyperedges of a hypergraph (same indexing).
+struct QualTree {
+  std::vector<std::vector<size_t>> adjacency;
+
+  size_t node_count() const { return adjacency.size(); }
+};
+
+// Rooted view of a qual tree (root = the rule-head hyperedge, §4.1).
+struct RootedQualTree {
+  size_t root = 0;
+  std::vector<int> parent;                  // -1 for the root
+  std::vector<std::vector<size_t>> children;
+  std::vector<size_t> preorder;             // BFS order from the root
+};
+
+struct GyoResult {
+  bool acyclic = false;
+  // Valid iff acyclic.
+  QualTree qual_tree;
+  // Hyperedge indexes in deletion order (diagnostics).
+  std::vector<size_t> kill_order;
+  // If cyclic: the irreducible core left behind (e.g. the Y,V,W cycle
+  // of rule R3 in Fig. 4).
+  std::vector<Hyperedge> core;
+};
+
+/// Runs the Graham reduction on `hg`. Deterministic: rules are applied
+/// to the lowest-indexed candidates first.
+GyoResult GyoReduce(const Hypergraph& hg);
+
+/// Convenience: just the acyclicity answer.
+bool IsAcyclic(const Hypergraph& hg);
+
+/// Orients `tree` away from `root` via BFS.
+RootedQualTree RootQualTree(const QualTree& tree, size_t root);
+
+/// Verifies the qual tree property for `tree` over `edges` (used by
+/// tests on both GYO output and composed trees).
+bool HasQualTreeProperty(const std::vector<Hyperedge>& edges,
+                         const std::vector<std::vector<size_t>>& adjacency);
+
+// A qual tree whose nodes carry their hyperedges directly — the result
+// of composing two qual trees (Theorem 4.2): resolving rule R_v's leaf
+// subgoal p against rule R_w attaches the neighbors of R_w's root p^b
+// to the parent of p, removing both p^b and p.
+struct ComposedQualTree {
+  std::vector<Hyperedge> nodes;
+  std::vector<std::vector<size_t>> adjacency;
+  size_t root = 0;
+};
+
+/// Composes per Theorem 4.2. `outer_leaf` must be a leaf of the rooted
+/// outer tree and distinct from `outer_root`; `inner_root` is the node
+/// for the inner rule's head (p^b). Node variable ids must already
+/// reflect the unification of p with the inner head (i.e. shared
+/// variables use identical ids).
+StatusOr<ComposedQualTree> ComposeQualTrees(
+    const Hypergraph& outer_hg, const QualTree& outer_tree, size_t outer_root,
+    size_t outer_leaf, const Hypergraph& inner_hg, const QualTree& inner_tree,
+    size_t inner_root);
+
+}  // namespace mpqe
+
+#endif  // MPQE_HYPERGRAPH_GYO_H_

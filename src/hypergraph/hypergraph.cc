@@ -1,0 +1,30 @@
+#include "hypergraph/hypergraph.h"
+
+#include "common/string_util.h"
+
+namespace mpqe {
+
+size_t Hypergraph::AddEdge(std::string label, std::vector<int> vars) {
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  edges_.push_back(Hyperedge{std::move(label), std::move(vars)});
+  return edges_.size() - 1;
+}
+
+std::vector<int> Hypergraph::AllVars() const {
+  std::vector<int> all;
+  for (const Hyperedge& e : edges_) {
+    all.insert(all.end(), e.vars.begin(), e.vars.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+std::string Hypergraph::ToString() const {
+  return StrJoin(edges_, "; ", [](std::ostream& os, const Hyperedge& e) {
+    os << e.label << "{" << StrJoin(e.vars, ",") << "}";
+  });
+}
+
+}  // namespace mpqe

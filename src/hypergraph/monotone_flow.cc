@@ -1,0 +1,42 @@
+#include "hypergraph/monotone_flow.h"
+
+#include "common/string_util.h"
+
+namespace mpqe {
+
+EvaluationHypergraph BuildEvaluationHypergraph(const Rule& rule,
+                                               const Adornment& head_adornment,
+                                               const Program& program) {
+  EvaluationHypergraph out;
+  std::vector<int> head_vars;
+  for (size_t i = 0; i < rule.head.args.size(); ++i) {
+    const Term& t = rule.head.args[i];
+    if (t.is_variable() && IsBound(head_adornment[i])) {
+      head_vars.push_back(t.var());
+    }
+  }
+  out.head_edge = out.hypergraph.AddEdge(
+      StrCat(program.predicates().Name(rule.head.predicate), "^b"),
+      std::move(head_vars));
+  for (const Atom& subgoal : rule.body) {
+    std::vector<int> vars;
+    for (const Term& t : subgoal.args) {
+      if (t.is_variable()) vars.push_back(t.var());
+    }
+    out.hypergraph.AddEdge(program.predicates().Name(subgoal.predicate),
+                           std::move(vars));
+  }
+  return out;
+}
+
+MonotoneFlowResult TestMonotoneFlow(const Rule& rule,
+                                    const Adornment& head_adornment,
+                                    const Program& program) {
+  MonotoneFlowResult result;
+  result.evaluation = BuildEvaluationHypergraph(rule, head_adornment, program);
+  result.gyo = GyoReduce(result.evaluation.hypergraph);
+  result.has_monotone_flow = result.gyo.acyclic;
+  return result;
+}
+
+}  // namespace mpqe

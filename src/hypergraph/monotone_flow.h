@@ -1,0 +1,55 @@
+// The monotone flow property (§4): a rule with given head binding
+// classifications has monotone flow iff its *evaluation hypergraph* is
+// α-acyclic. The evaluation hypergraph (Def. 4.1) has a node per rule
+// variable and hyperedges:
+//   * the head edge p^b: head variables with bound (c or d)
+//     classification;
+//   * one edge per subgoal: all variables of that subgoal.
+// Intuition: evaluating the rule for the head bindings is a join whose
+// relations are the head-binding set plus the subgoals.
+
+#ifndef MPQE_HYPERGRAPH_MONOTONE_FLOW_H_
+#define MPQE_HYPERGRAPH_MONOTONE_FLOW_H_
+
+#include <string>
+
+#include "datalog/adornment.h"
+#include "datalog/ast.h"
+#include "datalog/program.h"
+#include "hypergraph/gyo.h"
+#include "hypergraph/hypergraph.h"
+
+namespace mpqe {
+
+// The evaluation hypergraph of an adorned rule. Edge 0 is the head
+// edge (labelled "<pred>^b"); edge i+1 is body subgoal i.
+struct EvaluationHypergraph {
+  Hypergraph hypergraph;
+  size_t head_edge = 0;
+
+  size_t SubgoalEdge(size_t body_index) const { return body_index + 1; }
+};
+
+/// Builds the evaluation hypergraph (Def. 4.1). `head_adornment` must
+/// have the head's arity. `program` supplies labels for printing.
+EvaluationHypergraph BuildEvaluationHypergraph(const Rule& rule,
+                                               const Adornment& head_adornment,
+                                               const Program& program);
+
+// Result of the monotone flow test, carrying the qual tree when it
+// holds and the irreducible cycle core when it fails.
+struct MonotoneFlowResult {
+  bool has_monotone_flow = false;
+  EvaluationHypergraph evaluation;
+  GyoResult gyo;
+};
+
+/// Tests Def. 4.2: monotone flow ⇔ the evaluation hypergraph is
+/// acyclic.
+MonotoneFlowResult TestMonotoneFlow(const Rule& rule,
+                                    const Adornment& head_adornment,
+                                    const Program& program);
+
+}  // namespace mpqe
+
+#endif  // MPQE_HYPERGRAPH_MONOTONE_FLOW_H_

@@ -1,0 +1,119 @@
+#include "msg/message.h"
+
+#include "common/string_util.h"
+
+namespace mpqe {
+
+const char* MessageKindToString(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kRelationRequest:
+      return "relation_request";
+    case MessageKind::kTupleRequest:
+      return "tuple_request";
+    case MessageKind::kTuple:
+      return "tuple";
+    case MessageKind::kEnd:
+      return "end";
+    case MessageKind::kEndRequest:
+      return "end_request";
+    case MessageKind::kEndNegative:
+      return "end_negative";
+    case MessageKind::kEndConfirmed:
+      return "end_confirmed";
+    case MessageKind::kSccConcluded:
+      return "scc_concluded";
+    case MessageKind::kWorkNotice:
+      return "work_notice";
+    case MessageKind::kBatch:
+      return "batch";
+    case MessageKind::kMessageKindCount:
+      break;
+  }
+  return "?";
+}
+
+std::string Message::ToString(const SymbolTable* symbols) const {
+  std::string out = StrCat(MessageKindToString(kind), " from=", from);
+  if (kind == MessageKind::kTupleRequest || kind == MessageKind::kTuple ||
+      kind == MessageKind::kEnd) {
+    out += StrCat(" binding=", TupleToString(binding, symbols));
+  }
+  if (kind == MessageKind::kTuple) {
+    out += StrCat(" values=", TupleToString(values, symbols));
+  }
+  if (IsProtocolMessage(kind)) out += StrCat(" wave=", wave);
+  if (kind == MessageKind::kBatch) out += StrCat(" n=", batch.size());
+  return out;
+}
+
+Message MakeRelationRequest() {
+  Message m;
+  m.kind = MessageKind::kRelationRequest;
+  return m;
+}
+
+Message MakeTupleRequest(Tuple binding) {
+  Message m;
+  m.kind = MessageKind::kTupleRequest;
+  m.binding = std::move(binding);
+  return m;
+}
+
+Message MakeTuple(Tuple binding, Tuple values) {
+  Message m;
+  m.kind = MessageKind::kTuple;
+  m.binding = std::move(binding);
+  m.values = std::move(values);
+  return m;
+}
+
+Message MakeEnd(Tuple binding) {
+  Message m;
+  m.kind = MessageKind::kEnd;
+  m.binding = std::move(binding);
+  return m;
+}
+
+Message MakeEndRequest(int64_t wave) {
+  Message m;
+  m.kind = MessageKind::kEndRequest;
+  m.wave = wave;
+  return m;
+}
+
+Message MakeEndNegative(int64_t wave, bool open_work) {
+  Message m;
+  m.kind = MessageKind::kEndNegative;
+  m.wave = wave;
+  m.flag = open_work;
+  return m;
+}
+
+Message MakeEndConfirmed(int64_t wave, bool open_work) {
+  Message m;
+  m.kind = MessageKind::kEndConfirmed;
+  m.wave = wave;
+  m.flag = open_work;
+  return m;
+}
+
+Message MakeSccConcluded() {
+  Message m;
+  m.kind = MessageKind::kSccConcluded;
+  return m;
+}
+
+Message MakeWorkNotice() {
+  Message m;
+  m.kind = MessageKind::kWorkNotice;
+  return m;
+}
+
+Message MakeBatch(std::vector<Message> messages) {
+  Message m;
+  m.kind = MessageKind::kBatch;
+  m.batch = std::move(messages);
+  return m;
+}
+
+}  // namespace mpqe

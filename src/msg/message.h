@@ -1,0 +1,103 @@
+// The basic message set that drives the computation (§3.1) plus the
+// termination-protocol messages (§3.2).
+//
+// Streams are uniform: every consumer->producer edge carries one
+// *relation request* (activation/subscription) followed by *tuple
+// requests*, each binding all of the producer's class-d argument
+// positions (an edge with no d arguments carries exactly one tuple
+// request with the empty binding). Producers answer each tuple request
+// with *tuple* messages and, across strong-component boundaries, an
+// *end* message once no more tuples can be produced for it. Tuple
+// requests are identified by their binding values — consumers
+// deduplicate by binding, so no separate request-id plumbing is
+// needed.
+
+#ifndef MPQE_MSG_MESSAGE_H_
+#define MPQE_MSG_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/tuple.h"
+
+namespace mpqe {
+
+using ProcessId = int32_t;
+inline constexpr ProcessId kNoProcess = -1;
+
+enum class MessageKind : uint8_t {
+  // -- computation (§3.1) -------------------------------------------------
+  kRelationRequest = 0,  // consumer subscribes to a producer
+  kTupleRequest = 1,     // binding for all d arguments
+  kTuple = 2,            // answer: binding + values at non-e positions
+  kEnd = 3,              // the tuple request `binding` is complete
+  // -- distributed termination of cycles (§3.2, Fig. 2) --------------------
+  kEndRequest = 4,
+  kEndNegative = 5,
+  kEndConfirmed = 6,
+  // -- coalesced-graph extensions (footnote 4) ------------------------------
+  kSccConcluded = 7,  // leader -> members: protocol succeeded, emit ends
+  kWorkNotice = 8,    // member -> leader: external work entered the SCC
+  // -- packaging extension (footnote 2) --------------------------------------
+  kBatch = 9,  // envelope carrying several computation messages
+
+  kMessageKindCount = 10,
+};
+
+const char* MessageKindToString(MessageKind kind);
+
+/// True for the Fig. 2 protocol messages (they do not reset a node's
+/// idleness; everything else counts as "work").
+inline bool IsProtocolMessage(MessageKind kind) {
+  return kind == MessageKind::kEndRequest ||
+         kind == MessageKind::kEndNegative ||
+         kind == MessageKind::kEndConfirmed ||
+         kind == MessageKind::kSccConcluded ||
+         kind == MessageKind::kWorkNotice;
+}
+
+struct Message {
+  MessageKind kind = MessageKind::kRelationRequest;
+  ProcessId from = kNoProcess;  // stamped by Network::Send
+
+  // kTupleRequest / kTuple / kEnd: values of the producer's d
+  // positions, in position order; empty when the producer has no d
+  // arguments.
+  Tuple binding;
+
+  // kTuple: values of the producer's non-e positions, in order.
+  Tuple values;
+
+  // Protocol wave number (diagnostics / sanity checks).
+  int64_t wave = 0;
+
+  // kEndNegative / kEndConfirmed: true when the answering subtree has
+  // external customer requests that are not yet ended (lets a leader
+  // of a coalesced strong component keep the protocol running until
+  // every member's customers are served; see footnote 4).
+  bool flag = false;
+
+  // kBatch: the packaged messages, in send order (footnote 2: "package
+  // a set of related tuple requests ... the retrieval can be done in
+  // one scan"). Sub-messages carry the envelope's sender.
+  std::vector<Message> batch;
+
+  std::string ToString(const SymbolTable* symbols = nullptr) const;
+};
+
+/// Builders.
+Message MakeRelationRequest();
+Message MakeTupleRequest(Tuple binding);
+Message MakeTuple(Tuple binding, Tuple values);
+Message MakeEnd(Tuple binding);
+Message MakeEndRequest(int64_t wave);
+Message MakeEndNegative(int64_t wave, bool open_work);
+Message MakeEndConfirmed(int64_t wave, bool open_work);
+Message MakeSccConcluded();
+Message MakeWorkNotice();
+Message MakeBatch(std::vector<Message> messages);
+
+}  // namespace mpqe
+
+#endif  // MPQE_MSG_MESSAGE_H_

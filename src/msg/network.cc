@@ -1,0 +1,335 @@
+#include "msg/network.h"
+
+#include <thread>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace mpqe {
+
+void Process::Send(ProcessId to, Message message) {
+  network_->Send(id_, to, std::move(message));
+}
+
+uint64_t MessageStats::Total() const {
+  uint64_t total = 0;
+  for (uint64_t c : by_kind) total += c;
+  return total;
+}
+
+uint64_t MessageStats::ComputationTotal() const {
+  return Total() - ProtocolTotal() - Count(MessageKind::kBatch);
+}
+
+uint64_t MessageStats::PhysicalTotal() const {
+  return Total() - packaged_submessages;
+}
+
+uint64_t MessageStats::ProtocolTotal() const {
+  return Count(MessageKind::kEndRequest) + Count(MessageKind::kEndNegative) +
+         Count(MessageKind::kEndConfirmed);
+}
+
+std::string MessageStats::ToString() const {
+  std::string out;
+  for (size_t k = 0; k < by_kind.size(); ++k) {
+    if (by_kind[k] == 0) continue;
+    if (!out.empty()) out += " ";
+    out += StrCat(MessageKindToString(static_cast<MessageKind>(k)), "=",
+                  by_kind[k]);
+  }
+  return StrCat("{", out, "}");
+}
+
+ProcessId Network::AddProcess(std::unique_ptr<Process> process) {
+  MPQE_CHECK(!started_.load()) << "cannot add processes after Start()";
+  ProcessId id = static_cast<ProcessId>(processes_.size());
+  process->id_ = id;
+  process->network_ = this;
+  processes_.push_back(std::move(process));
+  mailboxes_.push_back(std::make_unique<Mailbox>());
+  return id;
+}
+
+void Network::Send(ProcessId from, ProcessId to, Message message) {
+  MPQE_CHECK(to >= 0 && static_cast<size_t>(to) < processes_.size())
+      << "send to unknown process " << to;
+  message.from = from;
+  if (observer_) observer_(to, message);
+  sent_by_kind_[static_cast<size_t>(message.kind)].fetch_add(
+      1, std::memory_order_relaxed);
+  // Batches count once physically (above) and per sub-message
+  // logically, so ComputationTotal() keeps its meaning.
+  if (!message.batch.empty()) {
+    for (const Message& sub : message.batch) {
+      sent_by_kind_[static_cast<size_t>(sub.kind)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    packaged_submessages_.fetch_add(message.batch.size(),
+                                    std::memory_order_relaxed);
+  }
+  Mailbox& box = *mailboxes_[to];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queue.push_back(std::move(message));
+  }
+  total_pending_.fetch_add(1, std::memory_order_acq_rel);
+
+  // Threaded scheduler: make sure the target is (or will be) scheduled.
+  // Harmless no-op state churn in the single-threaded schedulers.
+  for (;;) {
+    int cur = box.state.load(std::memory_order_acquire);
+    if (cur == 0) {
+      if (box.state.compare_exchange_weak(cur, 1)) {
+        bool wake;
+        {
+          std::lock_guard<std::mutex> lock(ready_mutex_);
+          ready_.push_back(to);
+          wake = sleeping_workers_ > 0;
+        }
+        if (wake) ready_cv_.notify_one();
+        return;
+      }
+    } else if (cur == 2) {
+      if (box.state.compare_exchange_weak(cur, 3)) return;
+    } else {
+      return;  // 1 or 3: already scheduled / flagged dirty
+    }
+  }
+}
+
+size_t Network::PendingCount(ProcessId id) const {
+  const Mailbox& box = *mailboxes_[id];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  return box.queue.size();
+}
+
+size_t Network::TotalPending() const {
+  int64_t n = total_pending_.load(std::memory_order_acquire);
+  return n < 0 ? 0 : static_cast<size_t>(n);
+}
+
+void Network::Start() {
+  if (started_.exchange(true)) return;
+  for (auto& p : processes_) p->OnStart();
+}
+
+void Network::Deliver(ProcessId id, const Message& message) {
+  processes_[id]->OnMessage(message);
+  total_pending_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+StatusOr<RunResult> Network::RunDeterministic(uint64_t max_messages) {
+  Start();
+  RunResult result;
+  for (;;) {
+    if (stop_requested()) {
+      result.stopped = true;
+      return result;
+    }
+    bool progressed = false;
+    for (ProcessId id = 0; id < static_cast<ProcessId>(processes_.size());
+         ++id) {
+      Message msg;
+      {
+        Mailbox& box = *mailboxes_[id];
+        std::lock_guard<std::mutex> lock(box.mutex);
+        if (box.queue.empty()) continue;
+        msg = std::move(box.queue.front());
+        box.queue.pop_front();
+      }
+      Deliver(id, msg);
+      progressed = true;
+      ++result.delivered;
+      if (max_messages != 0 && result.delivered > max_messages) {
+        return ResourceExhaustedError(
+            StrCat("deterministic run exceeded max_messages=", max_messages));
+      }
+      if (stop_requested()) {
+        result.stopped = true;
+        return result;
+      }
+    }
+    if (!progressed) {
+      result.quiescent = true;
+      return result;
+    }
+  }
+}
+
+StatusOr<RunResult> Network::RunRandom(uint64_t seed, uint64_t max_messages) {
+  Start();
+  Rng rng(seed);
+  RunResult result;
+  size_t n = processes_.size();
+  for (;;) {
+    if (stop_requested()) {
+      result.stopped = true;
+      return result;
+    }
+    // Pick a uniformly random starting point and deliver from the
+    // first nonempty mailbox at or after it (circularly). Per-channel
+    // FIFO is preserved; global interleaving is randomized.
+    size_t start = rng.Below(n);
+    bool progressed = false;
+    for (size_t k = 0; k < n; ++k) {
+      ProcessId id = static_cast<ProcessId>((start + k) % n);
+      Message msg;
+      {
+        Mailbox& box = *mailboxes_[id];
+        std::lock_guard<std::mutex> lock(box.mutex);
+        if (box.queue.empty()) continue;
+        msg = std::move(box.queue.front());
+        box.queue.pop_front();
+      }
+      Deliver(id, msg);
+      progressed = true;
+      ++result.delivered;
+      break;
+    }
+    if (!progressed) {
+      result.quiescent = true;
+      return result;
+    }
+    if (max_messages != 0 && result.delivered > max_messages) {
+      return ResourceExhaustedError(
+          StrCat("random run exceeded max_messages=", max_messages));
+    }
+  }
+}
+
+StatusOr<RunResult> Network::RunThreaded(int workers, uint64_t max_messages) {
+  MPQE_CHECK(workers >= 1);
+  Start();
+
+  // Seed the ready queue with processes that already have mail (their
+  // state may be stale from a previous single-threaded run).
+  {
+    std::lock_guard<std::mutex> lock(ready_mutex_);
+    ready_.clear();
+    for (ProcessId id = 0; id < static_cast<ProcessId>(processes_.size());
+         ++id) {
+      Mailbox& box = *mailboxes_[id];
+      std::lock_guard<std::mutex> mail_lock(box.mutex);
+      if (!box.queue.empty()) {
+        box.state.store(1);
+        ready_.push_back(id);
+      } else {
+        box.state.store(0);
+      }
+    }
+  }
+
+  std::atomic<uint64_t> delivered{0};
+  std::atomic<int> active{0};
+  std::atomic<bool> overflow{false};
+
+  auto worker = [&]() {
+    for (;;) {
+      ProcessId id;
+      {
+        std::unique_lock<std::mutex> lock(ready_mutex_);
+        auto runnable = [&] {
+          return !ready_.empty() || stop_requested() || overflow.load() ||
+                 (total_pending_.load(std::memory_order_acquire) == 0 &&
+                  active.load(std::memory_order_acquire) == 0);
+        };
+        while (!runnable()) {
+          ++sleeping_workers_;
+          ready_cv_.wait(lock);
+          --sleeping_workers_;
+        }
+        if (stop_requested() || overflow.load()) return;
+        if (ready_.empty()) return;  // globally quiescent
+        id = ready_.front();
+        ready_.pop_front();
+        active.fetch_add(1, std::memory_order_acq_rel);
+      }
+      Mailbox& box = *mailboxes_[id];
+      box.state.store(2, std::memory_order_release);
+
+      bool bail = false;
+      for (;;) {
+        // Drain this mailbox, one message at a time.
+        for (;;) {
+          Message msg;
+          {
+            std::lock_guard<std::mutex> lock(box.mutex);
+            if (box.queue.empty()) break;
+            msg = std::move(box.queue.front());
+            box.queue.pop_front();
+          }
+          Deliver(id, msg);
+          uint64_t d = delivered.fetch_add(1, std::memory_order_acq_rel) + 1;
+          if (max_messages != 0 && d > max_messages) {
+            overflow.store(true);
+            bail = true;
+            break;
+          }
+          if (stop_requested()) {
+            bail = true;
+            break;
+          }
+        }
+
+        // Transition out of running; keep draining if mail arrived
+        // meanwhile (avoids a requeue round-trip for hot processes).
+        int cur = box.state.load(std::memory_order_acquire);
+        bool done = false;
+        while (!done) {
+          if (cur == 2) {
+            if (box.state.compare_exchange_weak(cur, 0)) done = true;
+          } else {  // 3: dirty
+            if (box.state.compare_exchange_weak(cur, 2)) break;
+          }
+        }
+        if (done || bail) break;
+        // state was dirty and is 2 again: loop and drain more.
+        if (bail) break;
+      }
+
+      {
+        std::lock_guard<std::mutex> lock(ready_mutex_);
+        active.fetch_sub(1, std::memory_order_acq_rel);
+        if (stop_requested() || overflow.load() ||
+            (total_pending_.load(std::memory_order_acquire) == 0 &&
+             active.load(std::memory_order_acquire) == 0)) {
+          ready_cv_.notify_all();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) pool.emplace_back(worker);
+  // In case stop was requested before/while spawning.
+  {
+    std::lock_guard<std::mutex> lock(ready_mutex_);
+    ready_cv_.notify_all();
+  }
+  for (auto& t : pool) t.join();
+
+  if (overflow.load()) {
+    return ResourceExhaustedError(
+        StrCat("threaded run exceeded max_messages=", max_messages));
+  }
+  RunResult result;
+  result.delivered = delivered.load();
+  result.stopped = stop_requested();
+  result.quiescent = TotalPending() == 0;
+  return result;
+}
+
+MessageStats Network::stats() const {
+  MessageStats s;
+  for (size_t k = 0; k < s.by_kind.size(); ++k) {
+    s.by_kind[k] = sent_by_kind_[k].load(std::memory_order_relaxed);
+  }
+  s.packaged_submessages =
+      packaged_submessages_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace mpqe

@@ -1,0 +1,182 @@
+// The simulated asynchronous distributed system: processes with FIFO
+// mailboxes exchanging Messages through a Network. This substitutes
+// for the multi-machine / multi-tasking substrate the paper assumes
+// (§1.2): no shared memory between processes, arbitrary interleavings.
+//
+// Three schedulers:
+//  * RunDeterministic — round-robin FIFO delivery; reproducible, and
+//    gives tests a *global quiescence oracle* to validate Thm. 3.1;
+//  * RunRandom(seed)  — random process interleaving (per-channel FIFO
+//    preserved), simulating asynchrony;
+//  * RunThreaded(n)   — a real thread pool with actor-style per-process
+//    serialization.
+//
+// The engine must terminate via its own end-message protocol: a run
+// normally finishes because a sink process calls RequestStop(). Runs
+// also finish on global quiescence (all mailboxes empty) — the oracle
+// — and report which happened.
+
+#ifndef MPQE_MSG_NETWORK_H_
+#define MPQE_MSG_NETWORK_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "msg/message.h"
+
+namespace mpqe {
+
+class Network;
+
+// A node process. OnMessage is invoked with one message at a time;
+// the Network guarantees per-process serialization in every scheduler,
+// so implementations need no internal locking.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// Called once before any message is delivered (initialization
+  /// phase; single-threaded).
+  virtual void OnStart() {}
+
+  virtual void OnMessage(const Message& message) = 0;
+
+  ProcessId process_id() const { return id_; }
+
+ protected:
+  Network& network() const { return *network_; }
+
+  /// Sends `message` to `to` (stamps `from` with this process's id).
+  void Send(ProcessId to, Message message);
+
+ private:
+  friend class Network;
+  ProcessId id_ = kNoProcess;
+  Network* network_ = nullptr;
+};
+
+// Snapshot of per-kind message counts.
+struct MessageStats {
+  std::array<uint64_t, static_cast<size_t>(MessageKind::kMessageKindCount)>
+      by_kind{};
+  // How many of the per-kind counts above traveled inside batch
+  // envelopes rather than as their own messages.
+  uint64_t packaged_submessages = 0;
+
+  uint64_t Count(MessageKind kind) const {
+    return by_kind[static_cast<size_t>(kind)];
+  }
+  uint64_t Total() const;
+  /// Computation messages only (excludes the Fig. 2 protocol traffic
+  /// and batch envelopes). Sub-messages inside batches are counted
+  /// individually, so this is the *logical* traffic.
+  uint64_t ComputationTotal() const;
+  /// Fig. 2 protocol traffic only.
+  uint64_t ProtocolTotal() const;
+  /// Physically transmitted messages: envelopes count once, their
+  /// packaged contents not at all (footnote 2's saving).
+  uint64_t PhysicalTotal() const;
+
+  std::string ToString() const;
+};
+
+struct RunResult {
+  bool stopped = false;    // a process called RequestStop()
+  bool quiescent = false;  // all mailboxes drained
+  uint64_t delivered = 0;  // messages delivered during this run
+};
+
+class Network {
+ public:
+  Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers `process` and assigns its id (== registration order).
+  ProcessId AddProcess(std::unique_ptr<Process> process);
+
+  size_t process_count() const { return processes_.size(); }
+  Process& process(ProcessId id) { return *processes_[id]; }
+
+  /// Enqueues `message` (stamped with `from`) into `to`'s mailbox.
+  void Send(ProcessId from, ProcessId to, Message message);
+
+  /// Number of undelivered messages waiting for `id`. A process may
+  /// inspect its *own* count from OnMessage (the paper's
+  /// empty-queues()); the deterministic scheduler also uses the global
+  /// sum as the Thm. 3.1 oracle.
+  size_t PendingCount(ProcessId id) const;
+
+  /// Total undelivered messages across all mailboxes.
+  size_t TotalPending() const;
+
+  /// Signals the run loop to stop after the current message.
+  void RequestStop() { stop_requested_.store(true, std::memory_order_release); }
+  bool stop_requested() const {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Calls OnStart on every process (once, before the first run).
+  void Start();
+
+  // Observer invoked for every Send (after stamping `from`, before
+  // enqueueing). Called under no locks but possibly from several
+  // worker threads in threaded runs — the observer must synchronize
+  // itself. Set before Start(); pass nullptr to clear.
+  using SendObserver = std::function<void(ProcessId to, const Message&)>;
+  void SetSendObserver(SendObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  // Run until RequestStop() or global quiescence. `max_messages`
+  // guards against livelock (0 = unlimited); exceeding it returns an
+  // error.
+  StatusOr<RunResult> RunDeterministic(uint64_t max_messages = 0);
+  StatusOr<RunResult> RunRandom(uint64_t seed, uint64_t max_messages = 0);
+  StatusOr<RunResult> RunThreaded(int workers, uint64_t max_messages = 0);
+
+  MessageStats stats() const;
+
+ private:
+  struct Mailbox {
+    mutable std::mutex mutex;
+    std::deque<Message> queue;
+    // Threaded-scheduler actor state: 0 idle, 1 scheduled, 2 running,
+    // 3 running with new mail.
+    std::atomic<int> state{0};
+  };
+
+  void Deliver(ProcessId id, const Message& message);
+
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  SendObserver observer_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<int64_t> total_pending_{0};
+  std::array<std::atomic<uint64_t>,
+             static_cast<size_t>(MessageKind::kMessageKindCount)>
+      sent_by_kind_{};
+  std::atomic<uint64_t> packaged_submessages_{0};
+
+  // Threaded-scheduler shared state.
+  std::mutex ready_mutex_;
+  std::condition_variable ready_cv_;
+  std::deque<ProcessId> ready_;
+  // Workers blocked on ready_cv_ (guarded by ready_mutex_): lets Send
+  // skip the notify syscall when every worker is already busy.
+  int sleeping_workers_ = 0;
+};
+
+}  // namespace mpqe
+
+#endif  // MPQE_MSG_NETWORK_H_

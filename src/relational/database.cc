@@ -1,0 +1,59 @@
+#include "relational/database.h"
+
+#include "common/string_util.h"
+
+namespace mpqe {
+
+Status Database::CreateRelation(std::string_view name, size_t arity) {
+  auto it = relations_.find(std::string(name));
+  if (it != relations_.end()) {
+    if (it->second.arity() != arity) {
+      return InvalidArgumentError(
+          StrCat("relation ", name, " already exists with arity ",
+                 it->second.arity(), ", requested ", arity));
+    }
+    return Status::Ok();
+  }
+  relations_.emplace(std::string(name), Relation(arity));
+  return Status::Ok();
+}
+
+bool Database::HasRelation(std::string_view name) const {
+  return relations_.count(std::string(name)) != 0;
+}
+
+const Relation* Database::GetRelation(std::string_view name) const {
+  auto it = relations_.find(std::string(name));
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Relation* Database::GetMutableRelation(std::string_view name) {
+  auto it = relations_.find(std::string(name));
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+StatusOr<bool> Database::InsertFact(std::string_view name, Tuple tuple) {
+  MPQE_RETURN_IF_ERROR(CreateRelation(name, tuple.size()));
+  Relation* rel = GetMutableRelation(name);
+  if (rel->arity() != tuple.size()) {
+    return InvalidArgumentError(
+        StrCat("fact for ", name, " has arity ", tuple.size(),
+               " but relation has arity ", rel->arity()));
+  }
+  return rel->Insert(std::move(tuple));
+}
+
+size_t Database::TotalFacts() const {
+  size_t total = 0;
+  for (const auto& [name, rel] : relations_) total += rel.size();
+  return total;
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+}  // namespace mpqe

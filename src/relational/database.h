@@ -1,0 +1,61 @@
+// Database: the EDB — a catalog of named base relations plus the
+// symbol table that interns all constants appearing anywhere in the
+// system (EDB facts, rules, and queries).
+
+#ifndef MPQE_RELATIONAL_DATABASE_H_
+#define MPQE_RELATIONAL_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace mpqe {
+
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Creates an empty relation `name` with the given arity. Fails if a
+  /// relation of the same name but different arity exists.
+  Status CreateRelation(std::string_view name, size_t arity);
+
+  bool HasRelation(std::string_view name) const;
+
+  /// Returns the relation, or nullptr if absent.
+  const Relation* GetRelation(std::string_view name) const;
+  Relation* GetMutableRelation(std::string_view name);
+
+  /// Inserts one fact, creating the relation on first use.
+  /// Returns true if the tuple was new.
+  StatusOr<bool> InsertFact(std::string_view name, Tuple tuple);
+
+  /// Total number of facts across all relations.
+  size_t TotalFacts() const;
+
+  std::vector<std::string> RelationNames() const;
+
+  SymbolTable& symbols() { return *symbols_; }
+  const SymbolTable& symbols() const { return *symbols_; }
+
+  /// Shorthand: interned symbol value for `name`.
+  Value Sym(std::string_view name) { return symbols_->Symbol(name); }
+
+ private:
+  // unique_ptr so Database stays movable while SymbolTable (with its
+  // mutex) is not.
+  std::unique_ptr<SymbolTable> symbols_ = std::make_unique<SymbolTable>();
+  std::unordered_map<std::string, Relation> relations_;
+};
+
+}  // namespace mpqe
+
+#endif  // MPQE_RELATIONAL_DATABASE_H_

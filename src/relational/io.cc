@@ -1,0 +1,106 @@
+#include "relational/io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/string_util.h"
+
+namespace mpqe {
+namespace {
+
+// Parses a field as an integer if it looks like one, else interns it.
+Value ParseField(Database& db, const std::string& field) {
+  if (!field.empty()) {
+    size_t start = field[0] == '-' ? 1 : 0;
+    if (start < field.size()) {
+      bool all_digits = true;
+      for (size_t i = start; i < field.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(field[i]))) {
+          all_digits = false;
+          break;
+        }
+      }
+      if (all_digits) {
+        errno = 0;
+        char* end = nullptr;
+        long long v = std::strtoll(field.c_str(), &end, 10);
+        if (errno == 0 && end == field.c_str() + field.size()) {
+          return Value::Int(v);
+        }
+      }
+    }
+  }
+  return db.Sym(field);
+}
+
+}  // namespace
+
+StatusOr<LoadStats> LoadRelationTsv(Database& db, std::string_view name,
+                                    std::istream& in) {
+  LoadStats stats;
+  std::string line;
+  size_t line_number = 0;
+  size_t arity = 0;
+  bool arity_known = db.HasRelation(name);
+  if (arity_known) arity = db.GetRelation(name)->arity();
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::vector<std::string> fields = StrSplit(line, '\t');
+    if (!arity_known) {
+      arity = fields.size();
+      arity_known = true;
+      MPQE_RETURN_IF_ERROR(db.CreateRelation(name, arity));
+    }
+    if (fields.size() != arity) {
+      return InvalidArgumentError(
+          StrCat("line ", line_number, ": expected ", arity, " fields, got ",
+                 fields.size()));
+    }
+    Tuple tuple;
+    tuple.reserve(arity);
+    for (const std::string& field : fields) {
+      tuple.push_back(ParseField(db, field));
+    }
+    MPQE_ASSIGN_OR_RETURN(bool inserted,
+                          db.InsertFact(name, std::move(tuple)));
+    ++stats.rows;
+    if (!inserted) ++stats.duplicates;
+  }
+  return stats;
+}
+
+StatusOr<LoadStats> LoadRelationTsvFile(Database& db, std::string_view name,
+                                        const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError(StrCat("cannot open ", path));
+  return LoadRelationTsv(db, name, in);
+}
+
+Status SaveRelationTsv(const Relation& relation, const SymbolTable& symbols,
+                       std::ostream& out) {
+  for (const Tuple& t : relation.SortedTuples()) {
+    bool first = true;
+    for (const Value& v : t) {
+      if (!first) out << '\t';
+      first = false;
+      out << v.ToString(&symbols);
+    }
+    out << '\n';
+  }
+  if (!out) return InternalError("write failed");
+  return Status::Ok();
+}
+
+Status SaveRelationTsvFile(const Relation& relation,
+                           const SymbolTable& symbols,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return NotFoundError(StrCat("cannot open ", path));
+  return SaveRelationTsv(relation, symbols, out);
+}
+
+}  // namespace mpqe

@@ -1,0 +1,44 @@
+// Bulk import/export of EDB relations as tab-separated values, so the
+// CLI and benchmarks can work with real data files instead of inline
+// facts. Fields that parse as integers become integer values; all
+// other fields are interned as symbols.
+
+#ifndef MPQE_RELATIONAL_IO_H_
+#define MPQE_RELATIONAL_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace mpqe {
+
+// Import results.
+struct LoadStats {
+  size_t rows = 0;
+  size_t duplicates = 0;  // rows merged by set semantics
+};
+
+/// Loads tab-separated rows from `in` into relation `name` (created on
+/// first use; arity fixed by the first row). Blank lines and lines
+/// starting with '#' are skipped. Fails on ragged rows.
+StatusOr<LoadStats> LoadRelationTsv(Database& db, std::string_view name,
+                                    std::istream& in);
+
+/// As above, reading from `path`.
+StatusOr<LoadStats> LoadRelationTsvFile(Database& db, std::string_view name,
+                                        const std::string& path);
+
+/// Writes `relation` as tab-separated rows (sorted, deterministic).
+Status SaveRelationTsv(const Relation& relation, const SymbolTable& symbols,
+                       std::ostream& out);
+
+Status SaveRelationTsvFile(const Relation& relation,
+                           const SymbolTable& symbols,
+                           const std::string& path);
+
+}  // namespace mpqe
+
+#endif  // MPQE_RELATIONAL_IO_H_

@@ -1,0 +1,121 @@
+#include "relational/operators.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace mpqe {
+
+bool Selection::Matches(const Tuple& tuple) const {
+  for (const auto& c : value_conditions) {
+    if (tuple[c.column] != c.value) return false;
+  }
+  for (const auto& c : column_conditions) {
+    if (tuple[c.left] != tuple[c.right]) return false;
+  }
+  return true;
+}
+
+Relation Select(const Relation& input, const Selection& selection) {
+  Relation out(input.arity());
+  for (const Tuple& t : input.tuples()) {
+    if (selection.Matches(t)) out.Insert(t);
+  }
+  return out;
+}
+
+Relation Project(const Relation& input, const std::vector<size_t>& columns) {
+  Relation out(columns.size());
+  for (const Tuple& t : input.tuples()) {
+    out.Insert(ProjectTuple(t, columns));
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<size_t> LeftColumns(const std::vector<JoinColumn>& on) {
+  std::vector<size_t> cols;
+  cols.reserve(on.size());
+  for (const auto& jc : on) cols.push_back(jc.left);
+  return cols;
+}
+
+std::vector<size_t> RightColumns(const std::vector<JoinColumn>& on) {
+  std::vector<size_t> cols;
+  cols.reserve(on.size());
+  for (const auto& jc : on) cols.push_back(jc.right);
+  return cols;
+}
+
+Tuple Concatenate(const Tuple& a, const Tuple& b) {
+  Tuple out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace
+
+Relation Join(const Relation& left, const Relation& right,
+              const std::vector<JoinColumn>& on) {
+  Relation out(left.arity() + right.arity());
+  const std::vector<size_t> left_cols = LeftColumns(on);
+  const std::vector<size_t> right_cols = RightColumns(on);
+
+  // Build on the smaller side, probe with the larger.
+  const bool build_left = left.size() <= right.size();
+  const Relation& build = build_left ? left : right;
+  const Relation& probe = build_left ? right : left;
+  const std::vector<size_t>& build_cols = build_left ? left_cols : right_cols;
+  const std::vector<size_t>& probe_cols = build_left ? right_cols : left_cols;
+
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> table;
+  for (const Tuple& t : build.tuples()) {
+    table[ProjectTuple(t, build_cols)].push_back(&t);
+  }
+  for (const Tuple& t : probe.tuples()) {
+    auto it = table.find(ProjectTuple(t, probe_cols));
+    if (it == table.end()) continue;
+    for (const Tuple* b : it->second) {
+      out.Insert(build_left ? Concatenate(*b, t) : Concatenate(t, *b));
+    }
+  }
+  return out;
+}
+
+Relation SemiJoin(const Relation& left, const Relation& right,
+                  const std::vector<JoinColumn>& on) {
+  Relation out(left.arity());
+  const std::vector<size_t> left_cols = LeftColumns(on);
+  const std::vector<size_t> right_cols = RightColumns(on);
+
+  std::unordered_set<Tuple, TupleHash> keys;
+  for (const Tuple& t : right.tuples()) {
+    keys.insert(ProjectTuple(t, right_cols));
+  }
+  for (const Tuple& t : left.tuples()) {
+    if (keys.count(ProjectTuple(t, left_cols)) != 0) out.Insert(t);
+  }
+  return out;
+}
+
+Relation Union(const Relation& a, const Relation& b) {
+  MPQE_CHECK(a.arity() == b.arity());
+  Relation out(a.arity());
+  for (const Tuple& t : a.tuples()) out.Insert(t);
+  for (const Tuple& t : b.tuples()) out.Insert(t);
+  return out;
+}
+
+Relation Difference(const Relation& a, const Relation& b) {
+  MPQE_CHECK(a.arity() == b.arity());
+  Relation out(a.arity());
+  for (const Tuple& t : a.tuples()) {
+    if (!b.Contains(t)) out.Insert(t);
+  }
+  return out;
+}
+
+}  // namespace mpqe

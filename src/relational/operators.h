@@ -1,0 +1,65 @@
+// Relational-algebra operators over Relation. The paper's node
+// processes "combine their subgoal relations using join, select, and
+// project" (§2.2) and class-`d` arguments "function as a semi-join
+// operand" (§1.2); these kernels are that vocabulary.
+
+#ifndef MPQE_RELATIONAL_OPERATORS_H_
+#define MPQE_RELATIONAL_OPERATORS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace mpqe {
+
+// Selection predicate: conjunctive column=constant and column=column
+// equality conditions.
+struct Selection {
+  struct ColumnEqualsValue {
+    size_t column;
+    Value value;
+  };
+  struct ColumnEqualsColumn {
+    size_t left;
+    size_t right;
+  };
+
+  std::vector<ColumnEqualsValue> value_conditions;
+  std::vector<ColumnEqualsColumn> column_conditions;
+
+  /// True iff `tuple` satisfies every condition.
+  bool Matches(const Tuple& tuple) const;
+};
+
+/// σ: tuples of `input` satisfying `selection`.
+Relation Select(const Relation& input, const Selection& selection);
+
+/// π: projection onto `columns` with duplicate elimination.
+Relation Project(const Relation& input, const std::vector<size_t>& columns);
+
+// One equi-join condition: left tuple column == right tuple column.
+struct JoinColumn {
+  size_t left;
+  size_t right;
+};
+
+/// ⋈: hash equi-join. Output tuples are the concatenation
+/// (left columns..., right columns...); callers project afterwards.
+/// Builds a hash table on the smaller input.
+Relation Join(const Relation& left, const Relation& right,
+              const std::vector<JoinColumn>& on);
+
+/// ⋉: tuples of `left` that join with at least one tuple of `right`.
+Relation SemiJoin(const Relation& left, const Relation& right,
+                  const std::vector<JoinColumn>& on);
+
+/// ∪ (same arity).
+Relation Union(const Relation& a, const Relation& b);
+
+/// a − b (same arity).
+Relation Difference(const Relation& a, const Relation& b);
+
+}  // namespace mpqe
+
+#endif  // MPQE_RELATIONAL_OPERATORS_H_

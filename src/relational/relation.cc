@@ -1,0 +1,71 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mpqe {
+
+void RelationIndex::Add(const Tuple& tuple, size_t position) {
+  buckets_[ProjectTuple(tuple, key_columns_)].push_back(position);
+}
+
+const std::vector<size_t>* RelationIndex::Lookup(const Tuple& key) const {
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) return nullptr;
+  return &it->second;
+}
+
+bool Relation::Insert(Tuple tuple) {
+  MPQE_CHECK(tuple.size() == arity_)
+      << "tuple arity " << tuple.size() << " != relation arity " << arity_;
+  auto [it, inserted] = seen_.insert(tuple);
+  if (!inserted) return false;
+  size_t position = tuples_.size();
+  tuples_.push_back(std::move(tuple));
+  for (auto& index : indexes_) index.Add(tuples_.back(), position);
+  return true;
+}
+
+size_t Relation::EnsureIndex(const std::vector<size_t>& key_columns) {
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    if (indexes_[i].key_columns() == key_columns) return i;
+  }
+  indexes_.emplace_back(key_columns);
+  RelationIndex& index = indexes_.back();
+  for (size_t pos = 0; pos < tuples_.size(); ++pos) {
+    index.Add(tuples_[pos], pos);
+  }
+  return indexes_.size() - 1;
+}
+
+const std::vector<size_t>* Relation::Probe(size_t index_handle,
+                                           const Tuple& key) const {
+  return indexes_[index_handle].Lookup(key);
+}
+
+std::vector<Tuple> Relation::SortedTuples() const {
+  std::vector<Tuple> sorted = tuples_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+bool operator==(const Relation& a, const Relation& b) {
+  if (a.arity_ != b.arity_ || a.size() != b.size()) return false;
+  for (const Tuple& t : a.tuples_) {
+    if (!b.Contains(t)) return false;
+  }
+  return true;
+}
+
+std::string Relation::ToString(const SymbolTable* symbols) const {
+  return StrCat("{",
+                StrJoin(SortedTuples(), ", ",
+                        [symbols](std::ostream& os, const Tuple& t) {
+                          os << TupleToString(t, symbols);
+                        }),
+                "}");
+}
+
+}  // namespace mpqe

@@ -1,0 +1,91 @@
+// Relation: a duplicate-free multiset of fixed-arity tuples with
+// insertion-order iteration and incrementally maintained hash indexes.
+//
+// Duplicate elimination is load-bearing for the whole system: the paper
+// relies on it so that "nodes become idle when the computation is
+// complete" (§1.2) — cycles of messages terminate because re-derived
+// tuples are dropped.
+//
+// Indexes are registered on demand via EnsureIndex({cols...}) and kept
+// current by Insert, so engine processes can interleave probes and
+// inserts freely.
+
+#ifndef MPQE_RELATIONAL_RELATION_H_
+#define MPQE_RELATIONAL_RELATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "relational/tuple.h"
+
+namespace mpqe {
+
+// Hash index over a subset of columns: key = projected tuple,
+// value = indexes into the relation's tuple vector.
+class RelationIndex {
+ public:
+  explicit RelationIndex(std::vector<size_t> key_columns)
+      : key_columns_(std::move(key_columns)) {}
+
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+
+  void Add(const Tuple& tuple, size_t position);
+
+  /// Returns positions of tuples whose projection on key_columns equals
+  /// `key`, or nullptr if none.
+  const std::vector<size_t>* Lookup(const Tuple& key) const;
+
+ private:
+  std::vector<size_t> key_columns_;
+  std::unordered_map<Tuple, std::vector<size_t>, TupleHash> buckets_;
+};
+
+class Relation {
+ public:
+  explicit Relation(size_t arity) : arity_(arity) {}
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Inserts `tuple` if not already present; returns true if inserted.
+  /// The tuple's size must equal arity().
+  bool Insert(Tuple tuple);
+
+  bool Contains(const Tuple& tuple) const {
+    return seen_.count(tuple) != 0;
+  }
+
+  /// Tuples in insertion order. Stable across Inserts (positions never
+  /// move), which the engine relies on for replaying answer streams.
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  const Tuple& tuple(size_t position) const { return tuples_[position]; }
+
+  /// Registers (or finds) an incrementally maintained index on
+  /// `key_columns` and returns its handle for Probe().
+  size_t EnsureIndex(const std::vector<size_t>& key_columns);
+
+  /// Positions of tuples matching `key` on the index's key columns.
+  const std::vector<size_t>* Probe(size_t index_handle,
+                                   const Tuple& key) const;
+
+  /// Sorted copy of the tuples (for deterministic output/comparison).
+  std::vector<Tuple> SortedTuples() const;
+
+  friend bool operator==(const Relation& a, const Relation& b);
+
+  std::string ToString(const SymbolTable* symbols = nullptr) const;
+
+ private:
+  size_t arity_;
+  std::vector<Tuple> tuples_;
+  std::unordered_set<Tuple, TupleHash> seen_;
+  std::vector<RelationIndex> indexes_;
+};
+
+}  // namespace mpqe
+
+#endif  // MPQE_RELATIONAL_RELATION_H_

@@ -1,0 +1,23 @@
+#include "relational/tuple.h"
+
+#include "common/string_util.h"
+
+namespace mpqe {
+
+Tuple ProjectTuple(const Tuple& tuple, const std::vector<size_t>& columns) {
+  Tuple out;
+  out.reserve(columns.size());
+  for (size_t c : columns) out.push_back(tuple[c]);
+  return out;
+}
+
+std::string TupleToString(const Tuple& tuple, const SymbolTable* symbols) {
+  return StrCat("(",
+                StrJoin(tuple, ", ",
+                        [symbols](std::ostream& os, const Value& v) {
+                          os << v.ToString(symbols);
+                        }),
+                ")");
+}
+
+}  // namespace mpqe

@@ -1,0 +1,26 @@
+// Tuples: flat vectors of Values, plus hashing and printing helpers.
+
+#ifndef MPQE_RELATIONAL_TUPLE_H_
+#define MPQE_RELATIONAL_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "relational/value.h"
+
+namespace mpqe {
+
+using Tuple = std::vector<Value>;
+using TupleHash = VectorHash<Value>;
+
+/// Projects `tuple` onto `columns` (in the given order).
+Tuple ProjectTuple(const Tuple& tuple, const std::vector<size_t>& columns);
+
+/// Renders "(v1, v2, ...)".
+std::string TupleToString(const Tuple& tuple,
+                          const SymbolTable* symbols = nullptr);
+
+}  // namespace mpqe
+
+#endif  // MPQE_RELATIONAL_TUPLE_H_

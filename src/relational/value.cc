@@ -1,0 +1,36 @@
+#include "relational/value.h"
+
+#include "common/string_util.h"
+
+namespace mpqe {
+
+std::string Value::ToString(const SymbolTable* symbols) const {
+  if (is_int()) return std::to_string(payload_);
+  if (symbols != nullptr) return symbols->Name(payload_);
+  return StrCat("$", payload_);
+}
+
+int64_t SymbolTable::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  int64_t id = static_cast<int64_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(std::string(name), id);
+  return id;
+}
+
+std::string SymbolTable::Name(int64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || static_cast<size_t>(id) >= names_.size()) {
+    return StrCat("$", id);
+  }
+  return names_[static_cast<size_t>(id)];
+}
+
+size_t SymbolTable::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return names_.size();
+}
+
+}  // namespace mpqe

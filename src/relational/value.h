@@ -1,0 +1,103 @@
+// Scalar values and symbol interning.
+//
+// A Value is an 8-byte tagged scalar: either a 64-bit integer or an
+// interned symbol (constant like `a` or `"San Jose"` in Datalog text).
+// Symbols are interned in a SymbolTable owned by the Database so that
+// equality and hashing are O(1) integer operations everywhere in the
+// engine; strings are only materialized when printing.
+
+#ifndef MPQE_RELATIONAL_VALUE_H_
+#define MPQE_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace mpqe {
+
+class SymbolTable;
+
+// An immutable scalar: integer or interned symbol.
+class Value {
+ public:
+  enum class Kind : uint8_t { kInt = 0, kSymbol = 1 };
+
+  Value() : kind_(Kind::kInt), payload_(0) {}
+
+  static Value Int(int64_t v) { return Value(Kind::kInt, v); }
+  static Value Symbol(int64_t id) { return Value(Kind::kSymbol, id); }
+
+  Kind kind() const { return kind_; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_symbol() const { return kind_ == Kind::kSymbol; }
+
+  /// Integer payload; for symbols this is the intern id.
+  int64_t payload() const { return payload_; }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.kind_ == b.kind_ && a.payload_ == b.payload_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  // Total order: all ints precede all symbols; then by payload.
+  friend bool operator<(const Value& a, const Value& b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    return a.payload_ < b.payload_;
+  }
+
+  /// Renders the value; symbols are resolved through `symbols` if given,
+  /// otherwise printed as `$<id>`.
+  std::string ToString(const SymbolTable* symbols = nullptr) const;
+
+ private:
+  Value(Kind kind, int64_t payload) : kind_(kind), payload_(payload) {}
+
+  Kind kind_;
+  int64_t payload_;
+};
+
+// Bidirectional string<->id interning. Thread-safe: the engine's node
+// processes may intern trace strings concurrently under the threaded
+// scheduler.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Returns the id for `name`, interning it on first use.
+  int64_t Intern(std::string_view name);
+
+  /// Returns the symbol Value for `name` (convenience over Intern).
+  Value Symbol(std::string_view name) { return Value::Symbol(Intern(name)); }
+
+  /// Returns the name for `id`, or "$<id>" if unknown.
+  std::string Name(int64_t id) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, int64_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace mpqe
+
+namespace std {
+template <>
+struct hash<mpqe::Value> {
+  size_t operator()(const mpqe::Value& v) const {
+    size_t seed = static_cast<size_t>(v.kind());
+    mpqe::HashCombine(seed, std::hash<int64_t>{}(v.payload()));
+    return seed;
+  }
+};
+}  // namespace std
+
+#endif  // MPQE_RELATIONAL_VALUE_H_

@@ -1,0 +1,26 @@
+#include "sips/adorned_printer.h"
+
+#include "common/string_util.h"
+
+namespace mpqe {
+
+std::string AdornedAtomToString(const Atom& atom, const Adornment& adornment,
+                                const Program& program,
+                                const SymbolTable* symbols) {
+  std::ostringstream out;
+  out << program.predicates().Name(atom.predicate) << "(";
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (i > 0) out << ", ";
+    const Term& t = atom.args[i];
+    if (t.is_constant()) {
+      out << t.constant().ToString(symbols);
+    } else {
+      out << program.variables().Name(t.var()) << "^"
+          << BindingClassToChar(adornment[i]);
+    }
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace mpqe

@@ -1,0 +1,21 @@
+// Rendering of adorned atoms in the paper's superscript style,
+// e.g. p(V^d, Z^f); class-c constants print bare: p(a, Z^f).
+
+#ifndef MPQE_SIPS_ADORNED_PRINTER_H_
+#define MPQE_SIPS_ADORNED_PRINTER_H_
+
+#include <string>
+
+#include "datalog/adornment.h"
+#include "datalog/ast.h"
+#include "datalog/program.h"
+
+namespace mpqe {
+
+std::string AdornedAtomToString(const Atom& atom, const Adornment& adornment,
+                                const Program& program,
+                                const SymbolTable* symbols);
+
+}  // namespace mpqe
+
+#endif  // MPQE_SIPS_ADORNED_PRINTER_H_

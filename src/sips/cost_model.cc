@@ -1,0 +1,97 @@
+#include "sips/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace mpqe {
+namespace {
+
+std::set<VariableId> AtomVars(const Atom& atom) {
+  std::set<VariableId> vars;
+  for (const Term& t : atom.args) {
+    if (t.is_variable()) vars.insert(t.var());
+  }
+  return vars;
+}
+
+}  // namespace
+
+std::string OrderCost::ToString() const {
+  return StrCat("order=[", StrJoin(order, ","), "] log_max=",
+                log_max_intermediate, " generated=", total_generated,
+                " cost=", total_cost);
+}
+
+OrderCost EstimateOrderCost(const Rule& rule, const Adornment& head_adornment,
+                            const std::vector<size_t>& order,
+                            const CostModelParams& params) {
+  OrderCost out;
+  out.order = order;
+
+  // The running "context" relation: its variables and log10 size.
+  std::set<VariableId> context_vars;
+  for (size_t i = 0; i < rule.head.args.size(); ++i) {
+    const Term& t = rule.head.args[i];
+    if (t.is_variable() && IsBound(head_adornment[i])) {
+      context_vars.insert(t.var());
+    }
+  }
+  double log_context = 0.0;  // one tuple request
+
+  for (size_t k : order) {
+    const Atom& atom = rule.body[k];
+    // Constants act as selections on the subgoal relation.
+    size_t constant_args = 0;
+    for (const Term& t : atom.args) {
+      if (t.is_constant()) ++constant_args;
+    }
+    double log_subgoal = params.log_relation_size *
+                         std::pow(params.alpha, static_cast<double>(constant_args));
+
+    // Join with the context: one order-of-magnitude reduction per
+    // shared variable (each is a pair of join arguments).
+    std::set<VariableId> vars = AtomVars(atom);
+    size_t shared = 0;
+    for (VariableId v : vars) {
+      if (context_vars.count(v) != 0) ++shared;
+    }
+    double log_result = (log_context + log_subgoal) *
+                        std::pow(params.alpha, static_cast<double>(shared));
+
+    out.total_cost += std::pow(10.0, log_context) +
+                      std::pow(10.0, log_subgoal) +
+                      std::pow(10.0, log_result);
+    out.total_generated += std::pow(10.0, log_result);
+    out.log_max_intermediate = std::max(out.log_max_intermediate, log_result);
+
+    context_vars.insert(vars.begin(), vars.end());
+    log_context = log_result;
+  }
+  return out;
+}
+
+StatusOr<std::vector<OrderCost>> EnumerateOrderCosts(
+    const Rule& rule, const Adornment& head_adornment,
+    const CostModelParams& params) {
+  size_t n = rule.body.size();
+  if (n > 8) {
+    return InvalidArgumentError(
+        StrCat("rule body too large to enumerate (", n, " > 8 subgoals)"));
+  }
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::vector<OrderCost> costs;
+  do {
+    costs.push_back(EstimateOrderCost(rule, head_adornment, order, params));
+  } while (std::next_permutation(order.begin(), order.end()));
+  std::sort(costs.begin(), costs.end(),
+            [](const OrderCost& a, const OrderCost& b) {
+              return a.total_cost < b.total_cost;
+            });
+  return costs;
+}
+
+}  // namespace mpqe

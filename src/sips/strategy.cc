@@ -1,0 +1,269 @@
+#include "sips/strategy.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "hypergraph/monotone_flow.h"
+#include "sips/adorned_printer.h"
+
+namespace mpqe {
+
+SipsResult ClassifySubgoals(const Rule& rule, const Adornment& head_adornment,
+                            const std::vector<size_t>& order,
+                            const ClassifyOptions& options) {
+  MPQE_CHECK(head_adornment.size() == rule.head.arity());
+  MPQE_CHECK(order.size() == rule.body.size());
+
+  // Bound variables and which subgoal furnished them (-1 = the head).
+  std::unordered_map<VariableId, int> provider;
+  for (size_t i = 0; i < rule.head.args.size(); ++i) {
+    const Term& t = rule.head.args[i];
+    if (t.is_variable() && IsBound(head_adornment[i])) {
+      provider.emplace(t.var(), -1);
+    }
+  }
+
+  // In how many subgoals does each variable occur?
+  std::unordered_map<VariableId, int> subgoal_count;
+  for (const Atom& a : rule.body) {
+    std::vector<VariableId> vars;
+    CollectVariables(a, vars);
+    for (VariableId v : vars) subgoal_count[v]++;
+  }
+
+  // Does the head need the variable's value (occurs at a non-e head
+  // position)? Head-e occurrences require existence only.
+  std::unordered_set<VariableId> head_needs_value;
+  for (size_t i = 0; i < rule.head.args.size(); ++i) {
+    const Term& t = rule.head.args[i];
+    if (t.is_variable() && head_adornment[i] != BindingClass::kExistential) {
+      head_needs_value.insert(t.var());
+    }
+  }
+
+  SipsResult result;
+  result.subgoal_adornments.resize(rule.body.size());
+  result.arcs.resize(rule.body.size());
+  result.order = order;
+
+  for (size_t k : order) {
+    const Atom& atom = rule.body[k];
+    std::vector<VariableId> vars;
+    CollectVariables(atom, vars);
+
+    // Decide the class of each distinct variable of this subgoal.
+    std::unordered_map<VariableId, BindingClass> var_class;
+    std::unordered_set<size_t> arc_sources;
+    for (VariableId v : vars) {
+      auto bound_it = provider.find(v);
+      if (bound_it != provider.end() &&
+          (options.use_dynamic || bound_it->second == -1)) {
+        var_class[v] = BindingClass::kDynamic;
+        if (bound_it->second >= 0) {
+          arc_sources.insert(static_cast<size_t>(bound_it->second));
+        }
+      } else if (options.use_existential && subgoal_count[v] == 1 &&
+                 head_needs_value.count(v) == 0) {
+        var_class[v] = BindingClass::kExistential;
+      } else {
+        var_class[v] = BindingClass::kFree;
+      }
+    }
+
+    Adornment& adornment = result.subgoal_adornments[k];
+    adornment.resize(atom.args.size());
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const Term& t = atom.args[i];
+      adornment[i] = t.is_constant() ? BindingClass::kConstant
+                                     : var_class[t.var()];
+    }
+    for (size_t source : arc_sources) result.arcs[source].push_back(k);
+
+    // This subgoal's f variables are bound for later subgoals.
+    for (VariableId v : vars) {
+      if (var_class[v] == BindingClass::kFree) provider.emplace(v, static_cast<int>(k));
+    }
+  }
+  for (auto& arc : result.arcs) std::sort(arc.begin(), arc.end());
+  return result;
+}
+
+std::string SipsResult::ToString(const Rule& rule,
+                                 const Program& program) const {
+  return StrJoin(order, " -> ", [&](std::ostream& os, size_t k) {
+    os << AdornedAtomToString(rule.body[k], subgoal_adornments[k], program,
+                              nullptr);
+  });
+}
+
+namespace {
+
+// Counts arguments of `atom` that are constants or currently bound vars.
+size_t BoundArgumentCount(const Atom& atom,
+                          const std::unordered_set<VariableId>& bound) {
+  size_t n = 0;
+  for (const Term& t : atom.args) {
+    if (t.is_constant() || bound.count(t.var()) != 0) ++n;
+  }
+  return n;
+}
+
+std::unordered_set<VariableId> HeadBoundVars(const Rule& rule,
+                                             const Adornment& head_adornment) {
+  std::unordered_set<VariableId> bound;
+  for (size_t i = 0; i < rule.head.args.size(); ++i) {
+    const Term& t = rule.head.args[i];
+    if (t.is_variable() && IsBound(head_adornment[i])) bound.insert(t.var());
+  }
+  return bound;
+}
+
+class GreedyStrategy : public SipsStrategy {
+ public:
+  GreedyStrategy() = default;
+  explicit GreedyStrategy(const ClassifyOptions& options)
+      : options_(options) {}
+
+  std::string name() const override {
+    return options_.use_existential ? "greedy" : "greedy_no_e";
+  }
+
+  StatusOr<SipsResult> Classify(const Rule& rule,
+                                const Adornment& head_adornment,
+                                const Program& program) const override {
+    (void)program;
+    std::unordered_set<VariableId> bound = HeadBoundVars(rule, head_adornment);
+    size_t n = rule.body.size();
+    std::vector<bool> taken(n, false);
+    std::vector<size_t> order;
+    order.reserve(n);
+    for (size_t step = 0; step < n; ++step) {
+      size_t best = n;
+      size_t best_bound = 0;
+      for (size_t k = 0; k < n; ++k) {
+        if (taken[k]) continue;
+        size_t b = BoundArgumentCount(rule.body[k], bound);
+        if (best == n || b > best_bound) {
+          best = k;
+          best_bound = b;
+        }
+      }
+      taken[best] = true;
+      order.push_back(best);
+      std::vector<VariableId> vars;
+      CollectVariables(rule.body[best], vars);
+      bound.insert(vars.begin(), vars.end());
+    }
+    return ClassifySubgoals(rule, head_adornment, order, options_);
+  }
+
+ private:
+  ClassifyOptions options_;
+};
+
+class LeftToRightStrategy : public SipsStrategy {
+ public:
+  std::string name() const override { return "left_to_right"; }
+
+  StatusOr<SipsResult> Classify(const Rule& rule,
+                                const Adornment& head_adornment,
+                                const Program& program) const override {
+    (void)program;
+    std::vector<size_t> order(rule.body.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    return ClassifySubgoals(rule, head_adornment, order, ClassifyOptions{});
+  }
+};
+
+class QualTreeStrategy : public SipsStrategy {
+ public:
+  explicit QualTreeStrategy(bool fall_back_to_greedy)
+      : fall_back_to_greedy_(fall_back_to_greedy) {}
+
+  std::string name() const override {
+    return fall_back_to_greedy_ ? "qual_tree_or_greedy" : "qual_tree";
+  }
+
+  StatusOr<SipsResult> Classify(const Rule& rule,
+                                const Adornment& head_adornment,
+                                const Program& program) const override {
+    MonotoneFlowResult flow = TestMonotoneFlow(rule, head_adornment, program);
+    if (!flow.has_monotone_flow) {
+      if (fall_back_to_greedy_) {
+        return GreedyStrategy().Classify(rule, head_adornment, program);
+      }
+      return FailedPreconditionError(StrCat(
+          "rule lacks the monotone flow property (cyclic evaluation "
+          "hypergraph): ",
+          flow.evaluation.hypergraph.ToString()));
+    }
+    RootedQualTree rooted =
+        RootQualTree(flow.gyo.qual_tree, flow.evaluation.head_edge);
+    std::vector<size_t> order;
+    order.reserve(rule.body.size());
+    for (size_t edge : rooted.preorder) {
+      if (edge == flow.evaluation.head_edge) continue;
+      order.push_back(edge - 1);  // edge i+1 is body subgoal i
+    }
+    return ClassifySubgoals(rule, head_adornment, order, ClassifyOptions{});
+  }
+
+ private:
+  bool fall_back_to_greedy_;
+};
+
+class NoSipsStrategy : public SipsStrategy {
+ public:
+  std::string name() const override { return "no_sips"; }
+
+  StatusOr<SipsResult> Classify(const Rule& rule,
+                                const Adornment& head_adornment,
+                                const Program& program) const override {
+    (void)program;
+    std::vector<size_t> order(rule.body.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    ClassifyOptions options;
+    options.use_dynamic = false;
+    options.use_existential = false;
+    return ClassifySubgoals(rule, head_adornment, order, options);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SipsStrategy> MakeGreedyStrategy() {
+  return std::make_unique<GreedyStrategy>();
+}
+std::unique_ptr<SipsStrategy> MakeGreedyNoExistentialStrategy() {
+  ClassifyOptions options;
+  options.use_existential = false;
+  return std::make_unique<GreedyStrategy>(options);
+}
+std::unique_ptr<SipsStrategy> MakeLeftToRightStrategy() {
+  return std::make_unique<LeftToRightStrategy>();
+}
+std::unique_ptr<SipsStrategy> MakeQualTreeStrategy() {
+  return std::make_unique<QualTreeStrategy>(/*fall_back_to_greedy=*/false);
+}
+std::unique_ptr<SipsStrategy> MakeQualTreeOrGreedyStrategy() {
+  return std::make_unique<QualTreeStrategy>(/*fall_back_to_greedy=*/true);
+}
+std::unique_ptr<SipsStrategy> MakeNoSipsStrategy() {
+  return std::make_unique<NoSipsStrategy>();
+}
+
+StatusOr<std::unique_ptr<SipsStrategy>> MakeStrategyByName(
+    const std::string& name) {
+  if (name == "greedy") return MakeGreedyStrategy();
+  if (name == "greedy_no_e") return MakeGreedyNoExistentialStrategy();
+  if (name == "left_to_right") return MakeLeftToRightStrategy();
+  if (name == "qual_tree") return MakeQualTreeStrategy();
+  if (name == "qual_tree_or_greedy") return MakeQualTreeOrGreedyStrategy();
+  if (name == "no_sips") return MakeNoSipsStrategy();
+  return InvalidArgumentError(StrCat("unknown sips strategy: ", name));
+}
+
+}  // namespace mpqe

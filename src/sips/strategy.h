@@ -1,0 +1,113 @@
+// Information passing strategies (Def. 2.3): given a rule whose head
+// has known binding classes, decide the order in which subgoals are
+// solved and classify every subgoal argument as c/d/e/f. "Essentially,
+// Prolog solves the subgoals in order, left to right. Here the system
+// decides in which order to solve them" (§2.2).
+//
+// A strategy is an acyclic directed graph on the subgoals: the arc
+// r -> s is present whenever an "f" argument of r furnishes bindings
+// for a "d" argument of s.
+
+#ifndef MPQE_SIPS_STRATEGY_H_
+#define MPQE_SIPS_STRATEGY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/adornment.h"
+#include "datalog/ast.h"
+#include "datalog/program.h"
+
+namespace mpqe {
+
+// The output of a strategy for one rule instance.
+struct SipsResult {
+  // Adornment of each body subgoal (parallel to rule.body).
+  std::vector<Adornment> subgoal_adornments;
+  // Evaluation order: a permutation of body indexes; when subgoal
+  // order[k] is solved, every d argument of it is already furnished by
+  // the head or by subgoals order[0..k-1].
+  std::vector<size_t> order;
+  // arcs[i] = subgoals whose d arguments receive bindings from an f
+  // argument of subgoal i (the Def. 2.3 graph; head-furnished bindings
+  // do not appear).
+  std::vector<std::vector<size_t>> arcs;
+
+  std::string ToString(const Rule& rule, const Program& program) const;
+};
+
+// Tuning knobs shared by the strategies.
+struct ClassifyOptions {
+  // If false, never produce class d: subgoals are requested with free
+  // arguments and intermediate relations are computed in full (the
+  // McKay-Shapiro-style baseline of §1.1).
+  bool use_dynamic = true;
+  // If false, never produce class e (treat single-use variables as f).
+  bool use_existential = true;
+};
+
+/// Classifies subgoal arguments for a fixed evaluation `order`
+/// (permutation of body indexes):
+///   * constants -> c;
+///   * variables already bound (head c/d positions or an earlier
+///     subgoal's f/e argument) -> d;
+///   * unbound variables occurring in exactly one subgoal whose head
+///     occurrences (if any) are all class e -> e;
+///   * all other variables -> f (and become bound for later subgoals).
+SipsResult ClassifySubgoals(const Rule& rule, const Adornment& head_adornment,
+                            const std::vector<size_t>& order,
+                            const ClassifyOptions& options);
+
+// Strategy interface. Implementations are stateless and thread-safe.
+class SipsStrategy {
+ public:
+  virtual ~SipsStrategy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Chooses an order and classifies the subgoals of `rule` given the
+  /// binding classes of its head.
+  virtual StatusOr<SipsResult> Classify(const Rule& rule,
+                                        const Adornment& head_adornment,
+                                        const Program& program) const = 0;
+};
+
+/// Greedy strategy (Def. 2.4): repeatedly solve next a subgoal with
+/// the maximum number of bound arguments, so the set of d arguments is
+/// "maximally pushed forward". Ties break toward textual order.
+std::unique_ptr<SipsStrategy> MakeGreedyStrategy();
+
+/// Greedy ordering but with the class-e optimization disabled
+/// (single-use variables stay f; values are transmitted). Isolates the
+/// benefit of the "e" designation (§2.2).
+std::unique_ptr<SipsStrategy> MakeGreedyNoExistentialStrategy();
+
+/// Prolog-style: subgoals in textual left-to-right order.
+std::unique_ptr<SipsStrategy> MakeLeftToRightStrategy();
+
+/// Qual-tree strategy (Thm. 4.1): requires the rule to have the
+/// monotone flow property; directs the qual tree away from the root
+/// and solves subgoals in BFS preorder. Fails with
+/// FailedPreconditionError when the evaluation hypergraph is cyclic.
+std::unique_ptr<SipsStrategy> MakeQualTreeStrategy();
+
+/// Like the qual-tree strategy but falls back to greedy on rules
+/// without monotone flow (the practical default).
+std::unique_ptr<SipsStrategy> MakeQualTreeOrGreedyStrategy();
+
+/// No sideways information passing: all variables class f (constants
+/// still c). Reproduces the "intermediate relations tend to be
+/// entirely computed" behavior of [MS81].
+std::unique_ptr<SipsStrategy> MakeNoSipsStrategy();
+
+/// Factory by name ("greedy", "greedy_no_e", "left_to_right",
+/// "qual_tree", "qual_tree_or_greedy", "no_sips") for CLI tools and
+/// benches.
+StatusOr<std::unique_ptr<SipsStrategy>> MakeStrategyByName(
+    const std::string& name);
+
+}  // namespace mpqe
+
+#endif  // MPQE_SIPS_STRATEGY_H_

@@ -1,0 +1,213 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace mpqe {
+namespace workload {
+namespace {
+
+Status AddEdge(Database& db, std::string_view name, int64_t a, int64_t b) {
+  return db.InsertFact(name, {Value::Int(a), Value::Int(b)}).status();
+}
+
+}  // namespace
+
+Status MakeChain(Database& db, std::string_view name, int64_t n) {
+  MPQE_RETURN_IF_ERROR(db.CreateRelation(name, 2));
+  for (int64_t i = 0; i + 1 < n; ++i) {
+    MPQE_RETURN_IF_ERROR(AddEdge(db, name, i, i + 1));
+  }
+  return Status::Ok();
+}
+
+Status MakeCycle(Database& db, std::string_view name, int64_t n) {
+  MPQE_RETURN_IF_ERROR(db.CreateRelation(name, 2));
+  for (int64_t i = 0; i < n; ++i) {
+    MPQE_RETURN_IF_ERROR(AddEdge(db, name, i, (i + 1) % n));
+  }
+  return Status::Ok();
+}
+
+Status MakeBinaryTree(Database& db, std::string_view name, int64_t n) {
+  MPQE_RETURN_IF_ERROR(db.CreateRelation(name, 2));
+  for (int64_t i = 0; i < n; ++i) {
+    if (2 * i + 1 < n) MPQE_RETURN_IF_ERROR(AddEdge(db, name, i, 2 * i + 1));
+    if (2 * i + 2 < n) MPQE_RETURN_IF_ERROR(AddEdge(db, name, i, 2 * i + 2));
+  }
+  return Status::Ok();
+}
+
+Status MakeRandomGraph(Database& db, std::string_view name, int64_t n,
+                       int64_t out_degree, Rng& rng) {
+  MPQE_RETURN_IF_ERROR(db.CreateRelation(name, 2));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t k = 0; k < out_degree; ++k) {
+      MPQE_RETURN_IF_ERROR(
+          AddEdge(db, name, i, static_cast<int64_t>(rng.Below(
+                                   static_cast<uint64_t>(n)))));
+    }
+  }
+  return Status::Ok();
+}
+
+Status MakeGrid(Database& db, std::string_view name, int64_t rows,
+                int64_t cols) {
+  MPQE_RETURN_IF_ERROR(db.CreateRelation(name, 2));
+  auto id = [cols](int64_t r, int64_t c) { return r * cols + c; };
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      if (r + 1 < rows) {
+        MPQE_RETURN_IF_ERROR(AddEdge(db, name, id(r, c), id(r + 1, c)));
+      }
+      if (c + 1 < cols) {
+        MPQE_RETURN_IF_ERROR(AddEdge(db, name, id(r, c), id(r, c + 1)));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string LinearTcProgram(int64_t from) {
+  return StrCat(
+      "tc(X, Y) :- edge(X, Y).\n"
+      "tc(X, Y) :- edge(X, Z), tc(Z, Y).\n"
+      "?- tc(", from, ", W).\n");
+}
+
+std::string LeftRecursiveTcProgram(int64_t from) {
+  return StrCat(
+      "tc(X, Y) :- tc(X, Z), edge(Z, Y).\n"
+      "tc(X, Y) :- edge(X, Y).\n"
+      "?- tc(", from, ", W).\n");
+}
+
+std::string NonlinearTcProgram(int64_t from) {
+  return StrCat(
+      "tc(X, Y) :- edge(X, Y).\n"
+      "tc(X, Y) :- tc(X, Z), tc(Z, Y).\n"
+      "?- tc(", from, ", W).\n");
+}
+
+std::string P1Program(int64_t from) {
+  return StrCat(
+      "p(X, Y) :- p(X, V), q(V, W), p(W, Y).\n"
+      "p(X, Y) :- r(X, Y).\n"
+      "?- p(", from, ", Z).\n");
+}
+
+std::string SameGenerationProgram(int64_t from) {
+  return StrCat(
+      "sg(X, X) :- person(X).\n"
+      "sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).\n"
+      "?- sg(", from, ", W).\n");
+}
+
+StatusOr<RandomProgram> MakeRandomProgram(const RandomProgramOptions& options,
+                                          Rng& rng) {
+  std::string text;
+
+  // Fixed arities per predicate.
+  std::vector<int> edb_arity(static_cast<size_t>(options.edb_predicates));
+  std::vector<int> idb_arity(static_cast<size_t>(options.idb_predicates));
+  for (auto& a : edb_arity) {
+    a = 1 + static_cast<int>(rng.Below(static_cast<uint64_t>(options.max_arity)));
+  }
+  for (auto& a : idb_arity) {
+    a = 1 + static_cast<int>(rng.Below(static_cast<uint64_t>(options.max_arity)));
+  }
+
+  // Facts.
+  for (int e = 0; e < options.edb_predicates; ++e) {
+    for (int f = 0; f < options.edb_facts_per_relation; ++f) {
+      std::vector<std::string> consts;
+      for (int i = 0; i < edb_arity[static_cast<size_t>(e)]; ++i) {
+        consts.push_back(StrCat(
+            rng.Below(static_cast<uint64_t>(options.edb_nodes))));
+      }
+      text += StrCat("e", e, "(", StrJoin(consts, ", "), ").\n");
+    }
+  }
+
+  // Rules. Variables come from a small shared pool so atoms join.
+  const int var_pool = options.max_arity + 2;
+  auto random_var = [&] {
+    return StrCat("V", rng.Below(static_cast<uint64_t>(var_pool)));
+  };
+  for (int p = 0; p < options.idb_predicates; ++p) {
+    for (int r = 0; r < options.rules_per_idb; ++r) {
+      int arity = idb_arity[static_cast<size_t>(p)];
+      std::vector<std::string> head_vars;
+      for (int i = 0; i < arity; ++i) head_vars.push_back(StrCat("V", i));
+
+      std::vector<std::string> body;
+      std::set<std::string> body_vars;
+      int atoms = 1 + static_cast<int>(
+                          rng.Below(static_cast<uint64_t>(options.max_body_atoms)));
+      for (int a = 0; a < atoms; ++a) {
+        bool use_idb = rng.Chance(options.recursion_bias) &&
+                       options.idb_predicates > 0;
+        std::string pred;
+        int pred_arity;
+        if (use_idb) {
+          int q = static_cast<int>(
+              rng.Below(static_cast<uint64_t>(options.idb_predicates)));
+          pred = StrCat("p", q);
+          pred_arity = idb_arity[static_cast<size_t>(q)];
+        } else {
+          int q = static_cast<int>(
+              rng.Below(static_cast<uint64_t>(options.edb_predicates)));
+          pred = StrCat("e", q);
+          pred_arity = edb_arity[static_cast<size_t>(q)];
+        }
+        std::vector<std::string> args;
+        for (int i = 0; i < pred_arity; ++i) {
+          if (rng.Chance(0.15)) {
+            args.push_back(StrCat(
+                rng.Below(static_cast<uint64_t>(options.edb_nodes))));
+          } else {
+            std::string v = random_var();
+            body_vars.insert(v);
+            args.push_back(v);
+          }
+        }
+        body.push_back(StrCat(pred, "(", StrJoin(args, ", "), ")"));
+      }
+      // Safety: every head variable must occur in the body; patch with
+      // an EDB atom per missing variable.
+      for (const std::string& hv : head_vars) {
+        if (body_vars.count(hv) != 0) continue;
+        int q = static_cast<int>(
+            rng.Below(static_cast<uint64_t>(options.edb_predicates)));
+        std::vector<std::string> args;
+        for (int i = 0; i < edb_arity[static_cast<size_t>(q)]; ++i) {
+          args.push_back(hv);  // repeated variable is fine
+        }
+        body.push_back(StrCat("e", q, "(", StrJoin(args, ", "), ")"));
+        body_vars.insert(hv);
+      }
+      text += StrCat("p", p, "(", StrJoin(head_vars, ", "),
+                     ") :- ", StrJoin(body, ", "), ".\n");
+    }
+  }
+
+  // Query the last IDB predicate with a bound first argument.
+  int qp = options.idb_predicates - 1;
+  int qarity = idb_arity[static_cast<size_t>(qp)];
+  std::vector<std::string> qargs;
+  qargs.push_back(StrCat(rng.Below(static_cast<uint64_t>(options.edb_nodes))));
+  for (int i = 1; i < qarity; ++i) qargs.push_back(StrCat("Q", i));
+  text += StrCat("?- p", qp, "(", StrJoin(qargs, ", "), ").\n");
+
+  RandomProgram out;
+  out.text = text;
+  MPQE_ASSIGN_OR_RETURN(out.unit, Parse(text));
+  MPQE_RETURN_IF_ERROR(out.unit.program.Validate(&out.unit.database));
+  return out;
+}
+
+}  // namespace workload
+}  // namespace mpqe

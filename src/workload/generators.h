@@ -1,0 +1,93 @@
+// Workload generators for tests, examples, and the benchmark harness:
+// graph-shaped EDBs, the canonical programs the paper discusses
+// (including P1 from Example 2.1), and random safe Datalog programs
+// for differential property testing.
+
+#ifndef MPQE_WORKLOAD_GENERATORS_H_
+#define MPQE_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "datalog/parser.h"
+#include "datalog/program.h"
+#include "relational/database.h"
+
+namespace mpqe {
+namespace workload {
+
+// --- EDB graph generators -------------------------------------------------
+// All populate binary relation `name` over integer node ids 0..n-1.
+
+/// Chain: i -> i+1.
+Status MakeChain(Database& db, std::string_view name, int64_t n);
+
+/// Cycle: i -> (i+1) mod n.
+Status MakeCycle(Database& db, std::string_view name, int64_t n);
+
+/// Complete binary tree with edges parent -> child, nodes 0..n-1.
+Status MakeBinaryTree(Database& db, std::string_view name, int64_t n);
+
+/// Random digraph: each node gets `out_degree` random successors.
+Status MakeRandomGraph(Database& db, std::string_view name, int64_t n,
+                       int64_t out_degree, Rng& rng);
+
+/// Grid: node (r,c) -> (r+1,c) and (r,c+1), ids row-major.
+Status MakeGrid(Database& db, std::string_view name, int64_t rows,
+                int64_t cols);
+
+// --- Canonical programs ---------------------------------------------------
+// Each returns program text to be combined with an EDB built above.
+
+/// Right-linear transitive closure over `edge`, query tc(<from>, Z).
+std::string LinearTcProgram(int64_t from);
+
+/// Left-recursive transitive closure (Prolog's nemesis).
+std::string LeftRecursiveTcProgram(int64_t from);
+
+/// Nonlinear transitive closure: tc(X,Y) :- tc(X,Z), tc(Z,Y).
+std::string NonlinearTcProgram(int64_t from);
+
+/// The paper's P1 (Example 2.1) over EDB relations q and r:
+///   goal(Z) :- p(a, Z).
+///   p(X, Y) :- p(X, V), q(V, W), p(W, Y).
+///   p(X, Y) :- r(X, Y).
+/// `from` is the query constant (an integer node id here).
+std::string P1Program(int64_t from);
+
+/// Same-generation over `par` with a bound first argument.
+std::string SameGenerationProgram(int64_t from);
+
+// --- Random safe programs -------------------------------------------------
+
+struct RandomProgramOptions {
+  int idb_predicates = 3;   // p0..pk, plus goal
+  int edb_predicates = 2;   // e0..ek
+  int max_arity = 2;        // predicate arity in [1, max_arity]
+  int rules_per_idb = 2;
+  int max_body_atoms = 3;
+  int edb_nodes = 12;       // constants 0..edb_nodes-1
+  int edb_facts_per_relation = 24;
+  double recursion_bias = 0.5;  // chance a rule body reuses IDB preds
+};
+
+// A generated program+EDB pair (always parses and validates).
+struct RandomProgram {
+  std::string text;
+  ParsedUnit unit;
+};
+
+/// Generates a random range-restricted Datalog program with facts and
+/// one query on the last IDB predicate with a bound first argument.
+/// Every output validates; evaluation is guaranteed finite (function-
+/// free, finite constants).
+StatusOr<RandomProgram> MakeRandomProgram(const RandomProgramOptions& options,
+                                          Rng& rng);
+
+}  // namespace workload
+}  // namespace mpqe
+
+#endif  // MPQE_WORKLOAD_GENERATORS_H_

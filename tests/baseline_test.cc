@@ -1,0 +1,235 @@
+// Tests for the baseline evaluators: naive / semi-naive bottom-up and
+// top-down SLD (including its left-recursion failure mode, §1.2).
+
+#include <gtest/gtest.h>
+
+#include "baseline/bottom_up.h"
+#include "baseline/top_down_sld.h"
+#include "common/string_util.h"
+#include "datalog/parser.h"
+#include "workload/generators.h"
+
+namespace mpqe {
+namespace {
+
+Tuple T1(int64_t a) { return {Value::Int(a)}; }
+
+constexpr const char* kTc = R"(
+  edge(1, 2). edge(2, 3). edge(3, 4).
+  tc(X, Y) :- edge(X, Y).
+  tc(X, Y) :- edge(X, Z), tc(Z, Y).
+  ?- tc(1, W).
+)";
+
+TEST(NaiveBottomUpTest, TransitiveClosure) {
+  auto unit = Parse(kTc);
+  ASSERT_TRUE(unit.ok());
+  auto result = NaiveBottomUp(unit->program, unit->database);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->goal.size(), 3u);  // 2, 3, 4
+  EXPECT_TRUE(result->goal.Contains(T1(4)));
+  EXPECT_FALSE(result->goal.Contains(T1(1)));
+  // Full tc has 3+2+1 = 6 tuples; naive derives all of them.
+  EXPECT_EQ(result->idb_sizes.at("tc"), 6u);
+  EXPECT_GT(result->iterations, 1u);
+}
+
+TEST(SemiNaiveBottomUpTest, MatchesNaive) {
+  auto unit1 = Parse(kTc);
+  auto unit2 = Parse(kTc);
+  ASSERT_TRUE(unit1.ok() && unit2.ok());
+  auto naive = NaiveBottomUp(unit1->program, unit1->database);
+  auto semi = SemiNaiveBottomUp(unit2->program, unit2->database);
+  ASSERT_TRUE(naive.ok() && semi.ok());
+  EXPECT_TRUE(naive->goal == semi->goal);
+  EXPECT_EQ(naive->idb_sizes.at("tc"), semi->idb_sizes.at("tc"));
+  EXPECT_EQ(naive->total_derived, semi->total_derived);
+}
+
+TEST(SemiNaiveBottomUpTest, CyclicGraphTerminates) {
+  Database db;
+  ASSERT_TRUE(workload::MakeCycle(db, "edge", 10).ok());
+  Program program;
+  ASSERT_TRUE(
+      ParseInto(workload::LinearTcProgram(0), program, db).ok());
+  auto result = SemiNaiveBottomUp(program, db);
+  ASSERT_TRUE(result.ok());
+  // From node 0 in a 10-cycle every node is reachable.
+  EXPECT_EQ(result->goal.size(), 10u);
+  EXPECT_EQ(result->idb_sizes.at("tc"), 100u);
+}
+
+TEST(SemiNaiveBottomUpTest, NonlinearRecursion) {
+  Database db;
+  ASSERT_TRUE(workload::MakeChain(db, "edge", 8).ok());
+  Program program;
+  ASSERT_TRUE(ParseInto(workload::NonlinearTcProgram(0), program, db).ok());
+  auto result = SemiNaiveBottomUp(program, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->goal.size(), 7u);
+}
+
+TEST(SemiNaiveBottomUpTest, MutualRecursion) {
+  auto unit = Parse(R"(
+    zero(0).
+    succ(0, 1). succ(1, 2). succ(2, 3). succ(3, 4). succ(4, 5).
+    even(X) :- zero(X).
+    even(X) :- succ(Y, X), odd(Y).
+    odd(X) :- succ(Y, X), even(Y).
+    ?- even(N).
+  )");
+  ASSERT_TRUE(unit.ok());
+  auto result = SemiNaiveBottomUp(unit->program, unit->database);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->goal.size(), 3u);  // 0, 2, 4
+  EXPECT_TRUE(result->goal.Contains(T1(4)));
+  EXPECT_FALSE(result->goal.Contains(T1(3)));
+}
+
+TEST(SemiNaiveBottomUpTest, SameGeneration) {
+  auto unit = Parse(R"(
+    person(a). person(b). person(c). person(d).
+    par(b, a). par(c, a). par(d, b).
+    sg(X, X) :- person(X).
+    sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).
+    ?- sg(b, W).
+  )");
+  ASSERT_TRUE(unit.ok());
+  auto result = SemiNaiveBottomUp(unit->program, unit->database);
+  ASSERT_TRUE(result.ok());
+  // b is same-generation with itself and c.
+  EXPECT_EQ(result->goal.size(), 2u);
+  EXPECT_TRUE(result->goal.Contains({unit->database.Sym("c")}));
+}
+
+TEST(BottomUpTest, EmptyEdbGivesEmptyGoal) {
+  auto unit = Parse(R"(
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Y) :- edge(X, Z), tc(Z, Y).
+    ?- tc(1, W).
+  )");
+  ASSERT_TRUE(unit.ok());
+  auto result = SemiNaiveBottomUp(unit->program, unit->database);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->goal.size(), 0u);
+}
+
+TEST(BottomUpTest, ConstantsInRules) {
+  auto unit = Parse(R"(
+    likes(alice, beer). likes(bob, wine). likes(carol, beer).
+    beerfan(X) :- likes(X, beer).
+    ?- beerfan(W).
+  )");
+  ASSERT_TRUE(unit.ok());
+  auto result = NaiveBottomUp(unit->program, unit->database);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->goal.size(), 2u);
+}
+
+TEST(BottomUpTest, RepeatedVariables) {
+  auto unit = Parse(R"(
+    e(1, 1). e(1, 2). e(2, 2). e(3, 4).
+    selfloop(X) :- e(X, X).
+    ?- selfloop(W).
+  )");
+  ASSERT_TRUE(unit.ok());
+  auto result = SemiNaiveBottomUp(unit->program, unit->database);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->goal.size(), 2u);
+  EXPECT_TRUE(result->goal.Contains(T1(1)));
+  EXPECT_TRUE(result->goal.Contains(T1(2)));
+}
+
+TEST(BottomUpTest, SemiNaiveFewerIterationsThanNaiveDerivesSame) {
+  Database db1, db2;
+  ASSERT_TRUE(workload::MakeChain(db1, "edge", 30).ok());
+  ASSERT_TRUE(workload::MakeChain(db2, "edge", 30).ok());
+  Program p1, p2;
+  ASSERT_TRUE(ParseInto(workload::LinearTcProgram(0), p1, db1).ok());
+  ASSERT_TRUE(ParseInto(workload::LinearTcProgram(0), p2, db2).ok());
+  auto naive = NaiveBottomUp(p1, db1);
+  auto semi = SemiNaiveBottomUp(p2, db2);
+  ASSERT_TRUE(naive.ok() && semi.ok());
+  EXPECT_TRUE(naive->goal == semi->goal);
+  EXPECT_EQ(naive->goal.size(), 29u);
+}
+
+TEST(TopDownSldTest, AnswersSimpleQueries) {
+  auto unit = Parse(kTc);
+  ASSERT_TRUE(unit.ok());
+  auto result = TopDownSld(unit->program, unit->database);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->complete());
+  EXPECT_EQ(result->answers.size(), 3u);
+  EXPECT_TRUE(result->answers.Contains(T1(4)));
+}
+
+TEST(TopDownSldTest, LeftRecursionHitsDepthCap) {
+  // The classic Prolog failure: t(X,Y) :- t(X,Z), e(Z,Y) loops.
+  Database db;
+  ASSERT_TRUE(workload::MakeChain(db, "edge", 4).ok());
+  Program program;
+  ASSERT_TRUE(ParseInto(workload::LeftRecursiveTcProgram(0), program, db).ok());
+  SldOptions options;
+  options.max_depth = 50;
+  options.max_steps = 100000;
+  auto result = TopDownSld(program, db, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->complete());
+  EXPECT_TRUE(result->depth_exceeded || result->steps_exceeded);
+}
+
+TEST(TopDownSldTest, RightRecursionWorksOnAcyclicGraph) {
+  Database db;
+  ASSERT_TRUE(workload::MakeChain(db, "edge", 6).ok());
+  Program program;
+  ASSERT_TRUE(ParseInto(workload::LinearTcProgram(0), program, db).ok());
+  auto result = TopDownSld(program, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->complete());
+  EXPECT_EQ(result->answers.size(), 5u);
+}
+
+TEST(TopDownSldTest, CyclicDataLoopsEvenWithRightRecursion) {
+  // Right-linear TC on a cyclic graph: SLD revisits nodes forever;
+  // the paper's method terminates (duplicate elimination in cycles).
+  Database db;
+  ASSERT_TRUE(workload::MakeCycle(db, "edge", 5).ok());
+  Program program;
+  ASSERT_TRUE(ParseInto(workload::LinearTcProgram(0), program, db).ok());
+  SldOptions options;
+  options.max_depth = 40;
+  options.max_steps = 50000;
+  auto result = TopDownSld(program, db, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->complete());
+}
+
+TEST(WorkloadTest, GeneratorsProduceExpectedCounts) {
+  Database db;
+  ASSERT_TRUE(workload::MakeChain(db, "c", 10).ok());
+  EXPECT_EQ(db.GetRelation("c")->size(), 9u);
+  ASSERT_TRUE(workload::MakeCycle(db, "y", 10).ok());
+  EXPECT_EQ(db.GetRelation("y")->size(), 10u);
+  ASSERT_TRUE(workload::MakeBinaryTree(db, "t", 7).ok());
+  EXPECT_EQ(db.GetRelation("t")->size(), 6u);
+  ASSERT_TRUE(workload::MakeGrid(db, "g", 3, 3).ok());
+  EXPECT_EQ(db.GetRelation("g")->size(), 12u);
+  Rng rng(1);
+  ASSERT_TRUE(workload::MakeRandomGraph(db, "r", 10, 3, rng).ok());
+  EXPECT_LE(db.GetRelation("r")->size(), 30u);  // duplicates merged
+  EXPECT_GT(db.GetRelation("r")->size(), 10u);
+}
+
+TEST(WorkloadTest, RandomProgramsValidate) {
+  workload::RandomProgramOptions options;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    auto rp = workload::MakeRandomProgram(options, rng);
+    ASSERT_TRUE(rp.ok()) << "seed " << seed << ": " << rp.status();
+    EXPECT_FALSE(rp->unit.program.rules().empty());
+  }
+}
+
+}  // namespace
+}  // namespace mpqe

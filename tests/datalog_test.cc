@@ -1,0 +1,256 @@
+// Unit tests for src/datalog: parser, AST pools, program analysis,
+// validation.
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "datalog/program.h"
+
+namespace mpqe {
+namespace {
+
+TEST(ParserTest, ParsesFactsIntoDatabase) {
+  auto unit = Parse(R"(
+    edge(a, b).
+    edge(b, c).
+    num(1, -2).
+  )");
+  ASSERT_TRUE(unit.ok());
+  const Relation* edge = unit->database.GetRelation("edge");
+  ASSERT_NE(edge, nullptr);
+  EXPECT_EQ(edge->size(), 2u);
+  const Relation* num = unit->database.GetRelation("num");
+  ASSERT_NE(num, nullptr);
+  EXPECT_TRUE(num->Contains({Value::Int(1), Value::Int(-2)}));
+}
+
+TEST(ParserTest, ParsesRulesAndQuery) {
+  auto unit = Parse(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+    ?- p(a, W).
+  )");
+  ASSERT_TRUE(unit.ok());
+  const Program& prog = unit->program;
+  ASSERT_EQ(prog.rules().size(), 3u);
+  // The query became goal(W) :- p(a, W).
+  const Rule& q = prog.rules()[2];
+  EXPECT_EQ(prog.predicates().Name(q.head.predicate), "goal");
+  EXPECT_EQ(q.head.arity(), 1u);
+  ASSERT_EQ(q.body.size(), 1u);
+  EXPECT_EQ(prog.predicates().Name(q.body[0].predicate), "p");
+  EXPECT_TRUE(q.body[0].args[0].is_constant());
+  EXPECT_TRUE(q.body[0].args[1].is_variable());
+}
+
+TEST(ParserTest, VariablesAreClauseScoped) {
+  auto unit = Parse(R"(
+    p(X) :- a(X).
+    q(X) :- b(X).
+  )");
+  ASSERT_TRUE(unit.ok());
+  VariableId v1 = unit->program.rules()[0].head.args[0].var();
+  VariableId v2 = unit->program.rules()[1].head.args[0].var();
+  EXPECT_NE(v1, v2);
+}
+
+TEST(ParserTest, RepeatedVariableInClauseShared) {
+  auto unit = Parse("p(X, X) :- a(X).");
+  ASSERT_TRUE(unit.ok());
+  const Rule& r = unit->program.rules()[0];
+  EXPECT_EQ(r.head.args[0].var(), r.head.args[1].var());
+  EXPECT_EQ(r.head.args[0].var(), r.body[0].args[0].var());
+}
+
+TEST(ParserTest, AnonymousVariableIsFreshEachTime) {
+  auto unit = Parse("p(X) :- a(X, _), b(X, _).");
+  ASSERT_TRUE(unit.ok());
+  const Rule& r = unit->program.rules()[0];
+  EXPECT_NE(r.body[0].args[1].var(), r.body[1].args[1].var());
+}
+
+TEST(ParserTest, StringAndSymbolConstants) {
+  auto unit = Parse(R"(city("San Jose"). city(tokyo).)");
+  ASSERT_TRUE(unit.ok());
+  const Relation* city = unit->database.GetRelation("city");
+  ASSERT_NE(city, nullptr);
+  EXPECT_EQ(city->size(), 2u);
+  EXPECT_TRUE(city->Contains({unit->database.Sym("San Jose")}));
+  EXPECT_TRUE(city->Contains({unit->database.Sym("tokyo")}));
+}
+
+TEST(ParserTest, CommentsIgnored) {
+  auto unit = Parse(R"(
+    % a comment
+    f(1).  % trailing comment
+  )");
+  ASSERT_TRUE(unit.ok());
+  EXPECT_EQ(unit->database.TotalFacts(), 1u);
+}
+
+TEST(ParserTest, ZeroArityAtoms) {
+  auto unit = Parse(R"(
+    raining.
+    sad :- raining.
+  )");
+  ASSERT_TRUE(unit.ok());
+  EXPECT_EQ(unit->database.GetRelation("raining")->arity(), 0u);
+  EXPECT_EQ(unit->program.rules().size(), 1u);
+}
+
+TEST(ParserTest, RejectsFactWithVariable) {
+  auto unit = Parse("edge(a, X).");
+  ASSERT_FALSE(unit.ok());
+  EXPECT_EQ(unit.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserTest, RejectsArityClash) {
+  auto unit = Parse(R"(
+    p(X) :- e(X).
+    p(X, Y) :- e(X), e(Y).
+  )");
+  ASSERT_FALSE(unit.ok());
+}
+
+TEST(ParserTest, RejectsSyntaxErrors) {
+  EXPECT_FALSE(Parse("p(X :- q(X).").ok());
+  EXPECT_FALSE(Parse("p(X) :- .").ok());
+  EXPECT_FALSE(Parse("p(X)").ok());  // missing period
+  EXPECT_FALSE(Parse("p(X) q(X).").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("p(X) :- q(X). @").ok());
+}
+
+TEST(ParserTest, ReportsLineNumbers) {
+  auto unit = Parse("f(1).\nf(2).\np(X :- q.\n");
+  ASSERT_FALSE(unit.ok());
+  EXPECT_NE(unit.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ProgramTest, EdbIdbClassification) {
+  auto unit = Parse(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+    ?- p(a, W).
+  )");
+  ASSERT_TRUE(unit.ok());
+  const Program& prog = unit->program;
+  PredicateId p = prog.predicates().Find("p");
+  PredicateId e = prog.predicates().Find("e");
+  EXPECT_TRUE(prog.IsIdb(p));
+  EXPECT_TRUE(prog.IsEdb(e));
+  EXPECT_TRUE(prog.IsIdb(prog.GoalPredicate()));
+}
+
+TEST(ProgramTest, RecursionDetection) {
+  auto unit = Parse(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- e(X, Z), p(Z, Y).
+    s(X) :- p(X, X).
+    ?- s(W).
+  )");
+  ASSERT_TRUE(unit.ok());
+  const Program& prog = unit->program;
+  EXPECT_TRUE(prog.IsRecursive(prog.predicates().Find("p")));
+  EXPECT_FALSE(prog.IsRecursive(prog.predicates().Find("s")));
+  EXPECT_FALSE(prog.IsRecursive(prog.predicates().Find("e")));
+}
+
+TEST(ProgramTest, MutualRecursionDetection) {
+  auto unit = Parse(R"(
+    even(X) :- zero(X).
+    even(X) :- succ(Y, X), odd(Y).
+    odd(X) :- succ(Y, X), even(Y).
+    ?- even(N).
+  )");
+  ASSERT_TRUE(unit.ok());
+  const Program& prog = unit->program;
+  EXPECT_TRUE(prog.IsRecursive(prog.predicates().Find("even")));
+  EXPECT_TRUE(prog.IsRecursive(prog.predicates().Find("odd")));
+}
+
+TEST(ProgramTest, DependencySccOrder) {
+  auto unit = Parse(R"(
+    a(X) :- b(X).
+    b(X) :- base(X).
+    ?- a(X).
+  )");
+  ASSERT_TRUE(unit.ok());
+  PredicateDependencies deps = AnalyzeDependencies(unit->program);
+  const auto& preds = unit->program.predicates();
+  // Components are numbered callees-first: base < b < a < goal.
+  EXPECT_LT(deps.scc_of[preds.Find("base")], deps.scc_of[preds.Find("b")]);
+  EXPECT_LT(deps.scc_of[preds.Find("b")], deps.scc_of[preds.Find("a")]);
+  EXPECT_LT(deps.scc_of[preds.Find("a")],
+            deps.scc_of[unit->program.GoalPredicate()]);
+}
+
+TEST(ProgramTest, ValidateRequiresQuery) {
+  auto unit = Parse("p(X) :- e(X).");
+  ASSERT_TRUE(unit.ok());
+  Status s = unit->program.Validate(&unit->database);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ProgramTest, ValidateRejectsGoalInBody) {
+  auto unit = Parse(R"(
+    p(X) :- goal(X).
+    ?- p(X).
+  )");
+  ASSERT_TRUE(unit.ok());
+  EXPECT_FALSE(unit->program.Validate(&unit->database).ok());
+}
+
+TEST(ProgramTest, ValidateRejectsUnsafeRule) {
+  auto unit = Parse(R"(
+    p(X, Y) :- e(X).
+    ?- p(a, W).
+  )");
+  ASSERT_TRUE(unit.ok());
+  Status s = unit->program.Validate(&unit->database);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unsafe"), std::string::npos);
+}
+
+TEST(ProgramTest, ValidateRejectsMixedEdbIdb) {
+  auto unit = Parse(R"(
+    e(a, b).
+    e(X, Y) :- f(X, Y).
+    ?- e(X, Y).
+  )");
+  ASSERT_TRUE(unit.ok());
+  EXPECT_FALSE(unit->program.Validate(&unit->database).ok());
+}
+
+TEST(ProgramTest, ValidateCreatesEmptyEdbRelations) {
+  auto unit = Parse(R"(
+    p(X) :- never(X).
+    ?- p(X).
+  )");
+  ASSERT_TRUE(unit.ok());
+  ASSERT_TRUE(unit->program.Validate(&unit->database).ok());
+  ASSERT_NE(unit->database.GetRelation("never"), nullptr);
+  EXPECT_EQ(unit->database.GetRelation("never")->size(), 0u);
+}
+
+TEST(ProgramTest, RuleToStringRoundTrips) {
+  auto unit = Parse("p(X, Y) :- e(X, Z), p(Z, Y).");
+  ASSERT_TRUE(unit.ok());
+  std::string s = unit->program.RuleToString(unit->program.rules()[0],
+                                             &unit->database.symbols());
+  // Variable names carry a clause suffix; check shape.
+  EXPECT_NE(s.find("p("), std::string::npos);
+  EXPECT_NE(s.find(":-"), std::string::npos);
+  EXPECT_NE(s.find("e("), std::string::npos);
+  EXPECT_EQ(s.back(), '.');
+}
+
+TEST(ProgramTest, AddQueryCollectsVariablesInOrder) {
+  auto unit = Parse("?- e(X, Y), f(Y, Z).");
+  ASSERT_TRUE(unit.ok());
+  const Rule& q = unit->program.rules()[0];
+  EXPECT_EQ(q.head.arity(), 3u);  // X, Y, Z
+}
+
+}  // namespace
+}  // namespace mpqe

@@ -1,0 +1,302 @@
+// Tests for rule/goal graph construction (§2), reproducing the
+// structure of Fig. 1 for program P1 and checking Theorem 2.1, SCC
+// analysis, BFST/leader designation, and the feeder relation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/string_util.h"
+#include "datalog/parser.h"
+#include "graph/rule_goal_graph.h"
+#include "sips/strategy.h"
+
+namespace mpqe {
+namespace {
+
+constexpr const char* kP1 = R"(
+  p(X, Y) :- p(X, V), q(V, W), p(W, Y).
+  p(X, Y) :- r(X, Y).
+  ?- p(a, Z).
+)";
+
+std::unique_ptr<RuleGoalGraph> BuildOrDie(const char* text,
+                                          ParsedUnit& unit_out) {
+  auto unit = Parse(text);
+  EXPECT_TRUE(unit.ok()) << unit.status();
+  unit_out = std::move(unit).value();
+  EXPECT_TRUE(unit_out.program.Validate(&unit_out.database).ok());
+  auto strategy = MakeGreedyStrategy();
+  auto graph = RuleGoalGraph::Build(unit_out.program, *strategy);
+  EXPECT_TRUE(graph.ok()) << graph.status();
+  return std::move(graph).value();
+}
+
+// Counts nodes by kind and predicate+adornment signature.
+std::multiset<std::string> GoalSignatures(const RuleGoalGraph& g) {
+  std::multiset<std::string> sigs;
+  for (const GraphNode& n : g.nodes()) {
+    if (n.kind == NodeKind::kRule) continue;
+    sigs.insert(StrCat(g.program().predicates().Name(n.atom.predicate), "^",
+                       AdornmentToString(n.adornment), "/",
+                       NodeKindToString(n.kind)));
+  }
+  return sigs;
+}
+
+TEST(RuleGoalGraphTest, P1MatchesFig1Structure) {
+  ParsedUnit unit;
+  auto graph = BuildOrDie(kP1, unit);
+
+  GraphStats stats = graph->Stats();
+  // Fig. 1 (plus the trivial goal/goal-rule levels the paper omits):
+  //   goal^f -> rule -> p(a^c,Z^f)
+  //   p(a^c,Z^f): recursive rule + base rule
+  //     recursive: p(a^c,V^f)[cycle], q EDB, p(W^d,Z^f)
+  //     base: r(a^c,Z^f) EDB
+  //   p(W^d,Z^f): recursive rule + base rule
+  //     recursive: p(W^d,V'^f)[cycle], q EDB, p(W'^d,Z^f)[cycle]
+  //     base: r EDB
+  EXPECT_EQ(stats.rule_nodes, 5u);   // goal rule + 2 rules per p node
+  EXPECT_EQ(stats.cycle_refs, 3u);
+  EXPECT_EQ(stats.edb_leaves, 4u);   // q x2, r x2
+  EXPECT_EQ(stats.goal_nodes, 3u);   // goal, p(a^c,Z^f), p(W^d,Z^f)
+  EXPECT_EQ(stats.node_count, 15u);
+
+  std::multiset<std::string> sigs = GoalSignatures(*graph);
+  EXPECT_EQ(sigs.count("p^cf/goal"), 1u);
+  EXPECT_EQ(sigs.count("p^df/goal"), 1u);
+  EXPECT_EQ(sigs.count("p^cf/cycle_ref"), 1u);
+  EXPECT_EQ(sigs.count("p^df/cycle_ref"), 2u);
+  EXPECT_EQ(sigs.count("q^df/edb"), 2u);
+  EXPECT_EQ(sigs.count("r^cf/edb"), 1u);
+  EXPECT_EQ(sigs.count("r^df/edb"), 1u);
+}
+
+TEST(RuleGoalGraphTest, P1SccsAndLeaders) {
+  ParsedUnit unit;
+  auto graph = BuildOrDie(kP1, unit);
+
+  GraphStats stats = graph->Stats();
+  EXPECT_EQ(stats.nontrivial_sccs, 2u);
+
+  // Find the two p goal nodes.
+  NodeId p_cf = kNoNode, p_df = kNoNode;
+  for (const GraphNode& n : graph->nodes()) {
+    if (n.kind != NodeKind::kGoal) continue;
+    std::string name = graph->program().predicates().Name(n.atom.predicate);
+    if (name != "p") continue;
+    if (AdornmentToString(n.adornment) == "cf") p_cf = n.id;
+    if (AdornmentToString(n.adornment) == "df") p_df = n.id;
+  }
+  ASSERT_NE(p_cf, kNoNode);
+  ASSERT_NE(p_df, kNoNode);
+
+  // Both p goal nodes lead their components.
+  EXPECT_TRUE(graph->node(p_cf).is_leader);
+  EXPECT_TRUE(graph->node(p_df).is_leader);
+  EXPECT_NE(graph->node(p_cf).scc_id, graph->node(p_df).scc_id);
+
+  // p^cf's SCC: goal + recursive rule + 1 cycle ref = 3 members.
+  EXPECT_EQ(graph->scc_members(graph->node(p_cf).scc_id).size(), 3u);
+  // p^df's SCC: goal + recursive rule + 2 cycle refs = 4 members.
+  EXPECT_EQ(graph->scc_members(graph->node(p_df).scc_id).size(), 4u);
+
+  // p^df is a feeder of p^cf's recursive rule node (different SCCs).
+  const GraphNode& p_df_node = graph->node(p_df);
+  std::vector<NodeId> feeders = graph->Feeders(p_df_node.parent);
+  bool found = false;
+  for (NodeId f : feeders) {
+    if (f == p_df) found = true;
+  }
+  EXPECT_TRUE(found) << "p^df should feed the rule node above it";
+}
+
+TEST(RuleGoalGraphTest, P1BfstShape) {
+  ParsedUnit unit;
+  auto graph = BuildOrDie(kP1, unit);
+  for (const GraphNode& n : graph->nodes()) {
+    if (n.scc_is_trivial) {
+      EXPECT_FALSE(n.is_leader);
+      EXPECT_EQ(n.bfst_parent, kNoNode);
+      EXPECT_TRUE(n.bfst_children.empty());
+      continue;
+    }
+    if (n.is_leader) {
+      EXPECT_EQ(n.bfst_parent, kNoNode);
+      EXPECT_FALSE(n.bfst_children.empty());
+    } else {
+      ASSERT_NE(n.bfst_parent, kNoNode);
+      EXPECT_EQ(graph->node(n.bfst_parent).scc_id, n.scc_id);
+    }
+  }
+}
+
+TEST(RuleGoalGraphTest, NonRecursiveProgramHasNoCycles) {
+  ParsedUnit unit;
+  auto graph = BuildOrDie(R"(
+    grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+    ?- grandparent(a, Z).
+  )", unit);
+  GraphStats stats = graph->Stats();
+  EXPECT_EQ(stats.cycle_refs, 0u);
+  EXPECT_EQ(stats.nontrivial_sccs, 0u);
+  EXPECT_EQ(stats.edb_leaves, 2u);
+}
+
+TEST(RuleGoalGraphTest, LinearRecursionSingleScc) {
+  ParsedUnit unit;
+  auto graph = BuildOrDie(R"(
+    anc(X, Y) :- par(X, Y).
+    anc(X, Y) :- par(X, Z), anc(Z, Y).
+    ?- anc(a, W).
+  )", unit);
+  GraphStats stats = graph->Stats();
+  // anc(a^c, W^f) expands; recursive subgoal anc(Z^d, W^f) has a
+  // different adornment -> a second goal node, which then cycles to
+  // itself. Exactly one nontrivial SCC.
+  EXPECT_EQ(stats.nontrivial_sccs, 1u);
+  EXPECT_EQ(stats.cycle_refs, 1u);
+}
+
+TEST(RuleGoalGraphTest, LeftRecursionTerminates) {
+  // Strict top-down (Prolog) loops forever on this; graph construction
+  // must terminate (§1.2 "avoiding the well-known left recursion
+  // problems").
+  ParsedUnit unit;
+  auto graph = BuildOrDie(R"(
+    t(X, Y) :- t(X, Z), e(Z, Y).
+    t(X, Y) :- e(X, Y).
+    ?- t(a, W).
+  )", unit);
+  EXPECT_GT(graph->Stats().cycle_refs, 0u);
+}
+
+TEST(RuleGoalGraphTest, MutualRecursionFormsOneScc) {
+  ParsedUnit unit;
+  auto graph = BuildOrDie(R"(
+    even(X) :- zero(X).
+    even(X) :- succ(Y, X), odd(Y).
+    odd(X) :- succ(Y, X), even(Y).
+    ?- even(N).
+  )", unit);
+  GraphStats stats = graph->Stats();
+  EXPECT_EQ(stats.nontrivial_sccs, 1u);
+  EXPECT_GE(stats.cycle_refs, 1u);
+}
+
+TEST(RuleGoalGraphTest, GraphSizeIndependentOfEdb) {
+  // Theorem 2.1: the size of the graph is independent of the sizes of
+  // the EDB relations.
+  auto unit_small = Parse(StrCat(kP1, "\nq(1, 2). r(1, 2)."));
+  ASSERT_TRUE(unit_small.ok());
+  std::string big_facts = kP1;
+  for (int i = 0; i < 500; ++i) {
+    big_facts += StrCat("q(", i, ", ", i + 1, "). r(", i, ", ", i + 1, ").\n");
+  }
+  auto unit_big = Parse(big_facts);
+  ASSERT_TRUE(unit_big.ok());
+  auto strategy = MakeGreedyStrategy();
+  auto g_small = RuleGoalGraph::Build(unit_small->program, *strategy);
+  auto g_big = RuleGoalGraph::Build(unit_big->program, *strategy);
+  ASSERT_TRUE(g_small.ok());
+  ASSERT_TRUE(g_big.ok());
+  EXPECT_EQ((*g_small)->size(), (*g_big)->size());
+}
+
+TEST(RuleGoalGraphTest, HeadConstantsPruneRules) {
+  // A rule head with a constant that clashes with the goal constant
+  // does not unify and produces no rule node.
+  ParsedUnit unit;
+  auto graph = BuildOrDie(R"(
+    p(a, Y) :- r(Y).
+    p(b, Y) :- s(Y).
+    ?- p(a, Z).
+  )", unit);
+  // Only the p(a, Y) rule expands under p(a^c, Z^f).
+  size_t p_rules = 0;
+  for (const GraphNode& n : graph->nodes()) {
+    if (n.kind == NodeKind::kRule &&
+        graph->program().predicates().Name(n.rule.head.predicate) == "p") {
+      ++p_rules;
+    }
+  }
+  EXPECT_EQ(p_rules, 1u);
+  EXPECT_EQ(graph->Stats().edb_leaves, 1u);  // only r
+}
+
+TEST(RuleGoalGraphTest, RepeatedVariablePatternsGetDistinctNodes) {
+  // p(X, X) is not a variant of p(X, Y): both goal nodes must exist
+  // (see the technicality in the proof of Thm. 2.1).
+  ParsedUnit unit;
+  auto graph = BuildOrDie(R"(
+    p(X, Y) :- e(X, Y).
+    s(X) :- p(X, X).
+    t(X, Y) :- p(X, Y).
+    ?- s(A), t(A, B).
+  )", unit);
+  std::multiset<std::string> sigs = GoalSignatures(*graph);
+  // p appears once with repeated-var pattern (under s) and once plain.
+  EXPECT_EQ(sigs.count("p^df/goal") + sigs.count("p^dd/goal") +
+                sigs.count("p^ddd/goal"),
+            1u);
+  EXPECT_GE(sigs.count("e^df/edb") + sigs.count("e^dd/edb"), 1u);
+}
+
+TEST(RuleGoalGraphTest, NodeCapReturnsResourceExhausted) {
+  auto unit = Parse(kP1);
+  ASSERT_TRUE(unit.ok());
+  auto strategy = MakeGreedyStrategy();
+  GraphBuildOptions options;
+  options.max_nodes = 3;
+  auto graph = RuleGoalGraph::Build(unit->program, *strategy, options);
+  ASSERT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RuleGoalGraphTest, NoSipsGraphHasNoDynamicClasses) {
+  auto unit = Parse(kP1);
+  ASSERT_TRUE(unit.ok());
+  auto strategy = MakeNoSipsStrategy();
+  auto graph = RuleGoalGraph::Build(unit->program, *strategy);
+  ASSERT_TRUE(graph.ok());
+  for (const GraphNode& n : (*graph)->nodes()) {
+    for (BindingClass c : n.adornment) {
+      EXPECT_NE(c, BindingClass::kDynamic);
+      EXPECT_NE(c, BindingClass::kExistential);
+    }
+  }
+  // Without d-classes the two p occurrences collapse to one binding
+  // pattern: fewer distinct goal nodes, more cycle refs.
+  EXPECT_GE((*graph)->Stats().cycle_refs, 3u);
+}
+
+TEST(RuleGoalGraphTest, DotExportContainsAllNodes) {
+  ParsedUnit unit;
+  auto graph = BuildOrDie(kP1, unit);
+  std::string dot = GraphToDot(*graph, &unit.database.symbols());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // cycle edges
+  for (const GraphNode& n : graph->nodes()) {
+    EXPECT_NE(dot.find(StrCat("n", n.id, " ")), std::string::npos);
+  }
+}
+
+TEST(RuleGoalGraphTest, ToStringShowsLeaders) {
+  ParsedUnit unit;
+  auto graph = BuildOrDie(kP1, unit);
+  std::string s = graph->ToString(&unit.database.symbols());
+  EXPECT_NE(s.find("LEADER"), std::string::npos);
+  EXPECT_NE(s.find("cycle_ref"), std::string::npos);
+  EXPECT_NE(s.find("<=="), std::string::npos);
+}
+
+TEST(RuleGoalGraphTest, OutputPositionsSkipExistential) {
+  GraphNode n;
+  n.adornment = {BindingClass::kConstant, BindingClass::kExistential,
+                 BindingClass::kFree, BindingClass::kDynamic};
+  EXPECT_EQ(n.OutputPositions(), (std::vector<size_t>{0, 2, 3}));
+}
+
+}  // namespace
+}  // namespace mpqe

@@ -1,0 +1,61 @@
+// Tests for the logging/check machinery.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace mpqe {
+namespace {
+
+TEST(LoggingTest, CheckPassesSilently) {
+  MPQE_CHECK(1 + 1 == 2) << "never evaluated";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ MPQE_CHECK(false) << "boom value=" << 42; },
+               "CHECK failed.*false.*boom value=42");
+}
+
+TEST(LoggingDeathTest, CheckFailureShowsCondition) {
+  int x = 3;
+  EXPECT_DEATH({ MPQE_CHECK(x > 10) << "x=" << x; }, "x > 10");
+}
+
+TEST(LoggingTest, LogLevelFiltering) {
+  LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  MPQE_LOG(kInfo) << "hidden";
+  MPQE_LOG(kError) << "shown";
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("hidden"), std::string::npos);
+  EXPECT_NE(err.find("shown"), std::string::npos);
+  SetLogLevel(old_level);
+}
+
+TEST(LoggingTest, LogIncludesLevelAndLocation) {
+  LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  MPQE_LOG(kWarning) << "careful";
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("WARNING"), std::string::npos);
+  EXPECT_NE(err.find("logging_test.cc"), std::string::npos);
+  EXPECT_NE(err.find("careful"), std::string::npos);
+  SetLogLevel(old_level);
+}
+
+TEST(LoggingTest, DisabledLogDoesNotEvaluateExpensively) {
+  LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  // Streaming still evaluates arguments (by design — keep them cheap),
+  // but the message must not reach stderr.
+  testing::internal::CaptureStderr();
+  MPQE_LOG(kDebug) << "quiet";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  SetLogLevel(old_level);
+}
+
+}  // namespace
+}  // namespace mpqe

@@ -1,0 +1,129 @@
+// Algebraic properties of the relational operators over randomized
+// relations: commutativity/associativity of join (up to column
+// permutation), semijoin as a projection of join, selection/projection
+// interactions, and union/difference set laws.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "relational/operators.h"
+
+namespace mpqe {
+namespace {
+
+Relation RandomRelation(Rng& rng, size_t arity, size_t rows, int64_t domain) {
+  Relation r(arity);
+  for (size_t i = 0; i < rows; ++i) {
+    Tuple t;
+    for (size_t j = 0; j < arity; ++j) {
+      t.push_back(Value::Int(rng.Range(0, domain - 1)));
+    }
+    r.Insert(std::move(t));
+  }
+  return r;
+}
+
+class OperatorLaws : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OperatorLaws, JoinIsCommutativeUpToColumnOrder) {
+  Rng rng(GetParam());
+  Relation a = RandomRelation(rng, 2, 20, 6);
+  Relation b = RandomRelation(rng, 2, 20, 6);
+  Relation ab = Join(a, b, {{1, 0}});
+  Relation ba = Join(b, a, {{0, 1}});
+  // ab columns: a0 a1 b0 b1; ba columns: b0 b1 a0 a1.
+  Relation ba_reordered = Project(ba, {2, 3, 0, 1});
+  EXPECT_TRUE(ab == ba_reordered);
+}
+
+TEST_P(OperatorLaws, JoinIsAssociativeUpToColumnOrder) {
+  Rng rng(GetParam() + 50);
+  Relation a = RandomRelation(rng, 2, 12, 5);
+  Relation b = RandomRelation(rng, 2, 12, 5);
+  Relation c = RandomRelation(rng, 2, 12, 5);
+  // (a |><| b) |><| c, joining a1=b0 and b1=c0.
+  Relation ab = Join(a, b, {{1, 0}});
+  Relation ab_c = Join(ab, c, {{3, 0}});
+  // a |><| (b |><| c).
+  Relation bc = Join(b, c, {{1, 0}});
+  Relation a_bc = Join(a, bc, {{1, 0}});
+  EXPECT_TRUE(ab_c == a_bc);  // same column order: a0 a1 b0 b1 c0 c1
+}
+
+TEST_P(OperatorLaws, SemiJoinIsProjectedJoin) {
+  Rng rng(GetParam() + 100);
+  Relation a = RandomRelation(rng, 2, 25, 6);
+  Relation b = RandomRelation(rng, 2, 25, 6);
+  Relation semi = SemiJoin(a, b, {{1, 0}});
+  Relation join = Join(a, b, {{1, 0}});
+  Relation projected = Project(join, {0, 1});
+  EXPECT_TRUE(semi == projected);
+}
+
+TEST_P(OperatorLaws, SemiJoinIsIdempotent) {
+  Rng rng(GetParam() + 150);
+  Relation a = RandomRelation(rng, 2, 25, 6);
+  Relation b = RandomRelation(rng, 1, 10, 6);
+  Relation once = SemiJoin(a, b, {{0, 0}});
+  Relation twice = SemiJoin(once, b, {{0, 0}});
+  EXPECT_TRUE(once == twice);
+  // And a subset of the input.
+  for (const Tuple& t : once.tuples()) {
+    EXPECT_TRUE(a.Contains(t));
+  }
+}
+
+TEST_P(OperatorLaws, SelectionCommutesWithProjectionWhenColumnsKept) {
+  Rng rng(GetParam() + 200);
+  Relation a = RandomRelation(rng, 3, 30, 5);
+  Selection sel;
+  sel.value_conditions.push_back({0, Value::Int(2)});
+  Relation select_project = Project(Select(a, sel), {0, 2});
+  Selection sel2;
+  sel2.value_conditions.push_back({0, Value::Int(2)});
+  Relation project_select = Select(Project(a, {0, 2}), sel2);
+  EXPECT_TRUE(select_project == project_select);
+}
+
+TEST_P(OperatorLaws, UnionAndDifferenceLaws) {
+  Rng rng(GetParam() + 250);
+  Relation a = RandomRelation(rng, 2, 20, 5);
+  Relation b = RandomRelation(rng, 2, 20, 5);
+  // (a - b) ∪ (a ∩ b) == a, where a ∩ b = a - (a - b).
+  Relation diff = Difference(a, b);
+  Relation inter = Difference(a, diff);
+  EXPECT_TRUE(Union(diff, inter) == a);
+  // Union commutative; difference anti-monotone bound.
+  EXPECT_TRUE(Union(a, b) == Union(b, a));
+  EXPECT_LE(diff.size(), a.size());
+  for (const Tuple& t : inter.tuples()) {
+    EXPECT_TRUE(b.Contains(t));
+  }
+}
+
+TEST_P(OperatorLaws, JoinWithSelfOnAllColumnsIsIdentity) {
+  Rng rng(GetParam() + 300);
+  Relation a = RandomRelation(rng, 2, 15, 6);
+  Relation self = Join(a, a, {{0, 0}, {1, 1}});
+  Relation left = Project(self, {0, 1});
+  EXPECT_TRUE(left == a);
+}
+
+TEST_P(OperatorLaws, SelectThenCountMatchesManualFilter) {
+  Rng rng(GetParam() + 350);
+  Relation a = RandomRelation(rng, 3, 40, 4);
+  Selection sel;
+  sel.column_conditions.push_back({0, 2});
+  Relation out = Select(a, sel);
+  size_t expected = 0;
+  for (const Tuple& t : a.tuples()) {
+    if (t[0] == t[2]) ++expected;
+  }
+  EXPECT_EQ(out.size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OperatorLaws,
+                         ::testing::Range(uint64_t{0}, uint64_t{15}));
+
+}  // namespace
+}  // namespace mpqe

@@ -1,0 +1,230 @@
+// Unit tests for src/relational: values, tuples, relations, indexes,
+// operators, and the Database catalog.
+
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+#include "relational/operators.h"
+#include "relational/relation.h"
+
+namespace mpqe {
+namespace {
+
+Tuple T(std::initializer_list<int64_t> ints) {
+  Tuple t;
+  for (int64_t v : ints) t.push_back(Value::Int(v));
+  return t;
+}
+
+TEST(ValueTest, IntAndSymbolDistinct) {
+  EXPECT_NE(Value::Int(3), Value::Symbol(3));
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_LT(Value::Int(99), Value::Symbol(0));  // ints order before symbols
+}
+
+TEST(ValueTest, ToStringUsesSymbolTable) {
+  SymbolTable symbols;
+  Value v = symbols.Symbol("alice");
+  EXPECT_EQ(v.ToString(&symbols), "alice");
+  EXPECT_EQ(v.ToString(nullptr), "$0");
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+}
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable symbols;
+  int64_t a = symbols.Intern("x");
+  int64_t b = symbols.Intern("x");
+  int64_t c = symbols.Intern("y");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(symbols.size(), 2u);
+  EXPECT_EQ(symbols.Name(a), "x");
+  EXPECT_EQ(symbols.Name(c), "y");
+}
+
+TEST(TupleTest, ProjectTuple) {
+  Tuple t = T({10, 20, 30});
+  EXPECT_EQ(ProjectTuple(t, {2, 0}), T({30, 10}));
+  EXPECT_EQ(ProjectTuple(t, {}), T({}));
+  EXPECT_EQ(ProjectTuple(t, {1, 1}), T({20, 20}));
+}
+
+TEST(TupleTest, ToString) {
+  EXPECT_EQ(TupleToString(T({1, 2})), "(1, 2)");
+  EXPECT_EQ(TupleToString(T({})), "()");
+}
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert(T({1, 2})));
+  EXPECT_FALSE(r.Insert(T({1, 2})));
+  EXPECT_TRUE(r.Insert(T({2, 1})));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(T({1, 2})));
+  EXPECT_FALSE(r.Contains(T({9, 9})));
+}
+
+TEST(RelationTest, InsertionOrderStable) {
+  Relation r(1);
+  r.Insert(T({3}));
+  r.Insert(T({1}));
+  r.Insert(T({2}));
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.tuple(0), T({3}));
+  EXPECT_EQ(r.tuple(1), T({1}));
+  EXPECT_EQ(r.tuple(2), T({2}));
+  EXPECT_EQ(r.SortedTuples()[0], T({1}));
+}
+
+TEST(RelationTest, IndexProbeFindsMatches) {
+  Relation r(2);
+  r.Insert(T({1, 10}));
+  r.Insert(T({1, 11}));
+  r.Insert(T({2, 20}));
+  size_t idx = r.EnsureIndex({0});
+  const std::vector<size_t>* hits = r.Probe(idx, T({1}));
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->size(), 2u);
+  EXPECT_EQ(r.Probe(idx, T({5})), nullptr);
+}
+
+TEST(RelationTest, IndexMaintainedAcrossInserts) {
+  Relation r(2);
+  size_t idx = r.EnsureIndex({1});
+  r.Insert(T({1, 7}));
+  r.Insert(T({2, 7}));
+  const std::vector<size_t>* hits = r.Probe(idx, T({7}));
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->size(), 2u);
+}
+
+TEST(RelationTest, EnsureIndexReturnsSameHandle) {
+  Relation r(3);
+  EXPECT_EQ(r.EnsureIndex({0, 2}), r.EnsureIndex({0, 2}));
+  EXPECT_NE(r.EnsureIndex({0, 2}), r.EnsureIndex({2, 0}));
+}
+
+TEST(RelationTest, EqualityIgnoresInsertionOrder) {
+  Relation a(1), b(1);
+  a.Insert(T({1}));
+  a.Insert(T({2}));
+  b.Insert(T({2}));
+  b.Insert(T({1}));
+  EXPECT_TRUE(a == b);
+  b.Insert(T({3}));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(OperatorsTest, SelectByValueAndColumn) {
+  Relation r(3);
+  r.Insert(T({1, 1, 5}));
+  r.Insert(T({1, 2, 5}));
+  r.Insert(T({2, 2, 6}));
+  Selection sel;
+  sel.value_conditions.push_back({2, Value::Int(5)});
+  Relation out = Select(r, sel);
+  EXPECT_EQ(out.size(), 2u);
+
+  Selection eq;
+  eq.column_conditions.push_back({0, 1});
+  out = Select(r, eq);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out.Contains(T({1, 1, 5})));
+  EXPECT_TRUE(out.Contains(T({2, 2, 6})));
+}
+
+TEST(OperatorsTest, ProjectDeduplicates) {
+  Relation r(2);
+  r.Insert(T({1, 10}));
+  r.Insert(T({1, 20}));
+  Relation out = Project(r, {0});
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains(T({1})));
+}
+
+TEST(OperatorsTest, JoinMatchesOnColumns) {
+  Relation l(2), r(2);
+  l.Insert(T({1, 2}));
+  l.Insert(T({3, 4}));
+  r.Insert(T({2, 9}));
+  r.Insert(T({2, 8}));
+  Relation out = Join(l, r, {{1, 0}});
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out.Contains(T({1, 2, 2, 9})));
+  EXPECT_TRUE(out.Contains(T({1, 2, 2, 8})));
+}
+
+TEST(OperatorsTest, JoinEmptyOnIsCrossProduct) {
+  Relation l(1), r(1);
+  l.Insert(T({1}));
+  l.Insert(T({2}));
+  r.Insert(T({8}));
+  r.Insert(T({9}));
+  EXPECT_EQ(Join(l, r, {}).size(), 4u);
+}
+
+TEST(OperatorsTest, JoinSymmetricInBuildSide) {
+  // Exercise both build-left and build-right paths.
+  Relation small(1), big(1);
+  small.Insert(T({1}));
+  for (int i = 0; i < 10; ++i) big.Insert(T({i}));
+  Relation a = Join(small, big, {{0, 0}});
+  Relation b = Join(big, small, {{0, 0}});
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_TRUE(a.Contains(T({1, 1})));
+  EXPECT_TRUE(b.Contains(T({1, 1})));
+}
+
+TEST(OperatorsTest, SemiJoinFiltersLeft) {
+  Relation l(2), r(1);
+  l.Insert(T({1, 2}));
+  l.Insert(T({3, 4}));
+  r.Insert(T({2}));
+  Relation out = SemiJoin(l, r, {{1, 0}});
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains(T({1, 2})));
+}
+
+TEST(OperatorsTest, UnionAndDifference) {
+  Relation a(1), b(1);
+  a.Insert(T({1}));
+  a.Insert(T({2}));
+  b.Insert(T({2}));
+  b.Insert(T({3}));
+  EXPECT_EQ(Union(a, b).size(), 3u);
+  Relation d = Difference(a, b);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_TRUE(d.Contains(T({1})));
+}
+
+TEST(DatabaseTest, CreateAndInsert) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("edge", 2).ok());
+  EXPECT_TRUE(db.HasRelation("edge"));
+  EXPECT_FALSE(db.HasRelation("node"));
+  auto inserted = db.InsertFact("edge", T({1, 2}));
+  ASSERT_TRUE(inserted.ok());
+  EXPECT_TRUE(inserted.value());
+  inserted = db.InsertFact("edge", T({1, 2}));
+  ASSERT_TRUE(inserted.ok());
+  EXPECT_FALSE(inserted.value());
+  EXPECT_EQ(db.TotalFacts(), 1u);
+}
+
+TEST(DatabaseTest, ArityMismatchFails) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("r", 2).ok());
+  EXPECT_FALSE(db.CreateRelation("r", 3).ok());
+  EXPECT_FALSE(db.InsertFact("r", T({1, 2, 3})).ok());
+}
+
+TEST(DatabaseTest, InsertCreatesRelation) {
+  Database db;
+  ASSERT_TRUE(db.InsertFact("fresh", T({5})).ok());
+  ASSERT_NE(db.GetRelation("fresh"), nullptr);
+  EXPECT_EQ(db.GetRelation("fresh")->arity(), 1u);
+}
+
+}  // namespace
+}  // namespace mpqe

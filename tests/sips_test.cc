@@ -1,0 +1,272 @@
+// Tests for information passing strategies (§2.2), including the
+// paper's greedy strategy on program P1 (Example 2.1):
+//   p(X^d, U^f) -> q(U^d, V^f) -> p(V^d, Y^f)
+// and the qual-tree strategy of Theorem 4.1.
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "sips/adorned_printer.h"
+#include "sips/strategy.h"
+
+namespace mpqe {
+namespace {
+
+Adornment Df() { return {BindingClass::kDynamic, BindingClass::kFree}; }
+
+std::string Classes(const SipsResult& r, size_t subgoal) {
+  return AdornmentToString(r.subgoal_adornments[subgoal]);
+}
+
+TEST(GreedySipsTest, P1RecursiveRuleMatchesFig1) {
+  // P1's recursive rule: p(X, Y) :- p(X, V), q(V, W), p(W, Y), head d,f.
+  auto unit = Parse("p(X, Y) :- p(X, V), q(V, W), p(W, Y).");
+  ASSERT_TRUE(unit.ok());
+  auto strategy = MakeGreedyStrategy();
+  auto r = strategy->Classify(unit->program.rules()[0], Df(), unit->program);
+  ASSERT_TRUE(r.ok());
+  // Order: leftmost p (1 bound), then q, then right p — as in Fig. 1.
+  EXPECT_EQ(r->order, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(Classes(*r, 0), "df");
+  EXPECT_EQ(Classes(*r, 1), "df");
+  EXPECT_EQ(Classes(*r, 2), "df");
+  // Information passing arcs: p1 -> q -> p2.
+  EXPECT_EQ(r->arcs[0], (std::vector<size_t>{1}));
+  EXPECT_EQ(r->arcs[1], (std::vector<size_t>{2}));
+  EXPECT_TRUE(r->arcs[2].empty());
+}
+
+TEST(GreedySipsTest, PicksMostBoundFirst) {
+  // head s(A^d, D^f); b(A, B, C) has 1 bound arg; a(B) has 0; after b,
+  // everything is bound.
+  auto unit = Parse("s(A, D) :- a(B), b(A, B, C), c(C, D).");
+  ASSERT_TRUE(unit.ok());
+  auto r = MakeGreedyStrategy()->Classify(unit->program.rules()[0], Df(),
+                                          unit->program);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->order, (std::vector<size_t>{1, 0, 2}));
+  EXPECT_EQ(Classes(*r, 1), "dff");  // b evaluated first
+  EXPECT_EQ(Classes(*r, 0), "d");    // a receives B
+  EXPECT_EQ(Classes(*r, 2), "df");   // c receives C
+}
+
+TEST(GreedySipsTest, NoBindingsAllFree) {
+  auto unit = Parse("s(A, B) :- a(A), b(B).");
+  ASSERT_TRUE(unit.ok());
+  Adornment ff = {BindingClass::kFree, BindingClass::kFree};
+  auto r =
+      MakeGreedyStrategy()->Classify(unit->program.rules()[0], ff, unit->program);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Classes(*r, 0), "f");
+  EXPECT_EQ(Classes(*r, 1), "f");
+  EXPECT_TRUE(r->arcs[0].empty());
+  EXPECT_TRUE(r->arcs[1].empty());
+}
+
+TEST(LeftToRightSipsTest, FollowsTextualOrder) {
+  auto unit = Parse("s(A, D) :- a(B), b(A, B, C), c(C, D).");
+  ASSERT_TRUE(unit.ok());
+  auto r = MakeLeftToRightStrategy()->Classify(unit->program.rules()[0], Df(),
+                                               unit->program);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->order, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(Classes(*r, 0), "f");    // a(B) solved blind, Prolog-style
+  EXPECT_EQ(Classes(*r, 1), "ddf");  // b gets A from head, B from a
+  EXPECT_EQ(Classes(*r, 2), "df");
+}
+
+TEST(ClassifyTest, ConstantsAreClassC) {
+  auto unit = Parse("s(Y) :- r(a, Y).");
+  ASSERT_TRUE(unit.ok());
+  auto r = MakeGreedyStrategy()->Classify(unit->program.rules()[0],
+                                          {BindingClass::kFree}, unit->program);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Classes(*r, 0), "cf");
+}
+
+TEST(ClassifyTest, SingleUseVariableIsExistential) {
+  // goal p(X^f): Y appears only in r and nowhere else -> e.
+  auto unit = Parse("p(X) :- r(X, Y).");
+  ASSERT_TRUE(unit.ok());
+  auto r = MakeGreedyStrategy()->Classify(unit->program.rules()[0],
+                                          {BindingClass::kFree}, unit->program);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Classes(*r, 0), "fe");
+}
+
+TEST(ClassifyTest, SharedVariableIsNotExistential) {
+  // Y joins r and s, so it must be f then d.
+  auto unit = Parse("p(X) :- r(X, Y), s(Y).");
+  ASSERT_TRUE(unit.ok());
+  auto r = MakeGreedyStrategy()->Classify(unit->program.rules()[0],
+                                          {BindingClass::kDynamic},
+                                          unit->program);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Classes(*r, 0), "df");
+  EXPECT_EQ(Classes(*r, 1), "d");
+}
+
+TEST(ClassifyTest, HeadExistentialPropagates) {
+  // Head position is e: the body occurrence of Y may also be e since
+  // only existence is needed ("one tuple for each unique X", §2.2).
+  auto unit = Parse("p(X, Y) :- r(X, Y).");
+  ASSERT_TRUE(unit.ok());
+  Adornment head = {BindingClass::kDynamic, BindingClass::kExistential};
+  auto r = MakeGreedyStrategy()->Classify(unit->program.rules()[0], head,
+                                          unit->program);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Classes(*r, 0), "de");
+}
+
+TEST(ClassifyTest, HeadFreeVariableStaysFree) {
+  auto unit = Parse("p(X, Y) :- r(X, Y).");
+  ASSERT_TRUE(unit.ok());
+  auto r = MakeGreedyStrategy()->Classify(unit->program.rules()[0], Df(),
+                                          unit->program);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Classes(*r, 0), "df");
+}
+
+TEST(ClassifyTest, RepeatedVariableInOneSubgoalSharesClass) {
+  auto unit = Parse("p(X) :- r(X, X).");
+  ASSERT_TRUE(unit.ok());
+  auto r = MakeGreedyStrategy()->Classify(unit->program.rules()[0],
+                                          {BindingClass::kDynamic},
+                                          unit->program);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Classes(*r, 0), "dd");
+}
+
+TEST(NoSipsTest, EverythingFreeExceptConstants) {
+  auto unit = Parse("p(X, Y) :- r(X, V), q(V, a), s(Y).");
+  ASSERT_TRUE(unit.ok());
+  auto r = MakeNoSipsStrategy()->Classify(unit->program.rules()[0], Df(),
+                                          unit->program);
+  ASSERT_TRUE(r.ok());
+  // Even the head-bound X stays d only through the head; subgoal vars
+  // are f because no sideways passing happens.
+  EXPECT_EQ(Classes(*r, 0), "df");  // X passed from head, V free
+  EXPECT_EQ(Classes(*r, 1), "fc");
+  EXPECT_EQ(Classes(*r, 2), "f");
+  for (const auto& arc : r->arcs) EXPECT_TRUE(arc.empty());
+}
+
+TEST(QualTreeSipsTest, R2UsesQualTreeOrder) {
+  // Example 4.2: directing the R2 qual tree away from the root gives
+  // the strategy of Example 4.1: a first, then {b, c} independently,
+  // then their subtrees.
+  auto unit =
+      Parse("p(X, Z) :- a(X, Y, V), b(Y, U), c(V, T), d(T), e(U, Z).");
+  ASSERT_TRUE(unit.ok());
+  auto r = MakeQualTreeStrategy()->Classify(unit->program.rules()[0], Df(),
+                                            unit->program);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->order.size(), 5u);
+  EXPECT_EQ(r->order[0], 0u);  // a first
+  // b and c (indexes 1, 2) precede d and e (indexes 3, 4).
+  std::vector<size_t> mid{r->order[1], r->order[2]};
+  std::sort(mid.begin(), mid.end());
+  EXPECT_EQ(mid, (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(Classes(*r, 0), "dff");  // a(X^d, Y^f, V^f)
+  EXPECT_EQ(Classes(*r, 1), "df");   // b(Y^d, U^f)
+  EXPECT_EQ(Classes(*r, 2), "df");   // c(V^d, T^f)
+  EXPECT_EQ(Classes(*r, 3), "d");    // d(T^d)
+  EXPECT_EQ(Classes(*r, 4), "df");   // e(U^d, Z^f)
+}
+
+TEST(QualTreeSipsTest, FailsOnR3WithoutFallback) {
+  auto unit =
+      Parse("p(X, Z) :- a(X, Y, V), b(Y, W, U), c(V, W, T), d(T), e(U, Z).");
+  ASSERT_TRUE(unit.ok());
+  auto r = MakeQualTreeStrategy()->Classify(unit->program.rules()[0], Df(),
+                                            unit->program);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(QualTreeSipsTest, FallbackHandlesR3) {
+  auto unit =
+      Parse("p(X, Z) :- a(X, Y, V), b(Y, W, U), c(V, W, T), d(T), e(U, Z).");
+  ASSERT_TRUE(unit.ok());
+  auto r = MakeQualTreeOrGreedyStrategy()->Classify(unit->program.rules()[0],
+                                                    Df(), unit->program);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->order.size(), 5u);
+  EXPECT_EQ(r->order[0], 0u);  // greedy still starts at a
+}
+
+TEST(QualTreeSipsTest, GreedyTheoremHolds) {
+  // Theorem 4.1: the qual-tree order is greedy — at each step the
+  // chosen subgoal has maximal bound-argument count among remaining
+  // subgoals (we verify the defining property directly).
+  auto unit =
+      Parse("p(X, Z) :- a(X, Y, V), b(Y, U), c(V, T), d(T), e(U, Z).");
+  ASSERT_TRUE(unit.ok());
+  const Rule& rule = unit->program.rules()[0];
+  auto r = MakeQualTreeStrategy()->Classify(rule, Df(), unit->program);
+  ASSERT_TRUE(r.ok());
+
+  std::set<VariableId> bound;
+  for (size_t i = 0; i < rule.head.args.size(); ++i) {
+    if (rule.head.args[i].is_variable() && IsBound(Df()[i])) {
+      bound.insert(rule.head.args[i].var());
+    }
+  }
+  std::set<size_t> remaining;
+  for (size_t i = 0; i < rule.body.size(); ++i) remaining.insert(i);
+  auto bound_count = [&](size_t k) {
+    size_t n = 0;
+    for (const Term& t : rule.body[k].args) {
+      if (t.is_constant() || bound.count(t.var()) != 0) ++n;
+    }
+    return n;
+  };
+  for (size_t k : r->order) {
+    size_t chosen = bound_count(k);
+    // No remaining subgoal adjacent to the bound set may have strictly
+    // more bound arguments.
+    for (size_t other : remaining) {
+      EXPECT_LE(bound_count(other), chosen)
+          << "subgoal " << other << " had more bound args than " << k;
+    }
+    remaining.erase(k);
+    for (const Term& t : rule.body[k].args) {
+      if (t.is_variable()) bound.insert(t.var());
+    }
+  }
+}
+
+TEST(SipsResultTest, ToStringShowsAdornedChain) {
+  auto unit = Parse("p(X, Y) :- p(X, V), q(V, W), p(W, Y).");
+  ASSERT_TRUE(unit.ok());
+  auto r = MakeGreedyStrategy()->Classify(unit->program.rules()[0], Df(),
+                                          unit->program);
+  ASSERT_TRUE(r.ok());
+  std::string s = r->ToString(unit->program.rules()[0], unit->program);
+  EXPECT_NE(s.find("p("), std::string::npos);
+  EXPECT_NE(s.find("^d"), std::string::npos);
+  EXPECT_NE(s.find(" -> "), std::string::npos);
+}
+
+TEST(StrategyFactoryTest, AllNamesResolve) {
+  for (const char* name : {"greedy", "left_to_right", "qual_tree",
+                           "qual_tree_or_greedy", "no_sips"}) {
+    auto s = MakeStrategyByName(name);
+    ASSERT_TRUE(s.ok()) << name;
+    EXPECT_EQ((*s)->name(), name);
+  }
+  EXPECT_FALSE(MakeStrategyByName("bogus").ok());
+}
+
+TEST(AdornmentTest, RoundTrip) {
+  auto a = AdornmentFromString("cdef");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(AdornmentToString(*a), "cdef");
+  EXPECT_FALSE(AdornmentFromString("cdx").ok());
+  EXPECT_EQ(BoundPositions(*a), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(PositionsWithClass(*a, BindingClass::kExistential),
+            (std::vector<size_t>{2}));
+}
+
+}  // namespace
+}  // namespace mpqe

@@ -1,0 +1,141 @@
+// Tests for the tabled top-down baseline: terminates where plain SLD
+// diverges, matches semi-naive answers, and stays goal-directed
+// (tables ~= relevant call patterns only).
+
+#include <gtest/gtest.h>
+
+#include "baseline/bottom_up.h"
+#include "baseline/tabled_top_down.h"
+#include "baseline/top_down_sld.h"
+#include "common/random.h"
+#include "datalog/parser.h"
+#include "workload/generators.h"
+
+namespace mpqe {
+namespace {
+
+Tuple T1(int64_t a) { return {Value::Int(a)}; }
+
+TEST(TabledTest, LinearTransitiveClosure) {
+  Database db;
+  ASSERT_TRUE(workload::MakeChain(db, "edge", 10).ok());
+  Program program;
+  ASSERT_TRUE(ParseInto(workload::LinearTcProgram(0), program, db).ok());
+  auto result = TabledTopDown(program, db);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->answers.size(), 9u);
+  EXPECT_TRUE(result->answers.Contains(T1(9)));
+}
+
+TEST(TabledTest, LeftRecursionTerminates) {
+  // The case that sinks plain SLD (see TopDownSldTest).
+  Database db;
+  ASSERT_TRUE(workload::MakeChain(db, "edge", 12).ok());
+  Program program;
+  ASSERT_TRUE(
+      ParseInto(workload::LeftRecursiveTcProgram(0), program, db).ok());
+  auto result = TabledTopDown(program, db);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->answers.size(), 11u);
+}
+
+TEST(TabledTest, CyclicDataTerminates) {
+  Database db;
+  ASSERT_TRUE(workload::MakeCycle(db, "edge", 7).ok());
+  Program program;
+  ASSERT_TRUE(ParseInto(workload::LinearTcProgram(0), program, db).ok());
+  auto result = TabledTopDown(program, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->answers.size(), 7u);
+}
+
+TEST(TabledTest, NonlinearRecursion) {
+  Database db;
+  ASSERT_TRUE(workload::MakeChain(db, "edge", 9).ok());
+  Program program;
+  ASSERT_TRUE(ParseInto(workload::NonlinearTcProgram(0), program, db).ok());
+  auto result = TabledTopDown(program, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->answers.size(), 8u);
+}
+
+TEST(TabledTest, GoalDirectedTableCount) {
+  // tc(5, W) on a chain: tables only materialize for suffix call
+  // patterns, far fewer derived tuples than the whole closure.
+  Database db1, db2;
+  ASSERT_TRUE(workload::MakeChain(db1, "edge", 40).ok());
+  ASSERT_TRUE(workload::MakeChain(db2, "edge", 40).ok());
+  Program p1, p2;
+  ASSERT_TRUE(ParseInto(workload::LinearTcProgram(20), p1, db1).ok());
+  ASSERT_TRUE(ParseInto(workload::LinearTcProgram(20), p2, db2).ok());
+  auto tabled = TabledTopDown(p1, db1);
+  auto whole = SemiNaiveBottomUp(p2, db2);
+  ASSERT_TRUE(tabled.ok());
+  ASSERT_TRUE(whole.ok());
+  EXPECT_TRUE(tabled->answers == whole->goal);
+  EXPECT_LT(tabled->derived * 2, whole->total_derived);
+}
+
+TEST(TabledTest, MutualRecursion) {
+  auto unit = Parse(R"(
+    zero(0).
+    succ(0, 1). succ(1, 2). succ(2, 3). succ(3, 4). succ(4, 5).
+    even(X) :- zero(X).
+    even(X) :- succ(Y, X), odd(Y).
+    odd(X) :- succ(Y, X), even(Y).
+    ?- even(N).
+  )");
+  ASSERT_TRUE(unit.ok());
+  auto result = TabledTopDown(unit->program, unit->database);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->answers.size(), 3u);
+}
+
+TEST(TabledTest, SameGenerationBound) {
+  auto unit = Parse(R"(
+    person(a). person(b). person(c). person(d).
+    par(b, a). par(c, a). par(d, b).
+    sg(X, X) :- person(X).
+    sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).
+    ?- sg(b, W).
+  )");
+  ASSERT_TRUE(unit.ok());
+  auto result = TabledTopDown(unit->program, unit->database);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->answers.size(), 2u);
+}
+
+TEST(TabledTest, RepeatedVariablesAndConstants) {
+  auto unit = Parse(R"(
+    e(1, 1). e(1, 2). e(2, 2). e(3, 3).
+    loopy(X) :- e(X, X).
+    pair(X) :- loopy(X), e(X, 2).
+    ?- pair(W).
+  )");
+  ASSERT_TRUE(unit.ok());
+  auto result = TabledTopDown(unit->program, unit->database);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->answers.size(), 2u);
+}
+
+class TabledEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TabledEquivalence, MatchesSemiNaive) {
+  Rng rng(GetParam() + 4000);
+  workload::RandomProgramOptions options;
+  auto rp = workload::MakeRandomProgram(options, rng);
+  ASSERT_TRUE(rp.ok());
+  auto truth = SemiNaiveBottomUp(rp->unit.program, rp->unit.database);
+  ASSERT_TRUE(truth.ok());
+  auto tabled = TabledTopDown(rp->unit.program, rp->unit.database);
+  ASSERT_TRUE(tabled.ok()) << tabled.status() << "\n" << rp->text;
+  EXPECT_TRUE(tabled->answers == truth->goal)
+      << rp->text << "\ntabled: " << tabled->answers.ToString()
+      << "\ntruth:  " << truth->goal.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TabledEquivalence,
+                         ::testing::Range(uint64_t{0}, uint64_t{40}));
+
+}  // namespace
+}  // namespace mpqe

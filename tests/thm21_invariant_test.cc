@@ -1,0 +1,98 @@
+// Theorem 2.1's structural invariants, checked directly on built
+// graphs: along any root-to-leaf path of the (non-coalesced) graph no
+// two goal nodes are variants with matching classes (otherwise a cycle
+// edge would have stopped the expansion), which is what bounds path
+// length and guarantees construction terminates.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datalog/parser.h"
+#include "datalog/unify.h"
+#include "graph/rule_goal_graph.h"
+#include "sips/strategy.h"
+#include "workload/generators.h"
+
+namespace mpqe {
+namespace {
+
+void CheckNoVariantPairOnAnyPath(const RuleGoalGraph& graph) {
+  // For every goal node, walk its ancestor chain: no ancestor goal node
+  // may be a variant with equal adornment.
+  for (const GraphNode& n : graph.nodes()) {
+    if (n.kind != NodeKind::kGoal) continue;
+    for (NodeId up = n.parent; up != kNoNode;) {
+      const GraphNode& rule_node = graph.node(up);
+      NodeId ancestor_id = rule_node.parent;
+      if (ancestor_id == kNoNode) break;
+      const GraphNode& ancestor = graph.node(ancestor_id);
+      if (ancestor.kind == NodeKind::kGoal) {
+        bool variant = ancestor.adornment == n.adornment &&
+                       IsVariant(ancestor.atom, n.atom);
+        EXPECT_FALSE(variant)
+            << "expanded goal node " << graph.NodeLabel(n.id)
+            << " duplicates ancestor " << graph.NodeLabel(ancestor_id);
+      }
+      up = ancestor.parent;
+    }
+  }
+}
+
+TEST(Thm21InvariantTest, HoldsOnCanonicalPrograms) {
+  const std::string programs[] = {
+      workload::LinearTcProgram(0), workload::NonlinearTcProgram(0),
+      workload::LeftRecursiveTcProgram(0), workload::P1Program(0),
+      workload::SameGenerationProgram(0)};
+  for (const std::string& text : programs) {
+    Database db;
+    ASSERT_TRUE(workload::MakeChain(db, "edge", 4).ok());
+    ASSERT_TRUE(workload::MakeChain(db, "q", 4).ok());
+    ASSERT_TRUE(workload::MakeChain(db, "r", 4).ok());
+    ASSERT_TRUE(workload::MakeChain(db, "par", 4).ok());
+    ASSERT_TRUE(db.InsertFact("person", {Value::Int(0)}).ok());
+    Program program;
+    ASSERT_TRUE(ParseInto(text, program, db).ok());
+    ASSERT_TRUE(program.Validate(&db).ok());
+    auto strategy = MakeGreedyStrategy();
+    auto graph = RuleGoalGraph::Build(program, *strategy);
+    ASSERT_TRUE(graph.ok()) << text;
+    CheckNoVariantPairOnAnyPath(**graph);
+  }
+}
+
+TEST(Thm21InvariantTest, HoldsOnRandomPrograms) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed + 40);
+    workload::RandomProgramOptions options;
+    auto rp = workload::MakeRandomProgram(options, rng);
+    ASSERT_TRUE(rp.ok());
+    ASSERT_TRUE(rp->unit.program.Validate(&rp->unit.database).ok());
+    auto strategy = MakeGreedyStrategy();
+    auto graph = RuleGoalGraph::Build(rp->unit.program, *strategy);
+    if (!graph.ok()) continue;  // blow-up seeds covered elsewhere
+    CheckNoVariantPairOnAnyPath(**graph);
+  }
+}
+
+TEST(Thm21InvariantTest, EveryStrategyTerminatesConstruction) {
+  // Termination holds for all strategies (Thm. 2.1 is strategy-
+  // independent); left-recursive programs are the acid test.
+  for (const char* name :
+       {"greedy", "greedy_no_e", "left_to_right", "qual_tree_or_greedy",
+        "no_sips"}) {
+    Database db;
+    ASSERT_TRUE(workload::MakeChain(db, "edge", 4).ok());
+    Program program;
+    ASSERT_TRUE(
+        ParseInto(workload::LeftRecursiveTcProgram(0), program, db).ok());
+    ASSERT_TRUE(program.Validate(&db).ok());
+    auto strategy = MakeStrategyByName(name);
+    ASSERT_TRUE(strategy.ok());
+    auto graph = RuleGoalGraph::Build(program, **strategy);
+    ASSERT_TRUE(graph.ok()) << name << ": " << graph.status();
+    EXPECT_GT((*graph)->Stats().cycle_refs, 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mpqe

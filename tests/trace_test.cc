@@ -1,0 +1,114 @@
+// Tests for the message trace recorder.
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "engine/evaluator.h"
+#include "engine/trace.h"
+
+namespace mpqe {
+namespace {
+
+constexpr const char* kTc = R"(
+  edge(1, 2). edge(2, 3).
+  tc(X, Y) :- edge(X, Y).
+  tc(X, Y) :- edge(X, Z), tc(Z, Y).
+  ?- tc(1, W).
+)";
+
+TEST(TraceTest, RecordsEverySend) {
+  auto unit = Parse(kTc);
+  ASSERT_TRUE(unit.ok());
+  MessageTrace trace(/*capacity=*/0);
+  EvaluationOptions options;
+  options.observer = trace.Observer();
+  auto result = Evaluate(unit->program, unit->database, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(trace.total_seen(), result->message_stats.Total());
+  EXPECT_EQ(trace.Entries().size(), trace.total_seen());
+
+  // Entries are in send order with consecutive sequence numbers.
+  auto entries = trace.Entries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].sequence, i);
+  }
+  // The first send is the sink's relation request to the root.
+  EXPECT_EQ(entries[0].message.kind, MessageKind::kRelationRequest);
+  // The last computation message to the sink is the top-level end.
+  bool saw_top_end = false;
+  for (const TraceEntry& e : entries) {
+    if (e.message.kind == MessageKind::kEnd &&
+        e.to == entries[0].message.from) {
+      saw_top_end = true;
+    }
+  }
+  EXPECT_TRUE(saw_top_end);
+}
+
+TEST(TraceTest, CapacityEvictsOldest) {
+  auto unit = Parse(kTc);
+  ASSERT_TRUE(unit.ok());
+  MessageTrace trace(/*capacity=*/10);
+  EvaluationOptions options;
+  options.observer = trace.Observer();
+  auto result = Evaluate(unit->program, unit->database, options);
+  ASSERT_TRUE(result.ok());
+  auto entries = trace.Entries();
+  ASSERT_EQ(entries.size(), 10u);
+  EXPECT_EQ(entries.back().sequence, trace.total_seen() - 1);
+  EXPECT_EQ(entries.front().sequence, trace.total_seen() - 10);
+}
+
+TEST(TraceTest, EntriesForFiltersByEndpoint) {
+  auto unit = Parse(kTc);
+  ASSERT_TRUE(unit.ok());
+  MessageTrace trace(0);
+  EvaluationOptions options;
+  options.observer = trace.Observer();
+  auto result = Evaluate(unit->program, unit->database, options);
+  ASSERT_TRUE(result.ok());
+  ProcessId sink = trace.Entries()[0].message.from;
+  auto sink_entries = trace.EntriesFor(sink);
+  EXPECT_FALSE(sink_entries.empty());
+  for (const TraceEntry& e : sink_entries) {
+    EXPECT_TRUE(e.from == sink || e.to == sink);
+  }
+  EXPECT_LT(sink_entries.size(), trace.Entries().size());
+}
+
+TEST(TraceTest, ToStringResolvesLabels) {
+  auto unit = Parse(kTc);
+  ASSERT_TRUE(unit.ok());
+  ASSERT_TRUE(unit->program.Validate(&unit->database).ok());
+  auto strategy = MakeGreedyStrategy();
+  auto graph = RuleGoalGraph::Build(unit->program, *strategy);
+  ASSERT_TRUE(graph.ok());
+
+  MessageTrace trace(0);
+  EvaluationOptions options;
+  options.observer = trace.Observer();
+  auto result = EvaluateWithGraph(**graph, unit->database, options);
+  ASSERT_TRUE(result.ok());
+
+  std::string text = trace.ToString(graph->get(), &unit->database.symbols());
+  EXPECT_NE(text.find("sink"), std::string::npos);
+  EXPECT_NE(text.find("tc("), std::string::npos);
+  EXPECT_NE(text.find("tuple_request"), std::string::npos);
+  EXPECT_NE(text.find("=>"), std::string::npos);
+}
+
+TEST(TraceTest, ClearResetsEntriesNotCount) {
+  MessageTrace trace(0);
+  auto observer = trace.Observer();
+  Message m = MakeEnd({});
+  m.from = 1;
+  observer(2, m);
+  observer(3, m);
+  EXPECT_EQ(trace.Entries().size(), 2u);
+  trace.Clear();
+  EXPECT_EQ(trace.Entries().size(), 0u);
+  EXPECT_EQ(trace.total_seen(), 2u);
+}
+
+}  // namespace
+}  // namespace mpqe

@@ -1,0 +1,149 @@
+// Unit tests for unification: substitutions, mgu, renaming, variants.
+
+#include <gtest/gtest.h>
+
+#include "datalog/unify.h"
+
+namespace mpqe {
+namespace {
+
+Term V(VariableId v) { return Term::Var(v); }
+Term C(int64_t c) { return Term::Const(Value::Int(c)); }
+
+Atom MakeAtom(PredicateId p, std::vector<Term> args) {
+  Atom a;
+  a.predicate = p;
+  a.args = std::move(args);
+  return a;
+}
+
+TEST(SubstitutionTest, ResolveFollowsChains) {
+  Substitution s;
+  s.Bind(0, V(1));
+  s.Bind(1, C(7));
+  EXPECT_EQ(s.Resolve(V(0)), C(7));
+  EXPECT_EQ(s.Resolve(V(2)), V(2));
+  EXPECT_EQ(s.Resolve(C(3)), C(3));
+}
+
+TEST(SubstitutionTest, StaysIdempotent) {
+  Substitution s;
+  s.Bind(0, V(1));
+  s.Bind(1, V(2));
+  // Binding 1 := 2 must rewrite the image of 0.
+  auto img = s.Lookup(0);
+  ASSERT_TRUE(img.has_value());
+  EXPECT_EQ(*img, V(2));
+}
+
+TEST(SubstitutionTest, ApplyToAtom) {
+  Substitution s;
+  s.Bind(0, C(5));
+  Atom a = MakeAtom(1, {V(0), V(9), C(2)});
+  Atom out = s.Apply(a);
+  EXPECT_EQ(out.args[0], C(5));
+  EXPECT_EQ(out.args[1], V(9));
+  EXPECT_EQ(out.args[2], C(2));
+}
+
+TEST(MguTest, UnifiesVariableWithConstant) {
+  Atom a = MakeAtom(0, {V(0), V(1)});
+  Atom b = MakeAtom(0, {C(1), C(2)});
+  auto mgu = Mgu(a, b);
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_EQ(mgu->Apply(a), b);
+}
+
+TEST(MguTest, UnifiesVariableWithVariable) {
+  Atom a = MakeAtom(0, {V(0), V(0)});
+  Atom b = MakeAtom(0, {V(1), V(2)});
+  auto mgu = Mgu(a, b);
+  ASSERT_TRUE(mgu.has_value());
+  // After unification all of 0,1,2 resolve to the same term.
+  Term t = mgu->Resolve(V(0));
+  EXPECT_EQ(mgu->Resolve(V(1)), t);
+  EXPECT_EQ(mgu->Resolve(V(2)), t);
+}
+
+TEST(MguTest, FailsOnConstantClash) {
+  EXPECT_FALSE(Mgu(MakeAtom(0, {C(1)}), MakeAtom(0, {C(2)})).has_value());
+}
+
+TEST(MguTest, FailsOnPredicateMismatch) {
+  EXPECT_FALSE(Mgu(MakeAtom(0, {C(1)}), MakeAtom(1, {C(1)})).has_value());
+}
+
+TEST(MguTest, FailsOnRepeatedVariableClash) {
+  // p(X, X) cannot unify with p(1, 2).
+  EXPECT_FALSE(
+      Mgu(MakeAtom(0, {V(0), V(0)}), MakeAtom(0, {C(1), C(2)})).has_value());
+}
+
+TEST(MguTest, RepeatedVariableOk) {
+  auto mgu = Mgu(MakeAtom(0, {V(0), V(0)}), MakeAtom(0, {C(1), V(5)}));
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_EQ(mgu->Resolve(V(5)), C(1));
+  EXPECT_EQ(mgu->Resolve(V(0)), C(1));
+}
+
+TEST(MguTest, IsMostGeneral) {
+  // p(X, Y) with p(U, V): no constants should appear.
+  auto mgu = Mgu(MakeAtom(0, {V(0), V(1)}), MakeAtom(0, {V(2), V(3)}));
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_TRUE(mgu->Resolve(V(0)).is_variable());
+  EXPECT_TRUE(mgu->Resolve(V(1)).is_variable());
+}
+
+TEST(RenameApartTest, ProducesFreshVariables) {
+  VariablePool pool;
+  VariableId x = pool.Intern("X");
+  VariableId y = pool.Intern("Y");
+  Rule rule;
+  rule.head = MakeAtom(0, {V(x), V(y)});
+  rule.body = {MakeAtom(1, {V(x), V(y)})};
+  Rule renamed = RenameApart(rule, pool);
+  EXPECT_NE(renamed.head.args[0].var(), x);
+  EXPECT_NE(renamed.head.args[1].var(), y);
+  // Structure preserved: head vars == body vars.
+  EXPECT_EQ(renamed.head.args[0], renamed.body[0].args[0]);
+  EXPECT_EQ(renamed.head.args[1], renamed.body[0].args[1]);
+  EXPECT_NE(renamed.head.args[0], renamed.head.args[1]);
+}
+
+TEST(VariantTest, RenamingIsVariant) {
+  EXPECT_TRUE(
+      IsVariant(MakeAtom(0, {V(0), V(1)}), MakeAtom(0, {V(7), V(8)})));
+}
+
+TEST(VariantTest, RepeatedPatternMustMatch) {
+  EXPECT_FALSE(IsVariant(MakeAtom(0, {V(0), V(0)}), MakeAtom(0, {V(1), V(2)})));
+  EXPECT_FALSE(IsVariant(MakeAtom(0, {V(1), V(2)}), MakeAtom(0, {V(0), V(0)})));
+  EXPECT_TRUE(IsVariant(MakeAtom(0, {V(0), V(0)}), MakeAtom(0, {V(5), V(5)})));
+}
+
+TEST(VariantTest, ConstantsMustMatchExactly) {
+  EXPECT_TRUE(IsVariant(MakeAtom(0, {C(1), V(0)}), MakeAtom(0, {C(1), V(9)})));
+  EXPECT_FALSE(IsVariant(MakeAtom(0, {C(1), V(0)}), MakeAtom(0, {C(2), V(9)})));
+  EXPECT_FALSE(IsVariant(MakeAtom(0, {C(1), V(0)}), MakeAtom(0, {V(9), C(1)})));
+}
+
+TEST(VariantTest, BijectivityRequired) {
+  // p(X, Y) vs p(Z, Z): map would need X->Z and Y->Z, not injective.
+  EXPECT_FALSE(IsVariant(MakeAtom(0, {V(0), V(1)}), MakeAtom(0, {V(2), V(2)})));
+}
+
+TEST(VariantTest, VariantIsEquivalenceOnSamples) {
+  // Reflexive, symmetric on a few shapes.
+  std::vector<Atom> atoms = {
+      MakeAtom(0, {V(0), V(1)}), MakeAtom(0, {V(1), V(0)}),
+      MakeAtom(0, {V(2), V(2)}), MakeAtom(0, {C(3), V(4)})};
+  for (const Atom& a : atoms) {
+    EXPECT_TRUE(IsVariant(a, a));
+    for (const Atom& b : atoms) {
+      EXPECT_EQ(IsVariant(a, b), IsVariant(b, a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpqe
