@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Builds the relational microbenchmarks in Release mode, runs them,
+# and writes a machine-readable summary to BENCH_relational.json.
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# Optionally set MPQE_BASELINE_MICRO / MPQE_BASELINE_DEDUP to prior
+# google-benchmark JSON files to embed before/after speedup ratios.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${repo}/build-release"
+out="${1:-${repo}/BENCH_relational.json}"
+
+cmake -S "${repo}" -B "${build}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${build}" -j "$(nproc)" \
+  --target bench_runtime_micro bench_duplicate_elimination >/dev/null
+
+micro_json="${build}/bench_runtime_micro.json"
+dedup_json="${build}/bench_duplicate_elimination.json"
+
+"${build}/bench/bench_runtime_micro" \
+  --benchmark_out="${micro_json}" --benchmark_out_format=json \
+  --benchmark_repetitions=1 >&2
+"${build}/bench/bench_duplicate_elimination" \
+  --benchmark_out="${dedup_json}" --benchmark_out_format=json \
+  --benchmark_repetitions=1 >&2
+
+python3 - "$out" "$micro_json" "$dedup_json" <<'EOF'
+import json, os, sys
+
+out_path, micro_path, dedup_path = sys.argv[1:4]
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        rows[b["name"]] = {
+            "real_time_ns": b["real_time"],
+            "items_per_second": b.get("items_per_second"),
+        }
+    return doc.get("context", {}), rows
+
+micro_ctx, micro = load(micro_path)
+_, dedup = load(dedup_path)
+
+result = {
+    "context": {
+        "host": micro_ctx.get("host_name"),
+        "num_cpus": micro_ctx.get("num_cpus"),
+        "mhz_per_cpu": micro_ctx.get("mhz_per_cpu"),
+        "build_type": micro_ctx.get("library_build_type"),
+        "date": micro_ctx.get("date"),
+    },
+    "bench_runtime_micro": micro,
+    "bench_duplicate_elimination": dedup,
+}
+
+def attach_baseline(section, env):
+    path = os.environ.get(env)
+    if not path or not os.path.exists(path):
+        return
+    _, before = load(path)
+    for name, row in result[section].items():
+        old = before.get(name)
+        if not old:
+            continue
+        row["baseline_real_time_ns"] = old["real_time_ns"]
+        if old["real_time_ns"] and row["real_time_ns"]:
+            row["speedup"] = round(old["real_time_ns"] / row["real_time_ns"], 3)
+
+attach_baseline("bench_runtime_micro", "MPQE_BASELINE_MICRO")
+attach_baseline("bench_duplicate_elimination", "MPQE_BASELINE_DEDUP")
+
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}")
+EOF

@@ -103,7 +103,7 @@ class RuleMatcher {
       }
     }
 
-    auto try_tuple = [&](const Tuple& tuple) {
+    auto try_tuple = [&](TupleRef tuple) {
       std::vector<VariableId> bound_here;
       bool ok = true;
       for (size_t i = 0; i < atom.args.size(); ++i) {
@@ -134,7 +134,7 @@ class RuleMatcher {
         for (size_t pos : *hits) try_tuple(rel->tuple(pos));
       }
     } else {
-      for (const Tuple& t : rel->tuples()) try_tuple(t);
+      for (TupleRef t : rel->tuples()) try_tuple(t);
     }
   }
 

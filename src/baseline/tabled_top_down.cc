@@ -145,7 +145,7 @@ class Engine {
 
   // Extends `state` (suspended at its current subgoal) with one answer
   // instantiation and schedules the continuation.
-  void Resume(const State& state, const Tuple& answer) {
+  void Resume(const State& state, TupleRef answer) {
     ++resumptions_;
     State extended = state;
     const Atom& raw = extended.rule.body[extended.next];
@@ -175,7 +175,7 @@ class Engine {
         key.push_back(selected.args[i].constant());
       }
     }
-    auto try_fact = [&](const Tuple& fact) {
+    auto try_fact = [&](TupleRef fact) {
       State extended = state;
       bool ok = true;
       for (size_t i = 0; i < selected.args.size() && ok; ++i) {
@@ -197,7 +197,7 @@ class Engine {
         for (size_t pos : *hits) try_fact(rel->tuple(pos));
       }
     } else {
-      for (const Tuple& fact : rel->tuples()) try_fact(fact);
+      for (TupleRef fact : rel->tuples()) try_fact(fact);
     }
   }
 

@@ -68,7 +68,7 @@ class SldEngine {
           key.push_back(selected.args[i].constant());
         }
       }
-      auto try_fact = [&](const Tuple& fact) -> bool {
+      auto try_fact = [&](TupleRef fact) -> bool {
         Substitution extended = subst;
         bool ok = true;
         for (size_t i = 0; i < selected.args.size() && ok; ++i) {
@@ -91,7 +91,7 @@ class SldEngine {
           }
         }
       } else {
-        for (const Tuple& fact : rel->tuples()) {
+        for (TupleRef fact : rel->tuples()) {
           if (!try_fact(fact)) return false;
         }
       }

@@ -35,6 +35,19 @@ struct VectorHash {
   }
 };
 
+/// splitmix64 finalizer. Open-addressing tables mask hashes with a
+/// power of two, so the low bits must depend on every input bit;
+/// HashCombine alone leaves sequential integers nearly sequential
+/// (libstdc++'s std::hash<int64_t> is the identity).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
 }  // namespace mpqe
 
 #endif  // MPQE_COMMON_HASH_H_

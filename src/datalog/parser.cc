@@ -242,7 +242,7 @@ class ParserImpl {
     }
   }
 
-  // atom := IDENT ['(' term (',' term)* ')']
+  // atom := IDENT ['(' [term (',' term)*] ')']
   Status ParseAtom(Atom& out) {
     if (current_.kind != TokenKind::kIdent) {
       return InvalidArgumentError(StrCat("line ", current_.line,
@@ -254,7 +254,8 @@ class ParserImpl {
     std::vector<Term> args;
     if (current_.kind == TokenKind::kLparen) {
       MPQE_RETURN_IF_ERROR(Advance());
-      for (;;) {
+      // `p()` is a zero-arity atom; printers emit the parens.
+      while (current_.kind != TokenKind::kRparen) {
         MPQE_ASSIGN_OR_RETURN(Term term, ParseTerm());
         args.push_back(term);
         if (current_.kind == TokenKind::kComma) {

@@ -209,7 +209,7 @@ class GoalProcess : public NodeProcessBase {
     const std::vector<size_t>* hits = answers_.Probe(d_index_, m.binding);
     if (hits != nullptr) {
       for (size_t pos : *hits) {
-        Emit(m.from, MakeTuple(m.binding, answers_.tuple(pos)));
+        Emit(m.from, MakeTuple(m.binding, answers_.tuple(pos).ToTuple()));
       }
     }
     if (completed_.count(m.binding) != 0) {
@@ -401,7 +401,7 @@ class EdbProcess : public NodeProcessBase {
   }
 
  private:
-  bool Matches(const Tuple& t) const {
+  bool Matches(TupleRef t) const {
     for (const auto& [a, b] : equalities_) {
       if (t[a] != t[b]) return false;
     }
@@ -410,7 +410,7 @@ class EdbProcess : public NodeProcessBase {
 
   void Answer(const Message& m) {
     std::unordered_set<Tuple, TupleHash> sent;
-    auto emit = [&](const Tuple& t) {
+    auto emit = [&](TupleRef t) {
       if (!Matches(t)) return;
       Tuple out = ProjectTuple(t, out_positions_);
       if (sent.insert(out).second) {
@@ -431,7 +431,7 @@ class EdbProcess : public NodeProcessBase {
     } else {
       // Scan, filtering on the key columns manually (index ablation or
       // a fully-free request).
-      for (const Tuple& t : relation_->tuples()) {
+      for (TupleRef t : relation_->tuples()) {
         bool match = true;
         for (size_t i = 0; i < key_positions_.size() && match; ++i) {
           match = t[key_positions_[i]] == key[i];

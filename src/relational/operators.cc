@@ -1,12 +1,10 @@
 #include "relational/operators.h"
 
-#include <unordered_map>
-
 #include "common/logging.h"
 
 namespace mpqe {
 
-bool Selection::Matches(const Tuple& tuple) const {
+bool Selection::Matches(TupleRef tuple) const {
   for (const auto& c : value_conditions) {
     if (tuple[c.column] != c.value) return false;
   }
@@ -18,7 +16,7 @@ bool Selection::Matches(const Tuple& tuple) const {
 
 Relation Select(const Relation& input, const Selection& selection) {
   Relation out(input.arity());
-  for (const Tuple& t : input.tuples()) {
+  for (TupleRef t : input.tuples()) {
     if (selection.Matches(t)) out.Insert(t);
   }
   return out;
@@ -26,8 +24,10 @@ Relation Select(const Relation& input, const Selection& selection) {
 
 Relation Project(const Relation& input, const std::vector<size_t>& columns) {
   Relation out(columns.size());
-  for (const Tuple& t : input.tuples()) {
-    out.Insert(ProjectTuple(t, columns));
+  Tuple scratch(columns.size(), Value());
+  for (TupleRef t : input.tuples()) {
+    for (size_t i = 0; i < columns.size(); ++i) scratch[i] = t[columns[i]];
+    out.Insert(scratch);
   }
   return out;
 }
@@ -48,12 +48,9 @@ std::vector<size_t> RightColumns(const std::vector<JoinColumn>& on) {
   return cols;
 }
 
-Tuple Concatenate(const Tuple& a, const Tuple& b) {
-  Tuple out;
-  out.reserve(a.size() + b.size());
-  out.insert(out.end(), a.begin(), a.end());
-  out.insert(out.end(), b.begin(), b.end());
-  return out;
+// Fills `key` (pre-sized scratch) with `t` projected onto `cols`.
+inline void FillKey(Tuple& key, TupleRef t, const std::vector<size_t>& cols) {
+  for (size_t i = 0; i < cols.size(); ++i) key[i] = t[cols[i]];
 }
 
 }  // namespace
@@ -64,22 +61,33 @@ Relation Join(const Relation& left, const Relation& right,
   const std::vector<size_t> left_cols = LeftColumns(on);
   const std::vector<size_t> right_cols = RightColumns(on);
 
-  // Build on the smaller side, probe with the larger.
+  // Build on the smaller side, probe with the larger. The build table
+  // is a position-keyed RelationIndex over the build relation's arena;
+  // probes fill a reused scratch key, so the steady state allocates
+  // only for output growth.
   const bool build_left = left.size() <= right.size();
   const Relation& build = build_left ? left : right;
   const Relation& probe = build_left ? right : left;
   const std::vector<size_t>& build_cols = build_left ? left_cols : right_cols;
   const std::vector<size_t>& probe_cols = build_left ? right_cols : left_cols;
 
-  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> table;
-  for (const Tuple& t : build.tuples()) {
-    table[ProjectTuple(t, build_cols)].push_back(&t);
-  }
-  for (const Tuple& t : probe.tuples()) {
-    auto it = table.find(ProjectTuple(t, probe_cols));
-    if (it == table.end()) continue;
-    for (const Tuple* b : it->second) {
-      out.Insert(build_left ? Concatenate(*b, t) : Concatenate(t, *b));
+  RelationIndex table(build_cols);
+  for (size_t pos = 0; pos < build.size(); ++pos) table.Add(build, pos);
+
+  Tuple key(on.size(), Value());
+  Tuple out_row(left.arity() + right.arity(), Value());
+  for (size_t pos = 0; pos < probe.size(); ++pos) {
+    TupleRef p = probe.tuple(pos);
+    FillKey(key, p, probe_cols);
+    const std::vector<size_t>* hits = table.Lookup(build, key);
+    if (hits == nullptr) continue;
+    for (size_t bpos : *hits) {
+      TupleRef b = build.tuple(bpos);
+      TupleRef l = build_left ? b : p;
+      TupleRef r = build_left ? p : b;
+      std::copy(l.begin(), l.end(), out_row.begin());
+      std::copy(r.begin(), r.end(), out_row.begin() + left.arity());
+      out.Insert(out_row);
     }
   }
   return out;
@@ -91,12 +99,14 @@ Relation SemiJoin(const Relation& left, const Relation& right,
   const std::vector<size_t> left_cols = LeftColumns(on);
   const std::vector<size_t> right_cols = RightColumns(on);
 
-  std::unordered_set<Tuple, TupleHash> keys;
-  for (const Tuple& t : right.tuples()) {
-    keys.insert(ProjectTuple(t, right_cols));
-  }
-  for (const Tuple& t : left.tuples()) {
-    if (keys.count(ProjectTuple(t, left_cols)) != 0) out.Insert(t);
+  RelationIndex keys(right_cols);
+  for (size_t pos = 0; pos < right.size(); ++pos) keys.Add(right, pos);
+
+  Tuple key(on.size(), Value());
+  for (size_t pos = 0; pos < left.size(); ++pos) {
+    TupleRef t = left.tuple(pos);
+    FillKey(key, t, left_cols);
+    if (keys.Lookup(right, key) != nullptr) out.Insert(t);
   }
   return out;
 }
@@ -104,15 +114,15 @@ Relation SemiJoin(const Relation& left, const Relation& right,
 Relation Union(const Relation& a, const Relation& b) {
   MPQE_CHECK(a.arity() == b.arity());
   Relation out(a.arity());
-  for (const Tuple& t : a.tuples()) out.Insert(t);
-  for (const Tuple& t : b.tuples()) out.Insert(t);
+  for (TupleRef t : a.tuples()) out.Insert(t);
+  for (TupleRef t : b.tuples()) out.Insert(t);
   return out;
 }
 
 Relation Difference(const Relation& a, const Relation& b) {
   MPQE_CHECK(a.arity() == b.arity());
   Relation out(a.arity());
-  for (const Tuple& t : a.tuples()) {
+  for (TupleRef t : a.tuples()) {
     if (!b.Contains(t)) out.Insert(t);
   }
   return out;

@@ -29,7 +29,7 @@ struct Selection {
   std::vector<ColumnEqualsColumn> column_conditions;
 
   /// True iff `tuple` satisfies every condition.
-  bool Matches(const Tuple& tuple) const;
+  bool Matches(TupleRef tuple) const;
 };
 
 /// σ: tuples of `input` satisfying `selection`.

@@ -7,25 +7,160 @@
 
 namespace mpqe {
 
-void RelationIndex::Add(const Tuple& tuple, size_t position) {
-  buckets_[ProjectTuple(tuple, key_columns_)].push_back(position);
+namespace {
+
+// Open-addressing tables resize at 7/8 occupancy; linear probing stays
+// fast well past that with a mixed hash, and 7/8 keeps the row-id
+// tables within ~1.15 slots per tuple.
+inline bool NeedsGrow(size_t used, size_t capacity) {
+  return used * 8 >= capacity * 7;
 }
 
-const std::vector<size_t>* RelationIndex::Lookup(const Tuple& key) const {
-  auto it = buckets_.find(key);
-  if (it == buckets_.end()) return nullptr;
-  return &it->second;
+constexpr size_t kInitialSlots = 16;  // power of two
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RelationIndex
+// ---------------------------------------------------------------------------
+
+uint64_t RelationIndex::HashRowKey(const Relation& rel, size_t position) const {
+  TupleRef row = rel.tuple(position);
+  size_t seed = 0xcbf29ce484222325ULL;
+  for (size_t c : key_columns_) {
+    HashCombine(seed, std::hash<Value>{}(row[c]));
+  }
+  return seed;
 }
 
-bool Relation::Insert(Tuple tuple) {
+bool RelationIndex::RowKeyEquals(const Relation& rel, size_t position,
+                                 TupleRef key) const {
+  TupleRef row = rel.tuple(position);
+  for (size_t i = 0; i < key_columns_.size(); ++i) {
+    if (row[key_columns_[i]] != key[i]) return false;
+  }
+  return true;
+}
+
+bool RelationIndex::RowKeysEqual(const Relation& rel, size_t a,
+                                 size_t b) const {
+  TupleRef ra = rel.tuple(a);
+  TupleRef rb = rel.tuple(b);
+  for (size_t c : key_columns_) {
+    if (ra[c] != rb[c]) return false;
+  }
+  return true;
+}
+
+void RelationIndex::Grow() {
+  size_t capacity = slots_.empty() ? kInitialSlots : slots_.size() * 2;
+  slots_.assign(capacity, 0);
+  size_t mask = capacity - 1;
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    size_t i = Mix64(groups_[g].hash) & mask;
+    while (slots_[i] != 0) i = (i + 1) & mask;
+    slots_[i] = static_cast<uint32_t>(g + 1);
+  }
+}
+
+void RelationIndex::Add(const Relation& rel, size_t position) {
+  if (slots_.empty() || NeedsGrow(groups_.size(), slots_.size())) Grow();
+  uint64_t hash = HashRowKey(rel, position);
+  size_t mask = slots_.size() - 1;
+  size_t i = Mix64(hash) & mask;
+  while (slots_[i] != 0) {
+    Group& group = groups_[slots_[i] - 1];
+    if (group.hash == hash &&
+        RowKeysEqual(rel, group.positions.front(), position)) {
+      group.positions.push_back(position);
+      return;
+    }
+    i = (i + 1) & mask;
+  }
+  MPQE_CHECK(groups_.size() < UINT32_MAX);
+  slots_[i] = static_cast<uint32_t>(groups_.size() + 1);
+  groups_.push_back(Group{hash, {position}});
+}
+
+const std::vector<size_t>* RelationIndex::Lookup(const Relation& rel,
+                                                 TupleRef key) const {
+  if (slots_.empty()) return nullptr;
+  size_t seed = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < key.size(); ++i) {
+    HashCombine(seed, std::hash<Value>{}(key[i]));
+  }
+  uint64_t hash = seed;
+  size_t mask = slots_.size() - 1;
+  size_t i = Mix64(hash) & mask;
+  while (slots_[i] != 0) {
+    const Group& group = groups_[slots_[i] - 1];
+    if (group.hash == hash &&
+        RowKeyEquals(rel, group.positions.front(), key)) {
+      return &group.positions;
+    }
+    i = (i + 1) & mask;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Relation
+// ---------------------------------------------------------------------------
+
+bool Relation::RowEquals(size_t position, TupleRef tuple) const {
+  const Value* row = values_.data() + position * arity_;
+  for (size_t i = 0; i < arity_; ++i) {
+    if (row[i] != tuple[i]) return false;
+  }
+  return true;
+}
+
+void Relation::GrowDedup() {
+  size_t capacity = slots_.empty() ? kInitialSlots : slots_.size() * 2;
+  slots_.assign(capacity, 0);
+  size_t mask = capacity - 1;
+  for (size_t row = 0; row < num_rows_; ++row) {
+    size_t i = Mix64(hashes_[row]) & mask;
+    while (slots_[i] != 0) i = (i + 1) & mask;
+    slots_[i] = static_cast<uint32_t>(row + 1);
+  }
+}
+
+bool Relation::Insert(TupleRef tuple) {
   MPQE_CHECK(tuple.size() == arity_)
       << "tuple arity " << tuple.size() << " != relation arity " << arity_;
-  auto [it, inserted] = seen_.insert(tuple);
-  if (!inserted) return false;
-  size_t position = tuples_.size();
-  tuples_.push_back(std::move(tuple));
-  for (auto& index : indexes_) index.Add(tuples_.back(), position);
+  if (slots_.empty() || NeedsGrow(num_rows_, slots_.size())) GrowDedup();
+  uint64_t hash = HashTuple(tuple);
+  size_t mask = slots_.size() - 1;
+  size_t i = Mix64(hash) & mask;
+  while (slots_[i] != 0) {
+    size_t row = slots_[i] - 1;
+    if (hashes_[row] == hash && RowEquals(row, tuple)) return false;
+    i = (i + 1) & mask;
+  }
+  // New row: append to the arena. (If `tuple` views this relation's own
+  // arena it is necessarily a duplicate and was rejected above, so the
+  // copy below never reads from a buffer the append may reallocate.)
+  MPQE_CHECK(num_rows_ < UINT32_MAX);
+  size_t position = num_rows_++;
+  values_.insert(values_.end(), tuple.begin(), tuple.end());
+  hashes_.push_back(hash);
+  slots_[i] = static_cast<uint32_t>(position + 1);
+  for (auto& index : indexes_) index.Add(*this, position);
   return true;
+}
+
+bool Relation::Contains(TupleRef tuple) const {
+  if (tuple.size() != arity_ || slots_.empty()) return false;
+  uint64_t hash = HashTuple(tuple);
+  size_t mask = slots_.size() - 1;
+  size_t i = Mix64(hash) & mask;
+  while (slots_[i] != 0) {
+    size_t row = slots_[i] - 1;
+    if (hashes_[row] == hash && RowEquals(row, tuple)) return true;
+    i = (i + 1) & mask;
+  }
+  return false;
 }
 
 size_t Relation::EnsureIndex(const std::vector<size_t>& key_columns) {
@@ -34,27 +169,31 @@ size_t Relation::EnsureIndex(const std::vector<size_t>& key_columns) {
   }
   indexes_.emplace_back(key_columns);
   RelationIndex& index = indexes_.back();
-  for (size_t pos = 0; pos < tuples_.size(); ++pos) {
-    index.Add(tuples_[pos], pos);
+  for (size_t pos = 0; pos < num_rows_; ++pos) {
+    index.Add(*this, pos);
   }
   return indexes_.size() - 1;
 }
 
 const std::vector<size_t>* Relation::Probe(size_t index_handle,
-                                           const Tuple& key) const {
-  return indexes_[index_handle].Lookup(key);
+                                           TupleRef key) const {
+  return indexes_[index_handle].Lookup(*this, key);
 }
 
 std::vector<Tuple> Relation::SortedTuples() const {
-  std::vector<Tuple> sorted = tuples_;
+  std::vector<Tuple> sorted;
+  sorted.reserve(num_rows_);
+  for (size_t row = 0; row < num_rows_; ++row) {
+    sorted.push_back(tuple(row).ToTuple());
+  }
   std::sort(sorted.begin(), sorted.end());
   return sorted;
 }
 
 bool operator==(const Relation& a, const Relation& b) {
   if (a.arity_ != b.arity_ || a.size() != b.size()) return false;
-  for (const Tuple& t : a.tuples_) {
-    if (!b.Contains(t)) return false;
+  for (size_t row = 0; row < a.num_rows_; ++row) {
+    if (!b.Contains(a.tuple(row))) return false;
   }
   return true;
 }

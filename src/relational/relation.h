@@ -6,24 +6,37 @@
 // complete" (§1.2) — cycles of messages terminate because re-derived
 // tuples are dropped.
 //
+// Storage layout: all values live in one contiguous arena
+// (std::vector<Value>) strided by arity; a tuple is addressed by its
+// row id (insertion order) and read through a TupleRef view, so no
+// read path materializes an owning copy. Duplicate elimination and the
+// column indexes are open-addressing (linear probe, power-of-two) hash
+// tables whose entries are row ids — hashing and equality read the
+// arena in place, so each tuple is stored exactly once.
+//
 // Indexes are registered on demand via EnsureIndex({cols...}) and kept
 // current by Insert, so engine processes can interleave probes and
-// inserts freely.
+// inserts freely. Row ids are stable: positions never move or get
+// reused, which the engine relies on for replaying answer streams.
 
 #ifndef MPQE_RELATIONAL_RELATION_H_
 #define MPQE_RELATIONAL_RELATION_H_
 
+#include <cstdint>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "relational/tuple.h"
 
 namespace mpqe {
 
-// Hash index over a subset of columns: key = projected tuple,
-// value = indexes into the relation's tuple vector.
+class Relation;
+
+// Hash index over a subset of columns. Bucket keys are row positions
+// into the owning relation's arena — the projected key tuples are
+// never materialized; hashing and comparison read the arena in place.
+// The owning relation is passed into each call (instead of stored)
+// so Relation stays freely copyable and movable.
 class RelationIndex {
  public:
   explicit RelationIndex(std::vector<size_t> key_columns)
@@ -31,15 +44,28 @@ class RelationIndex {
 
   const std::vector<size_t>& key_columns() const { return key_columns_; }
 
-  void Add(const Tuple& tuple, size_t position);
+  /// Adds arena row `position` of `rel` to the index.
+  void Add(const Relation& rel, size_t position);
 
   /// Returns positions of tuples whose projection on key_columns equals
-  /// `key`, or nullptr if none.
-  const std::vector<size_t>* Lookup(const Tuple& key) const;
+  /// `key` (one value per key column, in key-column order), or nullptr
+  /// if none.
+  const std::vector<size_t>* Lookup(const Relation& rel, TupleRef key) const;
 
  private:
+  struct Group {
+    uint64_t hash = 0;               // projected-key hash, shared by rows
+    std::vector<size_t> positions;   // rows with this key, insertion order
+  };
+
+  uint64_t HashRowKey(const Relation& rel, size_t position) const;
+  bool RowKeyEquals(const Relation& rel, size_t position, TupleRef key) const;
+  bool RowKeysEqual(const Relation& rel, size_t a, size_t b) const;
+  void Grow();
+
   std::vector<size_t> key_columns_;
-  std::unordered_map<Tuple, std::vector<size_t>, TupleHash> buckets_;
+  std::vector<uint32_t> slots_;  // group id + 1; 0 = empty
+  std::vector<Group> groups_;
 };
 
 class Relation {
@@ -47,30 +73,65 @@ class Relation {
   explicit Relation(size_t arity) : arity_(arity) {}
 
   size_t arity() const { return arity_; }
-  size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
 
-  /// Inserts `tuple` if not already present; returns true if inserted.
-  /// The tuple's size must equal arity().
-  bool Insert(Tuple tuple);
+  /// Inserts a copy of `tuple` if not already present; returns true if
+  /// inserted. The tuple's size must equal arity().
+  bool Insert(TupleRef tuple);
 
-  bool Contains(const Tuple& tuple) const {
-    return seen_.count(tuple) != 0;
+  bool Contains(TupleRef tuple) const;
+
+  /// View of the tuple at `position` (a row id in [0, size())). Stable
+  /// across Inserts in identity, but the underlying pointer may move
+  /// when the arena grows — do not hold TupleRefs across Insert.
+  TupleRef tuple(size_t position) const {
+    return TupleRef(values_.data() + position * arity_, arity_);
   }
 
-  /// Tuples in insertion order. Stable across Inserts (positions never
-  /// move), which the engine relies on for replaying answer streams.
-  const std::vector<Tuple>& tuples() const { return tuples_; }
+  // Insertion-order iteration over TupleRef views; tuples() is stable
+  // across Inserts (positions never move), which the engine relies on
+  // for replaying answer streams.
+  // Row-id based so zero-arity relations (stride 0, e.g. magic-set
+  // seed relations holding the empty tuple) still iterate size() times.
+  class const_iterator {
+   public:
+    const_iterator(const Relation* rel, size_t row) : rel_(rel), row_(row) {}
+    TupleRef operator*() const { return rel_->tuple(row_); }
+    const_iterator& operator++() {
+      ++row_;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return row_ == o.row_; }
+    bool operator!=(const const_iterator& o) const { return row_ != o.row_; }
 
-  const Tuple& tuple(size_t position) const { return tuples_[position]; }
+   private:
+    const Relation* rel_;
+    size_t row_;
+  };
+
+  class TupleRange {
+   public:
+    explicit TupleRange(const Relation* rel) : rel_(rel) {}
+    const_iterator begin() const { return const_iterator(rel_, 0); }
+    const_iterator end() const { return const_iterator(rel_, rel_->num_rows_); }
+    size_t size() const { return rel_->num_rows_; }
+    bool empty() const { return rel_->num_rows_ == 0; }
+    TupleRef operator[](size_t i) const { return rel_->tuple(i); }
+
+   private:
+    const Relation* rel_;
+  };
+
+  /// Tuples in insertion order.
+  TupleRange tuples() const { return TupleRange(this); }
 
   /// Registers (or finds) an incrementally maintained index on
   /// `key_columns` and returns its handle for Probe().
   size_t EnsureIndex(const std::vector<size_t>& key_columns);
 
   /// Positions of tuples matching `key` on the index's key columns.
-  const std::vector<size_t>* Probe(size_t index_handle,
-                                   const Tuple& key) const;
+  const std::vector<size_t>* Probe(size_t index_handle, TupleRef key) const;
 
   /// Sorted copy of the tuples (for deterministic output/comparison).
   std::vector<Tuple> SortedTuples() const;
@@ -80,9 +141,16 @@ class Relation {
   std::string ToString(const SymbolTable* symbols = nullptr) const;
 
  private:
+  friend class RelationIndex;
+
+  bool RowEquals(size_t position, TupleRef tuple) const;
+  void GrowDedup();
+
   size_t arity_;
-  std::vector<Tuple> tuples_;
-  std::unordered_set<Tuple, TupleHash> seen_;
+  size_t num_rows_ = 0;
+  std::vector<Value> values_;     // arena: arity_ values per row
+  std::vector<uint64_t> hashes_;  // per-row full-tuple hash
+  std::vector<uint32_t> slots_;   // dedup table: row id + 1; 0 = empty
   std::vector<RelationIndex> indexes_;
 };
 

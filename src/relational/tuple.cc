@@ -1,23 +1,29 @@
 #include "relational/tuple.h"
 
+#include <ostream>
+
 #include "common/string_util.h"
 
 namespace mpqe {
 
-Tuple ProjectTuple(const Tuple& tuple, const std::vector<size_t>& columns) {
+Tuple ProjectTuple(TupleRef tuple, const std::vector<size_t>& columns) {
   Tuple out;
   out.reserve(columns.size());
   for (size_t c : columns) out.push_back(tuple[c]);
   return out;
 }
 
-std::string TupleToString(const Tuple& tuple, const SymbolTable* symbols) {
+std::string TupleToString(TupleRef tuple, const SymbolTable* symbols) {
   return StrCat("(",
                 StrJoin(tuple, ", ",
                         [symbols](std::ostream& os, const Value& v) {
                           os << v.ToString(symbols);
                         }),
                 ")");
+}
+
+std::ostream& operator<<(std::ostream& os, TupleRef tuple) {
+  return os << TupleToString(tuple);
 }
 
 }  // namespace mpqe

@@ -148,7 +148,7 @@ TEST_P(SldEquivalence, SldMatchesSemiNaiveWhenComplete) {
     EXPECT_TRUE(sld->answers == truth->goal) << rp->text;
   } else {
     // Incomplete searches must still be sound.
-    for (const Tuple& t : sld->answers.tuples()) {
+    for (TupleRef t : sld->answers.tuples()) {
       EXPECT_TRUE(truth->goal.Contains(t)) << rp->text;
     }
   }

@@ -68,7 +68,7 @@ TEST_P(OperatorLaws, SemiJoinIsIdempotent) {
   Relation twice = SemiJoin(once, b, {{0, 0}});
   EXPECT_TRUE(once == twice);
   // And a subset of the input.
-  for (const Tuple& t : once.tuples()) {
+  for (TupleRef t : once.tuples()) {
     EXPECT_TRUE(a.Contains(t));
   }
 }
@@ -96,7 +96,7 @@ TEST_P(OperatorLaws, UnionAndDifferenceLaws) {
   // Union commutative; difference anti-monotone bound.
   EXPECT_TRUE(Union(a, b) == Union(b, a));
   EXPECT_LE(diff.size(), a.size());
-  for (const Tuple& t : inter.tuples()) {
+  for (TupleRef t : inter.tuples()) {
     EXPECT_TRUE(b.Contains(t));
   }
 }
@@ -116,7 +116,7 @@ TEST_P(OperatorLaws, SelectThenCountMatchesManualFilter) {
   sel.column_conditions.push_back({0, 2});
   Relation out = Select(a, sel);
   size_t expected = 0;
-  for (const Tuple& t : a.tuples()) {
+  for (TupleRef t : a.tuples()) {
     if (t[0] == t[2]) ++expected;
   }
   EXPECT_EQ(out.size(), expected);

@@ -1,0 +1,236 @@
+// Storage-layer tests for the flat tuple arena behind Relation:
+//
+//  * arena growth and dedup/index rehashes keep row positions, Probe
+//    results and insertion-order iteration stable across interleaved
+//    Insert/EnsureIndex/Probe sequences;
+//  * model-based property test: duplicate elimination, Contains,
+//    equality and SortedTuples match a reference implementation built
+//    on plain std::vector<Tuple>/std::set<Tuple>.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "relational/relation.h"
+
+namespace mpqe {
+namespace {
+
+Tuple T2(int64_t a, int64_t b) { return {Value::Int(a), Value::Int(b)}; }
+
+// Reference semantics: insertion-ordered, duplicate-free tuple list.
+class ReferenceRelation {
+ public:
+  explicit ReferenceRelation(size_t arity) : arity_(arity) {}
+
+  bool Insert(const Tuple& t) {
+    if (!seen_.insert(t).second) return false;
+    rows_.push_back(t);
+    return true;
+  }
+
+  bool Contains(const Tuple& t) const { return seen_.count(t) != 0; }
+  size_t size() const { return rows_.size(); }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  size_t arity() const { return arity_; }
+
+  std::vector<Tuple> SortedTuples() const {
+    std::vector<Tuple> out = rows_;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  // Positions whose tuples agree with `key` on `columns`.
+  std::vector<size_t> Matches(const std::vector<size_t>& columns,
+                              const Tuple& key) const {
+    std::vector<size_t> out;
+    for (size_t pos = 0; pos < rows_.size(); ++pos) {
+      bool ok = true;
+      for (size_t i = 0; i < columns.size(); ++i) {
+        if (rows_[pos][columns[i]] != key[i]) ok = false;
+      }
+      if (ok) out.push_back(pos);
+    }
+    return out;
+  }
+
+ private:
+  size_t arity_;
+  std::vector<Tuple> rows_;
+  std::set<Tuple> seen_;
+};
+
+TEST(RelationStorageTest, InsertionOrderSurvivesArenaGrowth) {
+  // Far past several capacity doublings of the dedup table and arena.
+  Relation r(2);
+  std::vector<Tuple> expected;
+  for (int64_t i = 0; i < 5000; ++i) {
+    Tuple t = T2(i % 97, i);
+    if (r.Insert(t)) expected.push_back(t);
+    // Duplicate re-insert of an early row must stay rejected.
+    EXPECT_FALSE(r.Insert(T2(0, 0)));
+  }
+  ASSERT_EQ(r.size(), expected.size());
+  size_t pos = 0;
+  for (TupleRef t : r.tuples()) {
+    EXPECT_EQ(t.ToTuple(), expected[pos]);
+    EXPECT_EQ(r.tuple(pos), TupleRef(expected[pos]));
+    ++pos;
+  }
+  EXPECT_EQ(pos, expected.size());
+}
+
+TEST(RelationStorageTest, ProbeStableAcrossInterleavedInsertAndRehash) {
+  Relation r(2);
+  ReferenceRelation ref(2);
+  // Index created while the relation is still tiny; every later insert
+  // must maintain it through dedup-table and index-table rehashes.
+  size_t by_first = r.EnsureIndex({0});
+  Rng rng(42);
+  for (int round = 0; round < 2000; ++round) {
+    Tuple t = T2(rng.Range(0, 30), rng.Range(0, 200));
+    EXPECT_EQ(r.Insert(t), ref.Insert(t));
+    if (round % 67 == 0) {
+      // Re-request: must return the same handle, not rebuild.
+      EXPECT_EQ(r.EnsureIndex({0}), by_first);
+      int64_t probe_val = rng.Range(0, 30);
+      Tuple key = {Value::Int(probe_val)};
+      const std::vector<size_t>* hits = r.Probe(by_first, key);
+      std::vector<size_t> got = hits ? *hits : std::vector<size_t>{};
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, ref.Matches({0}, key)) << "round " << round;
+    }
+  }
+  // Final full sweep: every key, plus a second index created late must
+  // agree with one created before any inserts.
+  size_t by_second = r.EnsureIndex({1});
+  for (int64_t v = 0; v < 31; ++v) {
+    Tuple key = {Value::Int(v)};
+    const std::vector<size_t>* hits = r.Probe(by_first, key);
+    std::vector<size_t> got = hits ? *hits : std::vector<size_t>{};
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, ref.Matches({0}, key));
+  }
+  for (int64_t v = 0; v < 201; ++v) {
+    Tuple key = {Value::Int(v)};
+    const std::vector<size_t>* hits = r.Probe(by_second, key);
+    std::vector<size_t> got = hits ? *hits : std::vector<size_t>{};
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, ref.Matches({1}, key));
+  }
+}
+
+TEST(RelationStorageTest, ZeroArityRelationHoldsOneEmptyTuple) {
+  Relation r(0);
+  EXPECT_FALSE(r.Contains(Tuple{}));
+  EXPECT_TRUE(r.Insert(Tuple{}));
+  EXPECT_FALSE(r.Insert(Tuple{}));  // the only possible duplicate
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains(Tuple{}));
+  size_t seen = 0;
+  for (TupleRef t : r.tuples()) {
+    EXPECT_EQ(t.size(), 0u);
+    ++seen;
+  }
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST(RelationStorageTest, EmptyKeyIndexReturnsAllRows) {
+  Relation r(2);
+  for (int64_t i = 0; i < 10; ++i) r.Insert(T2(i, i * i));
+  size_t handle = r.EnsureIndex({});
+  const std::vector<size_t>* hits = r.Probe(handle, Tuple{});
+  ASSERT_NE(hits, nullptr);
+  std::vector<size_t> got = *hits;
+  std::sort(got.begin(), got.end());
+  ASSERT_EQ(got.size(), 10u);
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], i);
+}
+
+class RelationStorageProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// Randomized interleavings of Insert/EnsureIndex/Probe against the
+// reference model: public semantics (dedup, order, Contains, equality,
+// SortedTuples, Probe) must be indistinguishable from the old
+// Tuple-set implementation.
+TEST_P(RelationStorageProperty, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  size_t arity = static_cast<size_t>(rng.Range(1, 3));
+  Relation r(arity);
+  ReferenceRelation ref(arity);
+  std::map<std::vector<size_t>, size_t> handles;
+
+  for (int step = 0; step < 1500; ++step) {
+    int op = static_cast<int>(rng.Range(0, 9));
+    if (op < 6) {  // Insert
+      Tuple t;
+      for (size_t j = 0; j < arity; ++j) {
+        t.push_back(Value::Int(rng.Range(0, 8)));
+      }
+      EXPECT_EQ(r.Insert(t), ref.Insert(t));
+    } else if (op < 7) {  // EnsureIndex over a random column subset
+      std::vector<size_t> cols;
+      for (size_t j = 0; j < arity; ++j) {
+        if (rng.Range(0, 1) == 0) cols.push_back(j);
+      }
+      size_t handle = r.EnsureIndex(cols);
+      auto [it, inserted] = handles.emplace(cols, handle);
+      if (!inserted) {
+        EXPECT_EQ(handle, it->second);
+      }
+    } else if (op < 8) {  // Probe a previously created index
+      if (handles.empty()) continue;
+      auto it = handles.begin();
+      std::advance(it, rng.Range(0, static_cast<int64_t>(handles.size()) - 1));
+      const std::vector<size_t>& cols = it->first;
+      Tuple key;
+      for (size_t j = 0; j < cols.size(); ++j) {
+        key.push_back(Value::Int(rng.Range(0, 8)));
+      }
+      const std::vector<size_t>* hits = r.Probe(it->second, key);
+      std::vector<size_t> got = hits ? *hits : std::vector<size_t>{};
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, ref.Matches(cols, key)) << "step " << step;
+    } else {  // Contains on a random (often absent) tuple
+      Tuple t;
+      for (size_t j = 0; j < arity; ++j) {
+        t.push_back(Value::Int(rng.Range(0, 10)));
+      }
+      EXPECT_EQ(r.Contains(t), ref.Contains(t));
+    }
+  }
+
+  // Whole-relation invariants.
+  ASSERT_EQ(r.size(), ref.size());
+  size_t pos = 0;
+  for (TupleRef t : r.tuples()) {
+    EXPECT_EQ(t.ToTuple(), ref.rows()[pos]);
+    ++pos;
+  }
+  EXPECT_EQ(r.SortedTuples(), ref.SortedTuples());
+
+  // Equality: rebuilding in a different insertion order (with
+  // duplicates sprinkled in) compares equal; dropping a row does not.
+  Relation shuffled(arity);
+  std::vector<Tuple> rows = ref.rows();
+  for (size_t i = rows.size(); i > 0; --i) {
+    shuffled.Insert(rows[i - 1]);
+    shuffled.Insert(rows[rows.size() - 1]);  // duplicate on purpose
+  }
+  EXPECT_TRUE(r == shuffled);
+  if (!rows.empty()) {
+    Relation truncated(arity);
+    for (size_t i = 0; i + 1 < rows.size(); ++i) truncated.Insert(rows[i]);
+    EXPECT_FALSE(r == truncated);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationStorageProperty,
+                         ::testing::Range(uint64_t{0}, uint64_t{12}));
+
+}  // namespace
+}  // namespace mpqe

@@ -49,7 +49,28 @@ class StreamMonitor {
   }
 
   void Observe(ProcessId to, const Message& m) {
+    // Lock once here; batch envelopes recurse via the unlocked helper
+    // (re-locking the non-recursive mutex would self-deadlock).
     std::lock_guard<std::mutex> lock(mutex_);
+    ObserveLocked(to, m);
+  }
+
+  void ExpectClean(const std::string& context) const {
+    for (const auto& [key, s] : streams_) {
+      EXPECT_EQ(s.tuples_after_end, 0u)
+          << context << ": tuple after end on stream " << key.producer
+          << "->" << key.consumer << " " << TupleToString(key.binding);
+      EXPECT_EQ(s.double_ends, 0u)
+          << context << ": double end on stream " << key.producer << "->"
+          << key.consumer;
+      EXPECT_EQ(s.answers_before_request, 0u)
+          << context << ": answer before request on stream " << key.producer
+          << "->" << key.consumer;
+    }
+  }
+
+ private:
+  void ObserveLocked(ProcessId to, const Message& m) {
     switch (m.kind) {
       case MessageKind::kTupleRequest:
         streams_[{to, m.from, m.binding}].requested = true;
@@ -70,7 +91,7 @@ class StreamMonitor {
         for (const Message& sub : m.batch) {
           Message stamped = sub;
           stamped.from = m.from;
-          Observe(to, stamped);
+          ObserveLocked(to, stamped);
         }
         break;
       default:
@@ -78,21 +99,6 @@ class StreamMonitor {
     }
   }
 
-  void ExpectClean(const std::string& context) const {
-    for (const auto& [key, s] : streams_) {
-      EXPECT_EQ(s.tuples_after_end, 0u)
-          << context << ": tuple after end on stream " << key.producer
-          << "->" << key.consumer << " " << TupleToString(key.binding);
-      EXPECT_EQ(s.double_ends, 0u)
-          << context << ": double end on stream " << key.producer << "->"
-          << key.consumer;
-      EXPECT_EQ(s.answers_before_request, 0u)
-          << context << ": answer before request on stream " << key.producer
-          << "->" << key.consumer;
-    }
-  }
-
- private:
   mutable std::mutex mutex_;
   std::map<StreamKey, StreamState> streams_;
 };
@@ -129,6 +135,8 @@ TEST(StreamOrderTest, RecursiveCycleWorkload) {
     options.workers = 3;
     options.graph_options.coalesce_nodes = config.coalesce;
     options.batch_messages = config.batch;
+    // Guard: a protocol regression must fail fast, not hang the test.
+    options.max_messages = 1000000;
     options.observer = monitor.Observer();
     auto result = Evaluate(program, db, options);
     ASSERT_TRUE(result.ok()) << config.name << ": " << result.status();
@@ -154,6 +162,8 @@ TEST(StreamOrderTest, MutualRecursionWorkload) {
     options.seed = config.seed;
     options.graph_options.coalesce_nodes = config.coalesce;
     options.batch_messages = config.batch;
+    // Guard: a protocol regression must fail fast, not hang the test.
+    options.max_messages = 1000000;
     options.observer = monitor.Observer();
     auto result = Evaluate(unit->program, unit->database, options);
     ASSERT_TRUE(result.ok()) << config.name;
