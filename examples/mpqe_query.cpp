@@ -138,15 +138,9 @@ int main(int argc, char** argv) {
   options.strategy = strategy;
   options.seed = seed;
   options.workers = workers;
-  if (scheduler == "deterministic") {
-    options.scheduler = mpqe::SchedulerKind::kDeterministic;
-  } else if (scheduler == "random") {
-    options.scheduler = mpqe::SchedulerKind::kRandom;
-  } else if (scheduler == "threaded") {
-    options.scheduler = mpqe::SchedulerKind::kThreaded;
-  } else {
-    return Fail("unknown scheduler: " + scheduler);
-  }
+  auto scheduler_kind = mpqe::SchedulerKindFromName(scheduler);
+  if (!scheduler_kind.ok()) return Fail(scheduler_kind.status().ToString());
+  options.scheduler = *scheduler_kind;
 
   auto result = mpqe::Evaluate(unit->program, unit->database, options);
   if (!result.ok()) return Fail(result.status().ToString());

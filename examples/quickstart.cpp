@@ -3,12 +3,15 @@
 //
 //   $ ./quickstart
 //
-// Demonstrates the minimal public API: Parse -> Evaluate -> answers.
+// Demonstrates the minimal public API: Parse -> Evaluate -> answers,
+// plus the metrics registry for a structured look at what the
+// evaluation did.
 
 #include <iostream>
 
 #include "datalog/parser.h"
 #include "engine/evaluator.h"
+#include "obs/metrics.h"
 
 int main() {
   // Facts (EDB) and rules (IDB) in one Prolog-style source text.
@@ -33,6 +36,8 @@ int main() {
   }
 
   mpqe::EvaluationOptions options;  // defaults: greedy sips, deterministic
+  mpqe::MetricsRegistry metrics;    // filled live during the run
+  options.metrics = &metrics;
   auto result = mpqe::Evaluate(unit->program, unit->database, options);
   if (!result.ok()) {
     std::cerr << "evaluation error: " << result.status() << "\n";
@@ -48,5 +53,7 @@ int main() {
             << "counters: " << result->counters.ToString() << "\n"
             << "finished by end-message protocol: "
             << (result->ended_by_protocol ? "yes" : "no") << "\n";
+
+  std::cout << "\nmetrics:\n" << metrics.ToString();
   return 0;
 }

@@ -4,17 +4,34 @@
 // can detect it. Prints per-kind message counts and wave statistics
 // for increasing cycle sizes and several random schedules.
 //
-//   $ ./termination_trace [max_n]
+//   $ ./termination_trace [--trace=trace.json] [max_n]
+//
+// With --trace=<file>, the final run is re-executed with a
+// TraceExporter attached and written as Chrome trace-event JSON —
+// open it in chrome://tracing or https://ui.perfetto.dev to see one
+// track per process, message sends as flow arrows and the protocol's
+// end-request waves as instant events.
 
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "datalog/parser.h"
 #include "engine/evaluator.h"
+#include "obs/trace_exporter.h"
 #include "workload/generators.h"
 
 int main(int argc, char** argv) {
-  int64_t max_n = argc > 1 ? std::atoll(argv[1]) : 32;
+  int64_t max_n = 32;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else {
+      max_n = std::atoll(arg.c_str());
+    }
+  }
 
   std::cout << "cycle-graph transitive closure tc(0, W), deterministic "
                "schedule:\n";
@@ -72,6 +89,41 @@ int main(int argc, char** argv) {
               << "  ended_by_protocol="
               << (result->ended_by_protocol ? "yes" : "no")
               << "  waves=" << result->counters.protocol_waves << "\n";
+  }
+
+  if (!trace_path.empty()) {
+    mpqe::Database db;
+    if (!mpqe::workload::MakeCycle(db, "edge", 16).ok()) return 1;
+    mpqe::Program program;
+    if (!mpqe::ParseInto(mpqe::workload::LinearTcProgram(0), program, db)
+             .ok()) {
+      return 1;
+    }
+    if (!program.Validate(&db).ok()) return 1;
+    auto strategy = mpqe::MakeGreedyStrategy();
+    auto graph = mpqe::RuleGoalGraph::Build(program, *strategy);
+    if (!graph.ok()) {
+      std::cerr << graph.status() << "\n";
+      return 1;
+    }
+    mpqe::TraceExporter exporter;
+    exporter.AttachGraph(graph->get(), &db.symbols());
+    mpqe::EvaluationOptions options;
+    options.skip_validation = true;
+    options.observers.push_back(&exporter);
+    auto result = mpqe::EvaluateWithGraph(**graph, db, options);
+    if (!result.ok()) {
+      std::cerr << result.status() << "\n";
+      return 1;
+    }
+    mpqe::Status written = exporter.WriteFile(trace_path);
+    if (!written.ok()) {
+      std::cerr << written << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << exporter.event_count()
+              << " trace events to " << trace_path
+              << " (open in chrome://tracing)\n";
   }
   return 0;
 }

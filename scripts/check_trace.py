@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by TraceExporter.
+
+Usage: check_trace.py trace.json
+
+Checks (stdlib only, exit 0 = valid, 1 = invalid):
+  * the file parses as JSON and has a non-empty "traceEvents" list;
+  * every event carries the keys its phase type requires;
+  * duration events ("X") have dur >= 0;
+  * flow starts ("s") and ends ("f") pair up one-to-one by id, and
+    every flow end's timestamp is >= its start's (send happens-before
+    delivery);
+  * metadata ("M") names every thread that appears in events.
+"""
+
+import json
+import sys
+from collections import Counter
+
+KNOWN_PHASES = {"X", "s", "f", "i", "C", "M", "B", "E"}
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path = sys.argv[1]
+
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail('"traceEvents" missing, not a list, or empty')
+
+    flow_starts = {}  # id -> ts
+    flow_ends = {}
+    named_threads = set()
+    used_threads = set()
+    counts = Counter()
+
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(f"event {i} is not an object")
+        ph = e.get("ph")
+        if ph not in KNOWN_PHASES:
+            fail(f"event {i} has unknown ph {ph!r}")
+        counts[ph] += 1
+        if "name" not in e:
+            fail(f"event {i} ({ph}) lacks a name")
+        if "pid" not in e:
+            fail(f"event {i} ({ph}) lacks a pid")
+
+        if ph == "M":
+            if e["name"] == "thread_name":
+                named_threads.add((e["pid"], e.get("tid")))
+            continue
+
+        if "ts" not in e:
+            fail(f"event {i} ({ph}) lacks ts")
+        if not isinstance(e["ts"], (int, float)) or e["ts"] < 0:
+            fail(f"event {i} has bad ts {e['ts']!r}")
+        used_threads.add((e["pid"], e.get("tid")))
+
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"X event {i} ({e['name']}) has bad dur {dur!r}")
+        elif ph in ("s", "f"):
+            fid = e.get("id")
+            if fid is None:
+                fail(f"flow event {i} ({e['name']}) lacks an id")
+            bucket = flow_starts if ph == "s" else flow_ends
+            if fid in bucket:
+                fail(f"duplicate flow {ph} id {fid}")
+            bucket[fid] = e["ts"]
+        elif ph == "C":
+            if not isinstance(e.get("args"), dict) or not e["args"]:
+                fail(f"counter event {i} ({e['name']}) lacks args values")
+
+    unmatched_starts = set(flow_starts) - set(flow_ends)
+    unmatched_ends = set(flow_ends) - set(flow_starts)
+    if unmatched_starts:
+        fail(f"{len(unmatched_starts)} flow start(s) without an end, "
+             f"e.g. {sorted(unmatched_starts)[0]}")
+    if unmatched_ends:
+        fail(f"{len(unmatched_ends)} flow end(s) without a start, "
+             f"e.g. {sorted(unmatched_ends)[0]}")
+    for fid, ts in flow_starts.items():
+        if flow_ends[fid] < ts:
+            fail(f"flow {fid} ends at {flow_ends[fid]} before its "
+                 f"start at {ts}")
+
+    unnamed = used_threads - named_threads
+    if unnamed:
+        fail(f"{len(unnamed)} thread(s) without thread_name metadata, "
+             f"e.g. {sorted(unnamed)[0]}")
+
+    summary = " ".join(f"{ph}={n}" for ph, n in sorted(counts.items()))
+    print(f"check_trace: OK: {len(events)} events ({summary}), "
+          f"{len(flow_starts)} matched flows")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

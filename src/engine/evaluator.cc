@@ -1,69 +1,212 @@
 #include "engine/evaluator.h"
 
+#include <optional>
+
 #include "common/logging.h"
 #include "common/string_util.h"
 
 namespace mpqe {
 
+const char* SchedulerKindToName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kDeterministic:
+      return "deterministic";
+    case SchedulerKind::kRandom:
+      return "random";
+    case SchedulerKind::kThreaded:
+      return "threaded";
+  }
+  return "?";
+}
+
+StatusOr<SchedulerKind> SchedulerKindFromName(const std::string& name) {
+  if (name == "deterministic") return SchedulerKind::kDeterministic;
+  if (name == "random") return SchedulerKind::kRandom;
+  if (name == "threaded") return SchedulerKind::kThreaded;
+  return InvalidArgumentError(
+      StrCat("unknown scheduler \"", name,
+             "\" (expected deterministic, random, or threaded)"));
+}
+
+Status EvaluationOptions::Validate() const {
+  switch (scheduler) {
+    case SchedulerKind::kDeterministic:
+    case SchedulerKind::kRandom:
+    case SchedulerKind::kThreaded:
+      break;
+    default:
+      return InvalidArgumentError(
+          StrCat("invalid scheduler value ", static_cast<int>(scheduler)));
+  }
+  // `workers` only drives the threaded scheduler, but a non-positive
+  // count is nonsense under every configuration — reject it early so
+  // a later scheduler switch does not start failing mysteriously.
+  if (workers < 1) {
+    return InvalidArgumentError(
+        StrCat("workers must be >= 1, got ", workers));
+  }
+  StatusOr<std::unique_ptr<SipsStrategy>> strategy =
+      MakeStrategyByName(this->strategy);
+  if (!strategy.ok()) return strategy.status();
+  return Status::Ok();
+}
+
+namespace {
+
+// The observers of one evaluation: the caller's ExecutionObservers,
+// plus (when configured) an internal MetricsObserver and the shim
+// wrapping the deprecated raw SendObserver. The shim and metrics
+// observer live exactly as long as the evaluation.
+struct ScopedObservers {
+  ObserverList list;
+  std::optional<MetricsObserver> metrics;
+  std::optional<LegacySendObserver<Network::SendObserver>> legacy;
+
+  explicit ScopedObservers(const EvaluationOptions& options) {
+    for (ExecutionObserver* o : options.observers) list.Add(o);
+    if (options.metrics != nullptr) {
+      MetricsObserver::Options metrics_options;
+      metrics_options.per_arc = options.metrics_per_arc;
+      metrics.emplace(options.metrics, metrics_options);
+      list.Add(&*metrics);
+    }
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    if (options.observer) legacy.emplace(options.observer);
+#pragma GCC diagnostic pop
+    if (legacy.has_value()) list.Add(&*legacy);
+  }
+};
+
+// RAII phase reporter: begin on construction, end on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(const ObserverList& list, Phase phase)
+      : list_(list), phase_(phase) {
+    if (list_.empty()) return;
+    list_.NotifyPhase(PhaseEvent{phase_, /*begin=*/true});
+  }
+  ~ScopedPhase() {
+    if (list_.empty()) return;
+    list_.NotifyPhase(PhaseEvent{phase_, /*begin=*/false});
+  }
+
+ private:
+  const ObserverList& list_;
+  Phase phase_;
+};
+
+// The predicate a graph node computes/serves (for the per-predicate
+// metric dump).
+PredicateId NodePredicate(const GraphNode& node) {
+  return node.kind == NodeKind::kRule ? node.rule.head.predicate
+                                      : node.atom.predicate;
+}
+
+void DumpMetrics(const EvaluationOptions& options, const RuleGoalGraph& graph,
+                 const std::vector<NodeProcessBase*>& node_processes,
+                 const EvaluationResult& result) {
+  MetricsRegistry& registry = *options.metrics;
+  registry.GetCounter("engine/stored_tuples")
+      .Increment(result.counters.stored_tuples);
+  registry.GetCounter("engine/duplicate_drops")
+      .Increment(result.counters.duplicate_drops);
+  registry.GetCounter("engine/contexts").Increment(result.counters.contexts);
+  registry.GetCounter("engine/max_node_relation")
+      .Increment(result.counters.max_node_relation);
+  registry.GetCounter("engine/protocol_waves")
+      .Increment(result.counters.protocol_waves);
+  registry.GetCounter("run/answers").Increment(result.answers.size());
+  registry.GetCounter("run/delivered").Increment(result.delivered);
+  registry.GetCounter("run/ended_by_protocol")
+      .Increment(result.ended_by_protocol ? 1 : 0);
+
+  const PredicatePool& predicates = graph.program().predicates();
+  for (NodeId id = 0; id < static_cast<NodeId>(node_processes.size()); ++id) {
+    EngineCounters row;
+    node_processes[id]->AccumulateCounters(row);
+    const std::string& name = predicates.Name(NodePredicate(graph.node(id)));
+    registry.GetCounter(StrCat("predicate/", name, "/stored_tuples"))
+        .Increment(row.stored_tuples);
+    registry.GetCounter(StrCat("predicate/", name, "/dedup_hits"))
+        .Increment(row.duplicate_drops);
+  }
+}
+
+}  // namespace
+
 StatusOr<EvaluationResult> EvaluateWithGraph(const RuleGoalGraph& graph,
                                              Database& db,
                                              const EvaluationOptions& options) {
+  MPQE_RETURN_IF_ERROR(options.Validate());
+  ScopedObservers scoped(options);
+
   Network network;
-  if (options.observer) network.SetSendObserver(options.observer);
+  for (ExecutionObserver* o : scoped.list.items()) network.AddObserver(o);
   EngineShared shared;
   shared.graph = &graph;
   shared.db = &db;
   shared.batch_messages = options.batch_messages;
   shared.use_edb_indexes = options.use_edb_indexes;
 
-  // One process per graph node (pid == node id), plus the sink. The
-  // pid map is filled up front because process constructors plan
-  // against it.
-  for (NodeId id = 0; id < static_cast<NodeId>(graph.size()); ++id) {
-    shared.node_pid.push_back(id);
-  }
   std::vector<NodeProcessBase*> node_processes;
-  node_processes.reserve(graph.size());
-  for (NodeId id = 0; id < static_cast<NodeId>(graph.size()); ++id) {
-    auto process = MakeNodeProcess(shared, id);
-    node_processes.push_back(process.get());
-    ProcessId pid = network.AddProcess(std::move(process));
-    MPQE_CHECK(pid == id);
-  }
-  size_t goal_arity =
-      graph.program().predicates().Arity(graph.program().GoalPredicate());
-  auto sink = std::make_unique<SinkProcess>(shared.node_pid[graph.root()],
-                                            goal_arity);
-  SinkProcess* sink_ptr = sink.get();
-  shared.sink_pid = network.AddProcess(std::move(sink));
+  SinkProcess* sink_ptr = nullptr;
+  {
+    ScopedPhase phase(scoped.list, Phase::kNetworkWiring);
+    // One process per graph node (pid == node id), plus the sink. The
+    // pid map is filled up front because process constructors plan
+    // against it.
+    for (NodeId id = 0; id < static_cast<NodeId>(graph.size()); ++id) {
+      shared.node_pid.push_back(id);
+    }
+    node_processes.reserve(graph.size());
+    for (NodeId id = 0; id < static_cast<NodeId>(graph.size()); ++id) {
+      auto process = MakeNodeProcess(shared, id);
+      node_processes.push_back(process.get());
+      ProcessId pid = network.AddProcess(std::move(process));
+      MPQE_CHECK(pid == id);
+    }
+    size_t goal_arity =
+        graph.program().predicates().Arity(graph.program().GoalPredicate());
+    auto sink = std::make_unique<SinkProcess>(shared.node_pid[graph.root()],
+                                              goal_arity);
+    sink_ptr = sink.get();
+    shared.sink_pid = network.AddProcess(std::move(sink));
 
-  // Engage the Fig. 2 protocol for members of nontrivial SCCs.
-  for (NodeId id = 0; id < static_cast<NodeId>(graph.size()); ++id) {
-    const GraphNode& n = graph.node(id);
-    if (n.scc_is_trivial) continue;
-    std::vector<ProcessId> children;
-    for (NodeId c : n.bfst_children) children.push_back(shared.node_pid[c]);
-    NodeId leader = graph.scc_leader(n.scc_id);
-    node_processes[id]->ConfigureTermination(
-        &network, n.is_leader, shared.node_pid[leader],
-        n.bfst_parent == kNoNode ? kNoProcess : shared.node_pid[n.bfst_parent],
-        std::move(children));
+    // Engage the Fig. 2 protocol for members of nontrivial SCCs.
+    for (NodeId id = 0; id < static_cast<NodeId>(graph.size()); ++id) {
+      const GraphNode& n = graph.node(id);
+      if (n.scc_is_trivial) continue;
+      std::vector<ProcessId> children;
+      for (NodeId c : n.bfst_children) children.push_back(shared.node_pid[c]);
+      NodeId leader = graph.scc_leader(n.scc_id);
+      node_processes[id]->ConfigureTermination(
+          &network, n.is_leader, shared.node_pid[leader],
+          n.bfst_parent == kNoNode ? kNoProcess
+                                   : shared.node_pid[n.bfst_parent],
+          std::move(children));
+    }
+    network.Start();
   }
 
   StatusOr<RunResult> run = InternalError("scheduler did not run");
-  switch (options.scheduler) {
-    case SchedulerKind::kDeterministic:
-      run = network.RunDeterministic(options.max_messages);
-      break;
-    case SchedulerKind::kRandom:
-      run = network.RunRandom(options.seed, options.max_messages);
-      break;
-    case SchedulerKind::kThreaded:
-      run = network.RunThreaded(options.workers, options.max_messages);
-      break;
+  {
+    ScopedPhase phase(scoped.list, Phase::kRun);
+    switch (options.scheduler) {
+      case SchedulerKind::kDeterministic:
+        run = network.RunDeterministic(options.max_messages);
+        break;
+      case SchedulerKind::kRandom:
+        run = network.RunRandom(options.seed, options.max_messages);
+        break;
+      case SchedulerKind::kThreaded:
+        run = network.RunThreaded(options.workers, options.max_messages);
+        break;
+    }
   }
   if (!run.ok()) return run.status();
 
+  ScopedPhase drain_phase(scoped.list, Phase::kDrain);
   EvaluationResult result;
   result.answers = sink_ptr->answers();
   result.ended_by_protocol = sink_ptr->done();
@@ -84,6 +227,9 @@ StatusOr<EvaluationResult> EvaluateWithGraph(const RuleGoalGraph& graph,
       result.node_counters.push_back(std::move(row));
     }
   }
+  if (options.metrics != nullptr) {
+    DumpMetrics(options, graph, node_processes, result);
+  }
   if (!result.ended_by_protocol && !run->quiescent) {
     return InternalError(
         "evaluation stopped without protocol end or quiescence");
@@ -93,14 +239,23 @@ StatusOr<EvaluationResult> EvaluateWithGraph(const RuleGoalGraph& graph,
 
 StatusOr<EvaluationResult> Evaluate(const Program& program, Database& db,
                                     const EvaluationOptions& options) {
-  if (!options.skip_validation) {
-    MPQE_RETURN_IF_ERROR(program.Validate(&db));
+  MPQE_RETURN_IF_ERROR(options.Validate());
+  ScopedObservers scoped(options);
+
+  std::unique_ptr<SipsStrategy> strategy;
+  {
+    ScopedPhase phase(scoped.list, Phase::kAdornment);
+    if (!options.skip_validation) {
+      MPQE_RETURN_IF_ERROR(program.Validate(&db));
+    }
+    MPQE_ASSIGN_OR_RETURN(strategy, MakeStrategyByName(options.strategy));
   }
-  MPQE_ASSIGN_OR_RETURN(std::unique_ptr<SipsStrategy> strategy,
-                        MakeStrategyByName(options.strategy));
-  MPQE_ASSIGN_OR_RETURN(
-      std::unique_ptr<RuleGoalGraph> graph,
-      RuleGoalGraph::Build(program, *strategy, options.graph_options));
+  std::unique_ptr<RuleGoalGraph> graph;
+  {
+    ScopedPhase phase(scoped.list, Phase::kGraphBuild);
+    MPQE_ASSIGN_OR_RETURN(
+        graph, RuleGoalGraph::Build(program, *strategy, options.graph_options));
+  }
   return EvaluateWithGraph(*graph, db, options);
 }
 

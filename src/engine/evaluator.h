@@ -11,6 +11,20 @@
 //   EvaluationOptions options;
 //   auto result = Evaluate(unit->program, unit->database, options);
 //   // result->answers is the goal relation {(b), (c)}.
+//
+// Observability (see DESIGN.md § Observability): attach any number of
+// ExecutionObservers via EvaluationOptions::observers — e.g. a
+// TraceExporter for a chrome://tracing timeline, a MessageTrace for a
+// textual send log, or a custom observer for test assertions — and/or
+// point EvaluationOptions::metrics at a MetricsRegistry to collect
+// named counters and histograms:
+//   TraceExporter trace;
+//   MetricsRegistry metrics;
+//   options.observers.push_back(&trace);
+//   options.metrics = &metrics;
+//   auto result = Evaluate(...);
+//   trace.WriteFile("trace.json");   // load in chrome://tracing
+//   std::cout << metrics.ToString();
 
 #ifndef MPQE_ENGINE_EVALUATOR_H_
 #define MPQE_ENGINE_EVALUATOR_H_
@@ -25,6 +39,8 @@
 #include "engine/node_processes.h"
 #include "graph/rule_goal_graph.h"
 #include "msg/network.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
 #include "relational/database.h"
 #include "sips/strategy.h"
 
@@ -35,6 +51,14 @@ enum class SchedulerKind {
   kRandom,         // seeded random interleaving
   kThreaded,       // actual thread pool
 };
+
+/// Canonical CLI name of a scheduler ("deterministic", "random",
+/// "threaded").
+const char* SchedulerKindToName(SchedulerKind kind);
+
+/// Parses a scheduler name; InvalidArgument on unknown names (the
+/// message lists the valid ones).
+StatusOr<SchedulerKind> SchedulerKindFromName(const std::string& name);
 
 struct EvaluationOptions {
   // Information passing strategy name (see MakeStrategyByName):
@@ -66,10 +90,47 @@ struct EvaluationOptions {
   // probe). Answers are unchanged; only time differs.
   bool use_edb_indexes = true;
 
-  // Optional observer invoked for every message sent (tracing,
-  // protocol-order assertions in tests). Must synchronize itself under
-  // the threaded scheduler.
+  // Execution observers (not owned; must outlive the evaluation).
+  // They receive typed events from every layer — sends, deliveries,
+  // node firings, phases, termination protocol. See obs/observer.h
+  // for the callback set and threading contract.
+  std::vector<ExecutionObserver*> observers;
+
+  // When set, the evaluation feeds this registry live (via an
+  // internal MetricsObserver) and dumps the end-of-run engine /
+  // per-predicate counters into it. Not owned.
+  MetricsRegistry* metrics = nullptr;
+
+  // Record per-arc send counters in `metrics` (cardinality = number
+  // of live graph edges; off by default).
+  bool metrics_per_arc = false;
+
+  // DEPRECATED: raw per-send callback, superseded by `observers`
+  // (wrap state in an ExecutionObserver and override OnSend). Still
+  // honored via an internal shim; see DESIGN.md § Observability for
+  // the migration note.
+  [[deprecated("use EvaluationOptions::observers")]]
   Network::SendObserver observer;
+
+  // The implicit special members touch the deprecated field above;
+  // default them here under suppression so only *user* code that
+  // names `observer` gets the deprecation warning.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EvaluationOptions() = default;
+  EvaluationOptions(const EvaluationOptions&) = default;
+  EvaluationOptions(EvaluationOptions&&) = default;
+  EvaluationOptions& operator=(const EvaluationOptions&) = default;
+  EvaluationOptions& operator=(EvaluationOptions&&) = default;
+  ~EvaluationOptions() = default;
+#pragma GCC diagnostic pop
+
+  /// Checks the options for configuration errors — unknown strategy
+  /// name, workers < 1, out-of-range scheduler — and returns a
+  /// descriptive InvalidArgument Status instead of letting the
+  /// misconfiguration surface deep inside the run. Called by
+  /// Evaluate/EvaluateWithGraph before any work.
+  Status Validate() const;
 };
 
 // Per-node counter row (populated when

@@ -24,7 +24,53 @@ void NodeProcessBase::ConfigureTermination(
                          bfst_parent, std::move(bfst_children));
 }
 
+NodeRole NodeProcessBase::Role() const {
+  switch (gnode().kind) {
+    case NodeKind::kGoal:
+      return NodeRole::kGoal;
+    case NodeKind::kRule:
+      return NodeRole::kRule;
+    case NodeKind::kEdbLeaf:
+      return NodeRole::kEdbLeaf;
+    case NodeKind::kCycleRef:
+      return NodeRole::kCycleRef;
+  }
+  return NodeRole::kGoal;
+}
+
 void NodeProcessBase::OnMessage(const Message& message) {
+  const ObserverList& obs = network().observers();
+  if (obs.empty()) {
+    Dispatch(message);
+    FlushEmits();
+    termination_.MaybeInitiate();
+    return;
+  }
+  uint64_t drops_before = LocalDuplicateDrops();
+  fire_tuples_out_ = 0;
+  observing_fire_ = true;
+  Dispatch(message);
+  observing_fire_ = false;
+  FlushEmits();
+  NodeFireEvent event;
+  event.node = node_id_;
+  event.pid = process_id();
+  event.role = Role();
+  event.trigger = message.kind;
+  if (message.kind == MessageKind::kTuple) {
+    event.tuples_in = 1;
+  } else if (message.kind == MessageKind::kBatch) {
+    for (const Message& sub : message.batch) {
+      if (sub.kind == MessageKind::kTuple) ++event.tuples_in;
+    }
+  }
+  event.tuples_out = fire_tuples_out_;
+  event.dedup_hits = LocalDuplicateDrops() - drops_before;
+  obs.NotifyNodeFire(event);
+  termination_.MaybeInitiate();
+}
+
+void NodeProcessBase::Dispatch(const Message& message) {
   switch (message.kind) {
     case MessageKind::kEndRequest:
       termination_.OnEndRequest(message);
@@ -55,11 +101,10 @@ void NodeProcessBase::OnMessage(const Message& message) {
       HandleWork(message);
       break;
   }
-  FlushEmits();
-  termination_.MaybeInitiate();
 }
 
 void NodeProcessBase::Emit(ProcessId to, Message m) {
+  if (observing_fire_ && m.kind == MessageKind::kTuple) ++fire_tuples_out_;
   if (!shared_.batch_messages) {
     Send(to, std::move(m));
     return;
@@ -164,6 +209,8 @@ class GoalProcess : public NodeProcessBase {
   }
 
  protected:
+  uint64_t LocalDuplicateDrops() const override { return duplicate_drops_; }
+
   void HandleWork(const Message& m) override {
     switch (m.kind) {
       case MessageKind::kRelationRequest:
@@ -388,6 +435,8 @@ class EdbProcess : public NodeProcessBase {
   }
 
  protected:
+  uint64_t LocalDuplicateDrops() const override { return duplicate_drops_; }
+
   void HandleWork(const Message& m) override {
     switch (m.kind) {
       case MessageKind::kRelationRequest:
@@ -486,6 +535,8 @@ class RuleProcess : public NodeProcessBase {
   }
 
  protected:
+  uint64_t LocalDuplicateDrops() const override { return duplicate_drops_; }
+
   void HandleWork(const Message& m) override {
     switch (m.kind) {
       case MessageKind::kRelationRequest:

@@ -102,6 +102,11 @@ class NodeProcessBase : public Process, public TerminationOwner {
   NodeProcessBase(const EngineShared& shared, NodeId node_id)
       : shared_(shared), node_id_(node_id) {}
 
+  /// Total arrivals/results this node's duplicate elimination has
+  /// rejected so far; OnMessage diffs it around each firing for the
+  /// NodeFireEvent::dedup_hits delta.
+  virtual uint64_t LocalDuplicateDrops() const { return 0; }
+
   const GraphNode& gnode() const { return shared_.graph->node(node_id_); }
   ProcessId Pid(NodeId n) const { return shared_.node_pid[n]; }
   bool SameScc(NodeId other) const {
@@ -120,9 +125,15 @@ class NodeProcessBase : public Process, public TerminationOwner {
   TerminationParticipant termination_;
 
  private:
+  void Dispatch(const Message& message);
   void FlushEmits();
+  NodeRole Role() const;
 
   std::vector<std::pair<ProcessId, Message>> outbox_;
+  // Per-firing observability scratch: tuples emitted during the
+  // current OnMessage, counted only while observers are installed.
+  uint32_t fire_tuples_out_ = 0;
+  bool observing_fire_ = false;
 };
 
 /// Creates the process for graph node `id`.

@@ -32,8 +32,21 @@ void TerminationParticipant::OnWorkMessage() {
   idleness_ = 0;
 }
 
+void TerminationParticipant::Publish(TerminationEvent::Kind kind) const {
+  const ObserverList& observers = network_->observers();
+  if (observers.empty()) return;
+  TerminationEvent event;
+  event.kind = kind;
+  event.node = self_;
+  event.wave = wave_;
+  event.idleness = idleness_;
+  event.open_work = subtree_open_work_;
+  observers.NotifyTermination(event);
+}
+
 void TerminationParticipant::NotifyExternalWork() {
   if (!configured() || is_leader_) return;
+  Publish(TerminationEvent::Kind::kWorkNotice);
   network_->Send(self_, leader_, MakeWorkNotice());
 }
 
@@ -58,6 +71,7 @@ void TerminationParticipant::StartWave() {
   notice_pending_ = false;  // re-reported by answers' open-work bits
   ++wave_;
   ++waves_started_;
+  Publish(TerminationEvent::Kind::kWaveStarted);
   ProcessEndRequest();
 }
 
@@ -83,9 +97,11 @@ void TerminationParticipant::AnswerParent() {
   MPQE_CHECK(!is_leader_) << "leader has children; it never answers a parent";
   if (all_confirmed_ && idleness_ > 1) {
     owner_->SnapshotForConclusion();
+    Publish(TerminationEvent::Kind::kAnswerConfirmed);
     network_->Send(self_, bfst_parent_,
                    MakeEndConfirmed(wave_, subtree_open_work_));
   } else {
+    Publish(TerminationEvent::Kind::kAnswerNegative);
     network_->Send(self_, bfst_parent_,
                    MakeEndNegative(wave_, subtree_open_work_));
   }
@@ -99,6 +115,7 @@ void TerminationParticipant::OnEndRequest(const Message& m) {
 
 void TerminationParticipant::ConcludeAndBroadcast() {
   owner_->SnapshotForConclusion();
+  Publish(TerminationEvent::Kind::kConcluded);
   owner_->ConcludeScc();
   // Footnote 4: propagate the conclusion around the strong component —
   // members with their own customers emit their ends on receipt.
@@ -110,6 +127,7 @@ void TerminationParticipant::ConcludeAndBroadcast() {
 void TerminationParticipant::OnSccConcluded(const Message& m) {
   (void)m;
   MPQE_CHECK(configured() && !is_leader_);
+  Publish(TerminationEvent::Kind::kConcluded);
   owner_->ConcludeScc();
   for (ProcessId child : bfst_children_) {
     network_->Send(self_, child, MakeSccConcluded());

@@ -101,6 +101,9 @@ class TerminationParticipant {
 
  private:
   bool EmptyQueues() const;
+  // Reports a protocol event to the network's observers (no-op with
+  // none installed).
+  void Publish(TerminationEvent::Kind kind) const;
   void StartWave();
   // Shared tail of process-end-request: record idleness, fan out to
   // children or answer immediately.

@@ -4,19 +4,17 @@
 
 namespace mpqe {
 
-Network::SendObserver MessageTrace::Observer() {
-  return [this](ProcessId to, const Message& m) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    TraceEntry entry;
-    entry.sequence = next_sequence_++;
-    entry.from = m.from;
-    entry.to = to;
-    entry.message = m;
-    entries_.push_back(std::move(entry));
-    if (capacity_ != 0 && entries_.size() > capacity_) {
-      entries_.pop_front();
-    }
-  };
+void MessageTrace::OnSend(const SendEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceEntry entry;
+  entry.sequence = next_sequence_++;
+  entry.from = event.from;
+  entry.to = event.to;
+  entry.message = *event.message;
+  entries_.push_back(std::move(entry));
+  if (capacity_ != 0 && entries_.size() > capacity_) {
+    entries_.pop_front();
+  }
 }
 
 uint64_t MessageTrace::total_seen() const {

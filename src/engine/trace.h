@@ -1,7 +1,15 @@
-// Message tracing: a thread-safe recorder pluggable into
-// EvaluationOptions::observer that keeps the last N sends and renders
-// them with graph-node labels — the "what did the network actually
-// say" debugging view.
+// Message tracing: a thread-safe ExecutionObserver that keeps the
+// last N sends and renders them with graph-node labels — the "what
+// did the network actually say" debugging view. Install it via
+// EvaluationOptions::observers:
+//
+//   MessageTrace trace;
+//   options.observers.push_back(&trace);
+//   Evaluate(...);
+//   std::cout << trace.ToString(graph, symbols);
+//
+// For a chrome://tracing timeline use obs/trace_exporter.h instead;
+// this class is the textual, protocol-level log.
 
 #ifndef MPQE_ENGINE_TRACE_H_
 #define MPQE_ENGINE_TRACE_H_
@@ -14,6 +22,7 @@
 
 #include "graph/rule_goal_graph.h"
 #include "msg/network.h"
+#include "obs/observer.h"
 
 namespace mpqe {
 
@@ -25,14 +34,15 @@ struct TraceEntry {
   Message message;
 };
 
-class MessageTrace {
+class MessageTrace : public ExecutionObserver {
  public:
   /// Keeps at most `capacity` most recent entries (0 = unlimited;
   /// beware of memory on large runs).
   explicit MessageTrace(size_t capacity = 4096) : capacity_(capacity) {}
 
-  /// The observer to install in EvaluationOptions.
-  Network::SendObserver Observer();
+  /// Records one send (the ExecutionObserver callback; callable
+  /// directly in tests).
+  void OnSend(const SendEvent& event) override;
 
   /// Number of sends seen (including evicted ones).
   uint64_t total_seen() const;

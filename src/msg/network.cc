@@ -1,5 +1,6 @@
 #include "msg/network.h"
 
+#include <chrono>
 #include <thread>
 
 #include "common/logging.h"
@@ -56,7 +57,13 @@ void Network::Send(ProcessId from, ProcessId to, Message message) {
   MPQE_CHECK(to >= 0 && static_cast<size_t>(to) < processes_.size())
       << "send to unknown process " << to;
   message.from = from;
-  if (observer_) observer_(to, message);
+  if (!observers_.empty()) {
+    SendEvent event;
+    event.from = from;
+    event.to = to;
+    event.message = &message;
+    observers_.NotifySend(event);
+  }
   sent_by_kind_[static_cast<size_t>(message.kind)].fetch_add(
       1, std::memory_order_relaxed);
   // Batches count once physically (above) and per sub-message
@@ -116,7 +123,21 @@ void Network::Start() {
 }
 
 void Network::Deliver(ProcessId id, const Message& message) {
-  processes_[id]->OnMessage(message);
+  if (observers_.empty()) {
+    processes_[id]->OnMessage(message);
+  } else {
+    auto start = std::chrono::steady_clock::now();
+    processes_[id]->OnMessage(message);
+    DeliverEvent event;
+    event.from = message.from;
+    event.to = id;
+    event.kind = message.kind;
+    event.handle_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    observers_.NotifyDeliver(event);
+  }
   total_pending_.fetch_sub(1, std::memory_order_acq_rel);
 }
 

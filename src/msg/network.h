@@ -32,6 +32,7 @@
 
 #include "common/status.h"
 #include "msg/message.h"
+#include "obs/observer.h"
 
 namespace mpqe {
 
@@ -128,14 +129,23 @@ class Network {
   /// Calls OnStart on every process (once, before the first run).
   void Start();
 
-  // Observer invoked for every Send (after stamping `from`, before
-  // enqueueing). Called under no locks but possibly from several
-  // worker threads in threaded runs — the observer must synchronize
-  // itself. Set before Start(); pass nullptr to clear.
+  // Legacy raw send-callback type, kept for the deprecated
+  // EvaluationOptions::observer shim (see obs/observer.h
+  // LegacySendObserver). New code registers ExecutionObservers.
   using SendObserver = std::function<void(ProcessId to, const Message&)>;
-  void SetSendObserver(SendObserver observer) {
-    observer_ = std::move(observer);
-  }
+
+  /// Registers an ExecutionObserver (not owned; must outlive the
+  /// network). Observers receive OnSend for every send (in the
+  /// sender's execution context — possibly concurrent across senders
+  /// under the threaded scheduler) and OnDeliver after each message is
+  /// handled (serialized per receiving process). Register before
+  /// Start(); see obs/observer.h for the full threading contract.
+  void AddObserver(ExecutionObserver* observer) { observers_.Add(observer); }
+
+  /// The registered observers. Engine layers use this to publish
+  /// higher-level events (node firings, termination protocol) to the
+  /// same audience; empty() is the zero-observer fast-path check.
+  const ObserverList& observers() const { return observers_; }
 
   // Run until RequestStop() or global quiescence. `max_messages`
   // guards against livelock (0 = unlimited); exceeding it returns an
@@ -159,7 +169,7 @@ class Network {
 
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  SendObserver observer_;
+  ObserverList observers_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stop_requested_{false};
   std::atomic<int64_t> total_pending_{0};

@@ -1,0 +1,235 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace mpqe {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+void Histogram::Record(uint64_t sample) {
+  size_t bucket = static_cast<size_t>(std::bit_width(sample));
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (sample < seen &&
+         !min_.compare_exchange_weak(seen, sample, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (sample > seen &&
+         !max_.compare_exchange_weak(seen, sample, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::min() const {
+  uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+double Histogram::mean() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  uint64_t n = count();
+  if (n == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(n));
+  if (rank >= n) rank = n - 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen > rank) {
+      // Upper bound of bucket b: samples with bit width b, i.e. < 2^b.
+      return b == 0 ? 0 : (b >= 64 ? UINT64_MAX : (uint64_t{1} << b) - 1);
+    }
+  }
+  return max();
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(kBuckets);
+  for (size_t b = 0; b < kBuckets; ++b) {
+    out[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::string Histogram::ToString() const {
+  return StrCat("{count=", count(), " sum=", sum(), " min=", min(),
+                " max=", max(), " p50<=", Percentile(50),
+                " p99<=", Percentile(99), "}");
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = counters_.emplace(name, nullptr);
+  if (inserted) it->second = std::make_unique<Counter>();
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = histograms_.emplace(name, nullptr);
+  if (inserted) it->second = std::make_unique<Histogram>();
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterRows()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, uint64_t>> rows;
+  rows.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    rows.emplace_back(name, counter->value());
+  }
+  return rows;
+}
+
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) names.push_back(name);
+  return names;
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += StrCat(name, "=", counter->value(), "\n");
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out += StrCat(name, "=", histogram->ToString(), "\n");
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += StrCat(first ? "" : ",", "\n    \"", name,
+                  "\": ", counter->value());
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += StrCat(first ? "" : ",", "\n    \"", name, "\": {\"count\": ",
+                  h->count(), ", \"sum\": ", h->sum(), ", \"min\": ", h->min(),
+                  ", \"max\": ", h->max(), ", \"p50\": ", h->Percentile(50),
+                  ", \"p99\": ", h->Percentile(99), "}");
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  histograms_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsObserver
+// ---------------------------------------------------------------------------
+
+MetricsObserver::MetricsObserver(MetricsRegistry* registry, Options options)
+    : registry_(registry), options_(options) {
+  for (size_t k = 0; k < sent_by_kind_.size(); ++k) {
+    sent_by_kind_[k] = &registry_->GetCounter(
+        StrCat("msg/sent/", MessageKindToString(static_cast<MessageKind>(k))));
+  }
+  for (size_t k = 0; k < termination_by_kind_.size(); ++k) {
+    termination_by_kind_[k] = &registry_->GetCounter(
+        StrCat("termination/", TerminationEvent::KindToString(
+                                   static_cast<TerminationEvent::Kind>(k))));
+  }
+  delivered_ = &registry_->GetCounter("msg/delivered");
+  fires_ = &registry_->GetCounter("node/fires");
+  dedup_hits_ = &registry_->GetCounter("dedup/hits");
+  handle_ns_ = &registry_->GetHistogram("msg/handle_ns");
+  tuples_out_ = &registry_->GetHistogram("fire/tuples_out");
+}
+
+Counter& MetricsObserver::PerNodeFires(int32_t node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = node_fires_.emplace(node, nullptr);
+  if (inserted) {
+    it->second = &registry_->GetCounter(StrCat("node/", node, "/fires"));
+  }
+  return *it->second;
+}
+
+Counter& MetricsObserver::PerArcSends(ProcessId from, ProcessId to) {
+  uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+                 static_cast<uint32_t>(to);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = arc_sends_.emplace(key, nullptr);
+  if (inserted) {
+    it->second =
+        &registry_->GetCounter(StrCat("arc/", from, "->", to, "/sends"));
+  }
+  return *it->second;
+}
+
+void MetricsObserver::OnSend(const SendEvent& event) {
+  sent_by_kind_[static_cast<size_t>(event.message->kind)]->Increment();
+  if (options_.per_arc) PerArcSends(event.from, event.to).Increment();
+}
+
+void MetricsObserver::OnDeliver(const DeliverEvent& event) {
+  delivered_->Increment();
+  handle_ns_->Record(event.handle_ns);
+}
+
+void MetricsObserver::OnNodeFire(const NodeFireEvent& event) {
+  fires_->Increment();
+  dedup_hits_->Increment(event.dedup_hits);
+  tuples_out_->Record(event.tuples_out);
+  if (options_.per_node) PerNodeFires(event.node).Increment();
+}
+
+void MetricsObserver::OnPhase(const PhaseEvent& event) {
+  size_t index = static_cast<size_t>(event.phase);
+  if (event.begin) {
+    phase_begin_ns_[index] = NowNs();
+    return;
+  }
+  uint64_t begin = phase_begin_ns_[index];
+  if (begin == 0) return;  // end without begin (defensive)
+  registry_->GetHistogram(StrCat("phase/", PhaseToString(event.phase), "/ns"))
+      .Record(NowNs() - begin);
+}
+
+void MetricsObserver::OnTermination(const TerminationEvent& event) {
+  termination_by_kind_[static_cast<size_t>(event.kind)]->Increment();
+}
+
+}  // namespace mpqe

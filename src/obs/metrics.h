@@ -1,0 +1,165 @@
+// Named metrics for evaluations: monotonic counters and log2-bucketed
+// histograms, grouped in a MetricsRegistry. The registry subsumes the
+// ad-hoc EngineCounters / NodeCounters plumbing: the evaluator (when
+// EvaluationOptions::metrics is set) installs a MetricsObserver that
+// counts live events and, after the run, dumps the per-node /
+// per-predicate / per-kind breakdowns into the same registry.
+//
+// Naming convention: '/'-separated paths, lowest-cardinality prefix
+// first — e.g. "msg/sent/tuple", "node/7/fires",
+// "predicate/path/stored_tuples", "phase/run/ns".
+//
+// Thread safety: Counter::Increment and Histogram::Record are
+// lock-free (relaxed atomics); Get*() takes a registry mutex, so
+// callers on hot paths should resolve references once and cache them
+// (MetricsObserver does).
+
+#ifndef MPQE_OBS_METRICS_H_
+#define MPQE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/observer.h"
+
+namespace mpqe {
+
+// A monotonic counter.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// A histogram over uint64 samples with power-of-two buckets: bucket b
+// counts samples whose bit width is b (bucket 0 holds sample 0).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;
+
+  void Record(uint64_t sample);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t min() const;  // 0 when empty
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const;
+
+  /// Upper-bound estimate of the p-th percentile (p in [0, 100]),
+  /// resolved to bucket boundaries.
+  uint64_t Percentile(double p) const;
+
+  std::vector<uint64_t> BucketCounts() const;
+  std::string ToString() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+// A registry of named counters and histograms. Entries are created on
+// first access and live as long as the registry; returned references
+// are stable.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Snapshot of all counters (sorted by name). Zero-valued counters
+  /// are included — existence means the metric was registered.
+  std::vector<std::pair<std::string, uint64_t>> CounterRows() const;
+  std::vector<std::string> HistogramNames() const;
+
+  /// "name=value" per line for counters, then one summary line per
+  /// histogram.
+  std::string ToString() const;
+  /// {"counters": {...}, "histograms": {name: {count, sum, min, max,
+  /// p50, p99}}} — machine-readable companion to the trace export.
+  std::string ToJson() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// An ExecutionObserver that feeds a MetricsRegistry from live events:
+//   msg/sent/<kind>         sends per message kind
+//   msg/delivered           deliveries
+//   msg/handle_ns           histogram of per-message handling time
+//   node/fires              node firings (all nodes)
+//   node/<id>/fires         per-node firings (when per_node)
+//   arc/<from>-><to>/sends  per-arc sends (when per_arc; high card.)
+//   fire/tuples_out         histogram of tuples emitted per firing
+//   dedup/hits              duplicate-elimination rejections
+//   phase/<name>/ns         histogram (single sample) per phase
+//   termination/<event>     protocol events per kind
+class MetricsObserver : public ExecutionObserver {
+ public:
+  struct Options {
+    bool per_node = true;
+    bool per_arc = false;  // cardinality = live (from, to) pairs
+  };
+
+  explicit MetricsObserver(MetricsRegistry* registry)
+      : MetricsObserver(registry, Options()) {}
+  MetricsObserver(MetricsRegistry* registry, Options options);
+
+  void OnSend(const SendEvent& event) override;
+  void OnDeliver(const DeliverEvent& event) override;
+  void OnNodeFire(const NodeFireEvent& event) override;
+  void OnPhase(const PhaseEvent& event) override;
+  void OnTermination(const TerminationEvent& event) override;
+
+ private:
+  Counter& PerNodeFires(int32_t node);
+  Counter& PerArcSends(ProcessId from, ProcessId to);
+
+  MetricsRegistry* registry_;
+  Options options_;
+
+  // Cached hot-path handles (resolved once in the constructor).
+  std::array<Counter*, static_cast<size_t>(MessageKind::kMessageKindCount)>
+      sent_by_kind_{};
+  std::array<Counter*,
+             static_cast<size_t>(TerminationEvent::Kind::kKindCount)>
+      termination_by_kind_{};
+  Counter* delivered_ = nullptr;
+  Counter* fires_ = nullptr;
+  Counter* dedup_hits_ = nullptr;
+  Histogram* handle_ns_ = nullptr;
+  Histogram* tuples_out_ = nullptr;
+
+  // Per-node / per-arc handles are created lazily under mutex_.
+  std::mutex mutex_;
+  std::map<int32_t, Counter*> node_fires_;
+  std::map<uint64_t, Counter*> arc_sends_;
+
+  // Phase begin timestamps (phases are serialized; no lock needed).
+  std::array<uint64_t,
+             static_cast<size_t>(Phase::kPhaseCount)> phase_begin_ns_{};
+};
+
+}  // namespace mpqe
+
+#endif  // MPQE_OBS_METRICS_H_

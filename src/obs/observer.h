@@ -1,0 +1,190 @@
+// The execution observability layer (src/obs/): a structured,
+// composable alternative to the old raw Network::SendObserver
+// callback. Observers receive typed events from every layer of an
+// evaluation — message sends and deliveries (msg/network), node
+// firings (engine/node_processes), evaluator phases
+// (engine/evaluator), and the Fig. 2 termination protocol
+// (engine/termination) — and can be stacked: tracing, metrics and
+// test assertions all run side by side on one evaluation.
+//
+// Threading contract (see DESIGN.md § Observability):
+//  * OnSend fires in the *sending* process's execution context, after
+//    the message is stamped and before it is enqueued. Under the
+//    threaded scheduler, sends from different processes may invoke an
+//    observer concurrently; observers must synchronize themselves.
+//  * OnDeliver and OnNodeFire for one process are serialized (the
+//    network is an actor system: at most one message of a process is
+//    in flight), but callbacks for *different* processes may run
+//    concurrently. OnDeliver fires after the process finished handling
+//    the message and carries the measured handling duration.
+//  * The send of a message happens-before its delivery callback: for
+//    every (from, to) channel the i-th OnSend precedes the i-th
+//    OnDeliver (per-channel FIFO).
+//  * OnPhase and OnTermination events for a single evaluation are
+//    serialized with the callbacks of the process that produced them.
+//  * All callbacks must return; they run on the engine's hot path.
+//    With no observers installed the engine skips event construction
+//    entirely (one empty() branch per site).
+
+#ifndef MPQE_OBS_OBSERVER_H_
+#define MPQE_OBS_OBSERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "msg/message.h"
+
+namespace mpqe {
+
+// Coarse evaluation phases, reported by the evaluator in order.
+enum class Phase : uint8_t {
+  kAdornment = 0,      // sips strategy construction + program validation
+  kGraphBuild = 1,     // rule/goal graph construction
+  kNetworkWiring = 2,  // process creation + termination configuration
+  kRun = 3,            // scheduler loop (bulk of the evaluation)
+  kDrain = 4,          // result collection after the run
+  kPhaseCount = 5,
+};
+
+const char* PhaseToString(Phase phase);
+
+// The role a graph-node process plays (mirror of graph NodeKind, kept
+// here so obs/ does not depend on graph/).
+enum class NodeRole : uint8_t {
+  kGoal = 0,
+  kRule = 1,
+  kEdbLeaf = 2,
+  kCycleRef = 3,
+};
+
+const char* NodeRoleToString(NodeRole role);
+
+// One message send (msg/network.cc, before enqueue).
+struct SendEvent {
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  // Valid only for the duration of the callback.
+  const Message* message = nullptr;
+};
+
+// One message delivery, reported after the receiving process handled
+// it (msg/network.cc).
+struct DeliverEvent {
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  MessageKind kind = MessageKind::kRelationRequest;
+  // Wall time the receiver spent inside OnMessage.
+  uint64_t handle_ns = 0;
+};
+
+// One node-process firing: a graph node handled one message
+// (engine/node_processes.cc). `tuples_in`/`tuples_out` count kTuple
+// payloads consumed/emitted during this firing; `dedup_hits` is how
+// many arrivals/results duplicate elimination rejected.
+struct NodeFireEvent {
+  int32_t node = -1;  // graph NodeId
+  ProcessId pid = kNoProcess;
+  NodeRole role = NodeRole::kGoal;
+  MessageKind trigger = MessageKind::kRelationRequest;
+  uint32_t tuples_in = 0;
+  uint32_t tuples_out = 0;
+  uint64_t dedup_hits = 0;
+};
+
+// A phase boundary (engine/evaluator.cc). Phases nest at most one
+// level deep and begin/end events alternate per phase.
+struct PhaseEvent {
+  Phase phase = Phase::kRun;
+  bool begin = true;
+};
+
+// One Fig. 2 end-message-protocol event (engine/termination.cc).
+struct TerminationEvent {
+  enum class Kind : uint8_t {
+    kWaveStarted = 0,      // leader initiated an end-request wave
+    kAnswerNegative = 1,   // member answered `end negative`
+    kAnswerConfirmed = 2,  // member answered `end confirmed`
+    kConcluded = 3,        // protocol succeeded at this node
+    kWorkNotice = 4,       // member pinged the leader (footnote 4)
+    kKindCount = 5,
+  };
+
+  Kind kind = Kind::kWaveStarted;
+  ProcessId node = kNoProcess;
+  int64_t wave = 0;
+  int64_t idleness = 0;
+  bool open_work = false;
+
+  static const char* KindToString(Kind kind);
+};
+
+// The observer interface. All callbacks default to no-ops so
+// implementations override only what they consume.
+class ExecutionObserver {
+ public:
+  virtual ~ExecutionObserver() = default;
+
+  virtual void OnSend(const SendEvent& event) { (void)event; }
+  virtual void OnDeliver(const DeliverEvent& event) { (void)event; }
+  virtual void OnNodeFire(const NodeFireEvent& event) { (void)event; }
+  virtual void OnPhase(const PhaseEvent& event) { (void)event; }
+  virtual void OnTermination(const TerminationEvent& event) { (void)event; }
+};
+
+// A non-owning, ordered collection of observers. Composition is
+// sequential: every event is delivered to each observer in
+// registration order. Mutation (Add) is only legal before the
+// evaluation starts; notification is lock-free and the empty() check
+// is the entire zero-observer fast path.
+class ObserverList {
+ public:
+  ObserverList() = default;
+
+  void Add(ExecutionObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+
+  bool empty() const { return observers_.empty(); }
+  size_t size() const { return observers_.size(); }
+  const std::vector<ExecutionObserver*>& items() const { return observers_; }
+
+  void NotifySend(const SendEvent& event) const {
+    for (ExecutionObserver* o : observers_) o->OnSend(event);
+  }
+  void NotifyDeliver(const DeliverEvent& event) const {
+    for (ExecutionObserver* o : observers_) o->OnDeliver(event);
+  }
+  void NotifyNodeFire(const NodeFireEvent& event) const {
+    for (ExecutionObserver* o : observers_) o->OnNodeFire(event);
+  }
+  void NotifyPhase(const PhaseEvent& event) const {
+    for (ExecutionObserver* o : observers_) o->OnPhase(event);
+  }
+  void NotifyTermination(const TerminationEvent& event) const {
+    for (ExecutionObserver* o : observers_) o->OnTermination(event);
+  }
+
+ private:
+  std::vector<ExecutionObserver*> observers_;
+};
+
+// Adapter that keeps the legacy `EvaluationOptions::observer`
+// (Network::SendObserver) working on top of the new interface: it
+// forwards every OnSend to the wrapped closure and ignores all other
+// events, which is exactly what the old callback saw.
+template <typename Fn>
+class LegacySendObserver : public ExecutionObserver {
+ public:
+  explicit LegacySendObserver(Fn fn) : fn_(std::move(fn)) {}
+
+  void OnSend(const SendEvent& event) override {
+    fn_(event.to, *event.message);
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace mpqe
+
+#endif  // MPQE_OBS_OBSERVER_H_

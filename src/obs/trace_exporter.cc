@@ -1,0 +1,267 @@
+#include "obs/trace_exporter.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace mpqe {
+
+namespace {
+
+uint64_t NowNsRaw() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatUs(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", us < 0 ? 0.0 : us);
+  return buf;
+}
+
+}  // namespace
+
+TraceExporter::TraceExporter(Options options)
+    : options_(options), origin_ns_(NowNsRaw()) {
+  tids_.insert(0);  // the evaluator track always exists
+}
+
+void TraceExporter::AttachGraph(const RuleGoalGraph* graph,
+                                const SymbolTable* symbols) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  graph_ = graph;
+  symbols_ = symbols;
+}
+
+double TraceExporter::NowUs() const {
+  return static_cast<double>(NowNsRaw() - origin_ns_) / 1000.0;
+}
+
+void TraceExporter::Push(Event event) {
+  if (options_.max_events != 0 && events_.size() >= options_.max_events) {
+    ++dropped_;
+    return;
+  }
+  tids_.insert(event.tid);
+  events_.push_back(std::move(event));
+}
+
+void TraceExporter::OnSend(const SendEvent& event) {
+  if (!options_.flow_events) return;
+  double ts = NowUs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::pair<ProcessId, ProcessId> channel{event.from, event.to};
+  auto [cit, inserted] =
+      channel_ids_.emplace(channel, channel_ids_.size() + 1);
+  uint64_t index = channel_sends_[channel]++;
+  Event e;
+  e.ph = 's';
+  e.tid = TrackOf(event.from);
+  e.ts_us = ts;
+  e.flow_id = (cit->second << 32) | index;
+  e.has_flow_id = true;
+  e.name = StrCat("msg:", MessageKindToString(event.message->kind));
+  e.args_json = StrCat("\"to\": ", event.to);
+  Push(std::move(e));
+}
+
+void TraceExporter::OnDeliver(const DeliverEvent& event) {
+  double end = NowUs();
+  double dur = static_cast<double>(event.handle_ns) / 1000.0;
+  double start = end > dur ? end - dur : 0.0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Event slice;
+  slice.ph = 'X';
+  slice.tid = TrackOf(event.to);
+  slice.ts_us = start;
+  slice.dur_us = dur;
+  slice.name = MessageKindToString(event.kind);
+  slice.args_json = StrCat("\"from\": ", event.from);
+  Push(std::move(slice));
+  if (options_.flow_events) {
+    std::pair<ProcessId, ProcessId> channel{event.from, event.to};
+    auto cit = channel_ids_.find(channel);
+    if (cit != channel_ids_.end()) {
+      uint64_t index = channel_delivers_[channel]++;
+      Event flow;
+      flow.ph = 'f';
+      flow.tid = TrackOf(event.to);
+      flow.ts_us = start;
+      flow.flow_id = (cit->second << 32) | index;
+      flow.has_flow_id = true;
+      flow.name = StrCat("msg:", MessageKindToString(event.kind));
+      Push(std::move(flow));
+    }
+  }
+}
+
+void TraceExporter::OnNodeFire(const NodeFireEvent& event) {
+  if (!options_.counter_events) return;
+  double ts = NowUs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  tuples_out_total_ += event.tuples_out;
+  dedup_total_ += event.dedup_hits;
+  Event tuples;
+  tuples.ph = 'C';
+  tuples.tid = 0;
+  tuples.ts_us = ts;
+  tuples.name = "tuples_out";
+  tuples.args_json = StrCat("\"tuples_out\": ", tuples_out_total_);
+  Push(std::move(tuples));
+  Event dedup;
+  dedup.ph = 'C';
+  dedup.tid = 0;
+  dedup.ts_us = ts;
+  dedup.name = "dedup_hits";
+  dedup.args_json = StrCat("\"dedup_hits\": ", dedup_total_);
+  Push(std::move(dedup));
+}
+
+void TraceExporter::OnPhase(const PhaseEvent& event) {
+  double ts = NowUs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t index = static_cast<size_t>(event.phase);
+  if (event.begin) {
+    phase_begin_us_[index] = ts;
+    return;
+  }
+  Event e;
+  e.ph = 'X';
+  e.tid = 0;
+  e.ts_us = phase_begin_us_[index];
+  e.dur_us = ts - phase_begin_us_[index];
+  e.name = StrCat("phase:", PhaseToString(event.phase));
+  Push(std::move(e));
+}
+
+void TraceExporter::OnTermination(const TerminationEvent& event) {
+  if (!options_.instant_events) return;
+  double ts = NowUs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  Event e;
+  e.ph = 'i';
+  e.tid = TrackOf(event.node);
+  e.ts_us = ts;
+  e.name = StrCat("term:", TerminationEvent::KindToString(event.kind));
+  e.args_json =
+      StrCat("\"wave\": ", event.wave, ", \"idleness\": ", event.idleness,
+             ", \"open_work\": ", event.open_work ? "true" : "false");
+  Push(std::move(e));
+}
+
+std::string TraceExporter::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    out += StrCat(first ? "" : ",\n", line);
+    first = false;
+  };
+  // Metadata: process and track names.
+  emit("{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 0, \"tid\": 0, "
+       "\"args\": {\"name\": \"mpqe\"}}");
+  for (int32_t tid : tids_) {
+    std::string label;
+    if (tid == 0) {
+      label = "evaluator";
+    } else {
+      ProcessId pid = tid - 1;
+      if (graph_ != nullptr && static_cast<size_t>(pid) < graph_->size()) {
+        label = graph_->NodeLabel(pid, symbols_);
+      } else if (graph_ != nullptr &&
+                 static_cast<size_t>(pid) == graph_->size()) {
+        label = "sink";
+      } else {
+        label = StrCat("process ", pid);
+      }
+    }
+    emit(StrCat("{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 0, "
+                "\"tid\": ",
+                tid, ", \"args\": {\"name\": \"", JsonEscape(label), "\"}}"));
+  }
+  for (const Event& e : events_) {
+    std::string line =
+        StrCat("{\"ph\": \"", e.ph, "\", \"name\": \"", JsonEscape(e.name),
+               "\", \"pid\": 0, \"tid\": ", e.tid,
+               ", \"ts\": ", FormatUs(e.ts_us));
+    if (e.ph == 'X') {
+      line += StrCat(", \"dur\": ", FormatUs(e.dur_us < 0 ? 0 : e.dur_us));
+    }
+    if (e.has_flow_id) {
+      char idbuf[32];
+      std::snprintf(idbuf, sizeof(idbuf), "0x%" PRIx64, e.flow_id);
+      line += StrCat(", \"id\": \"", idbuf, "\", \"cat\": \"msg\"");
+      if (e.ph == 'f') line += ", \"bp\": \"e\"";
+    }
+    if (e.ph == 'i') line += ", \"s\": \"t\"";
+    if (!e.args_json.empty()) {
+      line += StrCat(", \"args\": {", e.args_json, "}");
+    }
+    line += "}";
+    emit(line);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceExporter::WriteFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return InvalidArgumentError(StrCat("cannot open trace file: ", path));
+  }
+  file << ToJson();
+  file.close();
+  if (!file.good()) {
+    return InternalError(StrCat("failed writing trace file: ", path));
+  }
+  return Status::Ok();
+}
+
+size_t TraceExporter::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+size_t TraceExporter::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::string TraceExporter::NormalizedSummary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const Event& e : events_) {
+    out += StrCat(e.ph, " ", e.name, " tid=", e.tid);
+    if (e.has_flow_id) out += StrCat(" flow=", e.flow_id);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mpqe

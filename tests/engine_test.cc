@@ -341,5 +341,60 @@ TEST(EvaluatorTest, ExistentialProjectionReducesTuples) {
   EXPECT_LE(result->message_stats.Count(MessageKind::kTuple), 20u);
 }
 
+TEST(EvaluationOptionsTest, ValidateAcceptsDefaults) {
+  EvaluationOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(EvaluationOptionsTest, ValidateRejectsBadSchedulerValue) {
+  EvaluationOptions options;
+  options.scheduler = static_cast<SchedulerKind>(99);
+  Status status = options.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The misconfiguration is caught before any work, not mid-run.
+  auto unit = Parse("p(1).\n?- p(W).\n");
+  ASSERT_TRUE(unit.ok());
+  auto result = Evaluate(unit->program, unit->database, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EvaluationOptionsTest, ValidateRejectsNonPositiveWorkers) {
+  EvaluationOptions options;
+  options.workers = 0;
+  Status status = options.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  options.workers = -3;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(EvaluationOptionsTest, ValidateRejectsUnknownStrategy) {
+  EvaluationOptions options;
+  options.strategy = "definitely_not_a_strategy";
+  Status status = options.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  auto unit = Parse("p(1).\n?- p(W).\n");
+  ASSERT_TRUE(unit.ok());
+  auto result = Evaluate(unit->program, unit->database, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchedulerNamesTest, RoundTrip) {
+  for (SchedulerKind kind :
+       {SchedulerKind::kDeterministic, SchedulerKind::kRandom,
+        SchedulerKind::kThreaded}) {
+    auto parsed = SchedulerKindFromName(SchedulerKindToName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  auto bad = SchedulerKindFromName("fifo");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace mpqe

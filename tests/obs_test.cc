@@ -1,0 +1,448 @@
+// Tests for the execution observability subsystem (src/obs/): the
+// ExecutionObserver callback contract (including its threading
+// guarantees under the threaded scheduler), the metrics registry, the
+// Chrome-trace exporter (golden summary + structural checks), and the
+// deprecated raw-SendObserver compatibility shim.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "datalog/parser.h"
+#include "engine/evaluator.h"
+#include "obs/metrics.h"
+#include "obs/trace_exporter.h"
+#include "workload/generators.h"
+
+namespace mpqe {
+namespace {
+
+constexpr const char* kTc = R"(
+  edge(1, 2). edge(2, 3).
+  tc(X, Y) :- edge(X, Y).
+  tc(X, Y) :- edge(X, Z), tc(Z, Y).
+  ?- tc(1, W).
+)";
+
+// ---------------------------------------------------------------------------
+// Counter / Histogram / MetricsRegistry
+
+TEST(MetricsTest, CounterAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(MetricsTest, HistogramStatistics) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  for (uint64_t v : {1u, 2u, 4u, 100u, 1000u}) h.Record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1107u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1107.0 / 5.0);
+  // Percentiles report log2-bucket upper bounds.
+  EXPECT_GE(h.Percentile(100.0), 1000u);
+  EXPECT_LE(h.Percentile(0.0), 1u);
+}
+
+TEST(MetricsTest, RegistryReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x");
+  a.Increment(3);
+  Counter& b = registry.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  registry.GetHistogram("h").Record(7);
+  EXPECT_EQ(registry.GetHistogram("h").count(), 1u);
+  EXPECT_NE(registry.ToString().find("x=3"), std::string::npos);
+  registry.Clear();
+  EXPECT_TRUE(registry.CounterRows().empty());
+}
+
+TEST(MetricsTest, RegistryJsonIsWellFormedish) {
+  MetricsRegistry registry;
+  registry.GetCounter("a/b").Increment(5);
+  registry.GetHistogram("lat").Record(10);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"a/b\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  while (!json.empty() && json.back() == '\n') json.pop_back();
+  EXPECT_EQ(json.back(), '}');
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation-level metrics plumbing
+
+TEST(MetricsObserverTest, EvaluationFillsRegistry) {
+  auto unit = Parse(kTc);
+  ASSERT_TRUE(unit.ok());
+  MetricsRegistry registry;
+  EvaluationOptions options;
+  options.metrics = &registry;
+  auto result = Evaluate(unit->program, unit->database, options);
+  ASSERT_TRUE(result.ok());
+
+  // Live per-event metrics.
+  uint64_t sent = 0;
+  for (const auto& [name, value] : registry.CounterRows()) {
+    if (name.rfind("msg/sent/", 0) == 0) sent += value;
+  }
+  EXPECT_EQ(sent, result->message_stats.Total());
+  EXPECT_EQ(registry.GetCounter("msg/delivered").value(), result->delivered);
+  EXPECT_GT(registry.GetCounter("node/fires").value(), 0u);
+  EXPECT_EQ(registry.GetHistogram("msg/handle_ns").count(),
+            result->delivered);
+
+  // End-of-run dumps.
+  EXPECT_EQ(registry.GetCounter("run/answers").value(),
+            result->answers.size());
+  EXPECT_EQ(registry.GetCounter("engine/stored_tuples").value(),
+            result->counters.stored_tuples);
+  EXPECT_GT(registry.GetCounter("predicate/tc/stored_tuples").value(), 0u);
+
+  // Every phase ran exactly once.
+  for (const char* phase :
+       {"adornment", "graph_build", "network_wiring", "run", "drain"}) {
+    EXPECT_EQ(registry.GetHistogram(StrCat("phase/", phase, "/ns")).count(),
+              1u)
+        << phase;
+  }
+}
+
+TEST(MetricsObserverTest, PerArcCountersMatchTotals) {
+  auto unit = Parse(kTc);
+  ASSERT_TRUE(unit.ok());
+  MetricsRegistry registry;
+  EvaluationOptions options;
+  options.metrics = &registry;
+  options.metrics_per_arc = true;
+  auto result = Evaluate(unit->program, unit->database, options);
+  ASSERT_TRUE(result.ok());
+  uint64_t arc_total = 0;
+  bool saw_arc = false;
+  for (const auto& [name, value] : registry.CounterRows()) {
+    if (name.rfind("arc/", 0) == 0) {
+      saw_arc = true;
+      arc_total += value;
+    }
+  }
+  EXPECT_TRUE(saw_arc);
+  EXPECT_EQ(arc_total, result->message_stats.Total());
+}
+
+// ---------------------------------------------------------------------------
+// Callback ordering contract
+
+// Records phase begin/end events; they arrive strictly in evaluator
+// order and properly nested (begin before end, one pair per phase).
+class PhaseRecorder : public ExecutionObserver {
+ public:
+  void OnPhase(const PhaseEvent& event) override {
+    log_.push_back({event.phase, event.begin});
+  }
+  const std::vector<std::pair<Phase, bool>>& log() const { return log_; }
+
+ private:
+  std::vector<std::pair<Phase, bool>> log_;
+};
+
+TEST(ObserverTest, PhasesArriveInOrder) {
+  auto unit = Parse(kTc);
+  ASSERT_TRUE(unit.ok());
+  PhaseRecorder recorder;
+  EvaluationOptions options;
+  options.observers.push_back(&recorder);
+  ASSERT_TRUE(Evaluate(unit->program, unit->database, options).ok());
+  std::vector<std::pair<Phase, bool>> expected = {
+      {Phase::kAdornment, true},     {Phase::kAdornment, false},
+      {Phase::kGraphBuild, true},    {Phase::kGraphBuild, false},
+      {Phase::kNetworkWiring, true}, {Phase::kNetworkWiring, false},
+      {Phase::kRun, true},           {Phase::kRun, false},
+      {Phase::kDrain, true},         {Phase::kDrain, false},
+  };
+  EXPECT_EQ(recorder.log(), expected);
+}
+
+// Checks the documented threading contract while an evaluation runs:
+//  * OnDeliver / OnNodeFire for one process never overlap (the
+//    network serializes each process);
+//  * for every (from, to) channel, the i-th OnSend precedes the i-th
+//    OnDeliver (send happens-before delivery).
+class ContractMonitor : public ExecutionObserver {
+ public:
+  void OnSend(const SendEvent& event) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++sends_[{event.from, event.to}];
+  }
+
+  void OnDeliver(const DeliverEvent& event) override {
+    EnterSerialized(event.to);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      uint64_t index = delivers_[{event.from, event.to}]++;
+      if (index >= sends_[{event.from, event.to}]) {
+        ++order_violations_;
+      }
+    }
+    LeaveSerialized(event.to);
+  }
+
+  void OnNodeFire(const NodeFireEvent& event) override {
+    EnterSerialized(event.pid);
+    LeaveSerialized(event.pid);
+  }
+
+  uint64_t serialization_violations() const {
+    return serialization_violations_.load();
+  }
+  uint64_t order_violations() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return order_violations_;
+  }
+  uint64_t total_delivers() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t total = 0;
+    for (const auto& [channel, count] : delivers_) total += count;
+    return total;
+  }
+
+ private:
+  void EnterSerialized(ProcessId pid) {
+    ASSERT_LT(static_cast<size_t>(pid), in_callback_.size());
+    int expected = 0;
+    if (!in_callback_[pid].compare_exchange_strong(expected, 1)) {
+      ++serialization_violations_;
+    }
+  }
+  void LeaveSerialized(ProcessId pid) { in_callback_[pid].store(0); }
+
+  mutable std::mutex mutex_;
+  std::map<std::pair<ProcessId, ProcessId>, uint64_t> sends_;
+  std::map<std::pair<ProcessId, ProcessId>, uint64_t> delivers_;
+  uint64_t order_violations_ = 0;
+  std::array<std::atomic<int>, 256> in_callback_{};
+  std::atomic<uint64_t> serialization_violations_{0};
+};
+
+TEST(ObserverTest, ThreadedSchedulerHonorsContract) {
+  for (int round = 0; round < 3; ++round) {
+    Database db;
+    ASSERT_TRUE(workload::MakeCycle(db, "edge", 12).ok());
+    Program program;
+    ASSERT_TRUE(ParseInto(workload::NonlinearTcProgram(0), program, db).ok());
+    ContractMonitor monitor;
+    EvaluationOptions options;
+    options.scheduler = SchedulerKind::kThreaded;
+    options.workers = 4;
+    options.max_messages = 1000000;
+    options.observers.push_back(&monitor);
+    auto result = Evaluate(program, db, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_GT(monitor.total_delivers(), 0u);
+    EXPECT_EQ(monitor.serialization_violations(), 0u) << "round " << round;
+    EXPECT_EQ(monitor.order_violations(), 0u) << "round " << round;
+  }
+}
+
+// Counts every callback kind; used to check composition order.
+class CountingObserver : public ExecutionObserver {
+ public:
+  explicit CountingObserver(std::vector<int>* order, int id)
+      : order_(order), id_(id) {}
+  void OnSend(const SendEvent&) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++sends_;
+    if (order_ != nullptr && sends_ == 1) order_->push_back(id_);
+  }
+  uint64_t sends() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sends_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<int>* order_;
+  int id_;
+  uint64_t sends_ = 0;
+};
+
+TEST(ObserverTest, ObserversComposeInRegistrationOrder) {
+  auto unit = Parse(kTc);
+  ASSERT_TRUE(unit.ok());
+  std::vector<int> first_event_order;
+  CountingObserver a(&first_event_order, 1);
+  CountingObserver b(&first_event_order, 2);
+  EvaluationOptions options;
+  options.observers.push_back(&a);
+  options.observers.push_back(&b);
+  auto result = Evaluate(unit->program, unit->database, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(a.sends(), result->message_stats.Total());
+  EXPECT_EQ(a.sends(), b.sends());
+  EXPECT_EQ(first_event_order, (std::vector<int>{1, 2}));
+}
+
+TEST(ObserverTest, TerminationEventsOnCyclicWorkload) {
+  Database db;
+  ASSERT_TRUE(workload::MakeCycle(db, "edge", 8).ok());
+  Program program;
+  ASSERT_TRUE(ParseInto(workload::LinearTcProgram(0), program, db).ok());
+
+  class TerminationRecorder : public ExecutionObserver {
+   public:
+    void OnTermination(const TerminationEvent& event) override {
+      ++by_kind_[static_cast<size_t>(event.kind)];
+    }
+    uint64_t count(TerminationEvent::Kind kind) const {
+      return by_kind_[static_cast<size_t>(kind)];
+    }
+
+   private:
+    std::array<uint64_t,
+               static_cast<size_t>(TerminationEvent::Kind::kKindCount)>
+        by_kind_{};
+  } recorder;
+
+  EvaluationOptions options;
+  options.observers.push_back(&recorder);
+  auto result = Evaluate(program, db, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->ended_by_protocol);
+  EXPECT_GT(recorder.count(TerminationEvent::Kind::kWaveStarted), 0u);
+  EXPECT_GT(recorder.count(TerminationEvent::Kind::kConcluded), 0u);
+  EXPECT_EQ(recorder.count(TerminationEvent::Kind::kWaveStarted),
+            result->counters.protocol_waves);
+}
+
+// ---------------------------------------------------------------------------
+// Legacy SendObserver shim
+
+TEST(ObserverTest, DeprecatedSendObserverStillWorks) {
+  auto unit = Parse(kTc);
+  ASSERT_TRUE(unit.ok());
+  uint64_t legacy_sends = 0;
+  CountingObserver modern(nullptr, 0);
+  EvaluationOptions options;
+  options.observers.push_back(&modern);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  options.observer = [&legacy_sends](ProcessId, const Message&) {
+    ++legacy_sends;
+  };
+#pragma GCC diagnostic pop
+  auto result = Evaluate(unit->program, unit->database, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(legacy_sends, result->message_stats.Total());
+  EXPECT_EQ(legacy_sends, modern.sends());
+}
+
+// ---------------------------------------------------------------------------
+// Trace exporter
+
+TEST(TraceExporterTest, StructurallySoundJson) {
+  auto unit = Parse(kTc);
+  ASSERT_TRUE(unit.ok());
+  TraceExporter exporter;
+  EvaluationOptions options;
+  options.observers.push_back(&exporter);
+  auto result = Evaluate(unit->program, unit->database, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(exporter.event_count(), 0u);
+  EXPECT_EQ(exporter.dropped_events(), 0u);
+
+  std::string json = exporter.ToJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("phase:run"), std::string::npos);
+  EXPECT_NE(json.find("msg:relation_request"), std::string::npos);
+  // Flow starts and ends pair up (every send is delivered).
+  size_t starts = 0, ends = 0, pos = 0;
+  while ((pos = json.find("\"ph\": \"s\"", pos)) != std::string::npos) {
+    ++starts;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = json.find("\"ph\": \"f\"", pos)) != std::string::npos) {
+    ++ends;
+    ++pos;
+  }
+  EXPECT_EQ(starts, result->message_stats.Total());
+  EXPECT_EQ(starts, ends);
+}
+
+TEST(TraceExporterTest, MaxEventsDropsInsteadOfGrowing) {
+  auto unit = Parse(kTc);
+  ASSERT_TRUE(unit.ok());
+  TraceExporter::Options trace_options;
+  trace_options.max_events = 5;
+  TraceExporter exporter(trace_options);
+  EvaluationOptions options;
+  options.observers.push_back(&exporter);
+  ASSERT_TRUE(Evaluate(unit->program, unit->database, options).ok());
+  EXPECT_EQ(exporter.event_count(), 5u);
+  EXPECT_GT(exporter.dropped_events(), 0u);
+}
+
+// The normalized (timestamp-free) trace of a tiny fixed query under
+// the deterministic scheduler is bit-for-bit reproducible; the golden
+// file pins the exporter's event stream. Regenerate with
+//   MPQE_REGEN_GOLDEN=1 ./obs_test --gtest_filter='*GoldenSummary*'
+TEST(TraceExporterTest, GoldenSummaryForTinyQuery) {
+  auto unit = Parse(kTc);
+  ASSERT_TRUE(unit.ok());
+  TraceExporter exporter;
+  EvaluationOptions options;  // deterministic scheduler
+  options.observers.push_back(&exporter);
+  ASSERT_TRUE(Evaluate(unit->program, unit->database, options).ok());
+  std::string summary = exporter.NormalizedSummary();
+  ASSERT_FALSE(summary.empty());
+
+  const std::string path =
+      std::string(MPQE_TESTDATA_DIR) + "/trace_summary_tc.golden";
+  if (std::getenv("MPQE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << path;
+    out << summary;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with MPQE_REGEN_GOLDEN=1 to create)";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(summary, golden.str());
+}
+
+TEST(TraceExporterTest, WriteFileRejectsBadPath) {
+  TraceExporter exporter;
+  Status status = exporter.WriteFile("/nonexistent-dir/trace.json");
+  EXPECT_FALSE(status.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Event-name tables
+
+TEST(ObserverTest, EnumNamesAreStable) {
+  EXPECT_STREQ(PhaseToString(Phase::kAdornment), "adornment");
+  EXPECT_STREQ(PhaseToString(Phase::kDrain), "drain");
+  EXPECT_STREQ(NodeRoleToString(NodeRole::kRule), "rule");
+  EXPECT_STREQ(
+      TerminationEvent::KindToString(TerminationEvent::Kind::kConcluded),
+      "concluded");
+}
+
+}  // namespace
+}  // namespace mpqe

@@ -42,10 +42,10 @@ struct StreamState {
   size_t answers_before_request = 0;
 };
 
-class StreamMonitor {
+class StreamMonitor : public ExecutionObserver {
  public:
-  Network::SendObserver Observer() {
-    return [this](ProcessId to, const Message& m) { Observe(to, m); };
+  void OnSend(const SendEvent& event) override {
+    Observe(event.to, *event.message);
   }
 
   void Observe(ProcessId to, const Message& m) {
@@ -137,7 +137,7 @@ TEST(StreamOrderTest, RecursiveCycleWorkload) {
     options.batch_messages = config.batch;
     // Guard: a protocol regression must fail fast, not hang the test.
     options.max_messages = 1000000;
-    options.observer = monitor.Observer();
+    options.observers.push_back(&monitor);
     auto result = Evaluate(program, db, options);
     ASSERT_TRUE(result.ok()) << config.name << ": " << result.status();
     EXPECT_TRUE(result->ended_by_protocol) << config.name;
@@ -164,7 +164,7 @@ TEST(StreamOrderTest, MutualRecursionWorkload) {
     options.batch_messages = config.batch;
     // Guard: a protocol regression must fail fast, not hang the test.
     options.max_messages = 1000000;
-    options.observer = monitor.Observer();
+    options.observers.push_back(&monitor);
     auto result = Evaluate(unit->program, unit->database, options);
     ASSERT_TRUE(result.ok()) << config.name;
     monitor.ExpectClean(config.name);
@@ -182,7 +182,7 @@ TEST(StreamOrderTest, RandomProgramsUnderRandomSchedules) {
     options.scheduler = SchedulerKind::kRandom;
     options.seed = seed;
     options.max_messages = 5000000;
-    options.observer = monitor.Observer();
+    options.observers.push_back(&monitor);
     auto result = Evaluate(rp->unit.program, rp->unit.database, options);
     if (!result.ok() &&
         result.status().code() == StatusCode::kResourceExhausted) {

@@ -21,7 +21,7 @@ TEST(TraceTest, RecordsEverySend) {
   ASSERT_TRUE(unit.ok());
   MessageTrace trace(/*capacity=*/0);
   EvaluationOptions options;
-  options.observer = trace.Observer();
+  options.observers.push_back(&trace);
   auto result = Evaluate(unit->program, unit->database, options);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(trace.total_seen(), result->message_stats.Total());
@@ -50,7 +50,7 @@ TEST(TraceTest, CapacityEvictsOldest) {
   ASSERT_TRUE(unit.ok());
   MessageTrace trace(/*capacity=*/10);
   EvaluationOptions options;
-  options.observer = trace.Observer();
+  options.observers.push_back(&trace);
   auto result = Evaluate(unit->program, unit->database, options);
   ASSERT_TRUE(result.ok());
   auto entries = trace.Entries();
@@ -64,7 +64,7 @@ TEST(TraceTest, EntriesForFiltersByEndpoint) {
   ASSERT_TRUE(unit.ok());
   MessageTrace trace(0);
   EvaluationOptions options;
-  options.observer = trace.Observer();
+  options.observers.push_back(&trace);
   auto result = Evaluate(unit->program, unit->database, options);
   ASSERT_TRUE(result.ok());
   ProcessId sink = trace.Entries()[0].message.from;
@@ -86,7 +86,7 @@ TEST(TraceTest, ToStringResolvesLabels) {
 
   MessageTrace trace(0);
   EvaluationOptions options;
-  options.observer = trace.Observer();
+  options.observers.push_back(&trace);
   auto result = EvaluateWithGraph(**graph, unit->database, options);
   ASSERT_TRUE(result.ok());
 
@@ -99,11 +99,15 @@ TEST(TraceTest, ToStringResolvesLabels) {
 
 TEST(TraceTest, ClearResetsEntriesNotCount) {
   MessageTrace trace(0);
-  auto observer = trace.Observer();
   Message m = MakeEnd({});
   m.from = 1;
-  observer(2, m);
-  observer(3, m);
+  SendEvent event;
+  event.from = m.from;
+  event.message = &m;
+  event.to = 2;
+  trace.OnSend(event);
+  event.to = 3;
+  trace.OnSend(event);
   EXPECT_EQ(trace.Entries().size(), 2u);
   trace.Clear();
   EXPECT_EQ(trace.Entries().size(), 0u);
