@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "msg/network.h"
+#include "obs/profiler.h"
 #include "relational/operators.h"
 
 namespace mpqe {
@@ -57,6 +58,33 @@ void BM_MessageHopThreaded(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (kHops + 1));
 }
 BENCHMARK(BM_MessageHopThreaded)->Arg(1)->Arg(4);
+
+// The profiler-overhead guard: same ping-pong as
+// BM_MessageHopDeterministic, but with a ProfilingObserver attached
+// (graph-less — pure observer cost). Compare against the profiler-off
+// run above; the off-path must stay unchanged (the zero-observer fast
+// path) while the on-path's per-hop cost is the tracked overhead in
+// BENCH_obs.json.
+void BM_MessageHopProfiled(benchmark::State& state) {
+  const int64_t kHops = 10000;
+  for (auto _ : state) {
+    Network net;
+    ProfilingObserver profiler;
+    net.AddProcess(std::make_unique<PingPong>(1));
+    net.AddProcess(std::make_unique<PingPong>(0));
+    net.AddObserver(&profiler);
+    net.Start();
+    net.Send(kNoProcess, 0, MakeTuple({}, {Value::Int(kHops)}));
+    auto run = net.RunDeterministic();
+    MPQE_CHECK(run.ok() && run->quiescent);
+    ProfileReport report = profiler.Finalize();
+    MPQE_CHECK(report.total_msgs_delivered ==
+               static_cast<uint64_t>(kHops) + 1);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * (kHops + 1));
+}
+BENCHMARK(BM_MessageHopProfiled);
 
 void BM_RelationInsert(benchmark::State& state) {
   int64_t n = state.range(0);

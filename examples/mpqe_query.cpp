@@ -19,9 +19,20 @@
 //   --graph            print the rule/goal graph before evaluating
 //   --dot              print the graph in Graphviz DOT and exit
 //   --stats            print message/engine statistics
+//   --explain          print the adorned plan with §4.3 cost estimates
+//                      (sized from the EDB) and exit without running
+//   --explain=analyze  run with the profiler, then print the plan with
+//                      estimates and actuals side by side (suppresses
+//                      the answer listing)
+//   --profile-out=<f>  run with the profiler and write the
+//                      mpqe-profile-v1 JSON report to <f>
+//                      (validate with scripts/check_trace.py --profile)
+//   --deviation-factor=<x>  flag nodes whose actuals deviate from the
+//                      estimate by more than x (default 10)
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -29,8 +40,10 @@
 
 #include "datalog/parser.h"
 #include "engine/evaluator.h"
+#include "obs/explain.h"
 #include "relational/io.h"
 #include "graph/rule_goal_graph.h"
+#include "sips/cost_model.h"
 #include "sips/strategy.h"
 
 namespace {
@@ -51,6 +64,9 @@ int main(int argc, char** argv) {
   bool show_graph = false, show_dot = false, show_stats = false;
   bool coalesce = false;
   bool batch = false;
+  bool explain = false, analyze = false;
+  double deviation_factor = 10.0;
+  std::string profile_out;
   std::vector<std::pair<std::string, std::string>> loads;
 
   for (int i = 1; i < argc; ++i) {
@@ -83,6 +99,14 @@ int main(int argc, char** argv) {
       show_dot = true;
     } else if (arg == "--stats") {
       show_stats = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--explain=analyze") {
+      explain = analyze = true;
+    } else if (arg.rfind("--profile-out=", 0) == 0) {
+      profile_out = value("--profile-out=");
+    } else if (arg.rfind("--deviation-factor=", 0) == 0) {
+      deviation_factor = std::stod(value("--deviation-factor="));
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       return Fail("unknown option: " + arg);
     } else {
@@ -118,18 +142,34 @@ int main(int argc, char** argv) {
 
   mpqe::GraphBuildOptions graph_options;
   graph_options.coalesce_nodes = coalesce;
+  bool profiling = analyze || !profile_out.empty();
 
-  if (show_graph || show_dot) {
+  // EXPLAIN and the profile report need the graph in hand, so build it
+  // here and evaluate over it instead of letting Evaluate rebuild.
+  std::unique_ptr<mpqe::RuleGoalGraph> graph;
+  if (show_graph || show_dot || explain || profiling) {
     auto strat = mpqe::MakeStrategyByName(strategy);
     if (!strat.ok()) return Fail(strat.status().ToString());
-    auto graph =
+    auto built =
         mpqe::RuleGoalGraph::Build(unit->program, **strat, graph_options);
-    if (!graph.ok()) return Fail(graph.status().ToString());
+    if (!built.ok()) return Fail(built.status().ToString());
+    graph = std::move(*built);
     if (show_dot) {
-      std::cout << GraphToDot(**graph, &unit->database.symbols());
+      std::cout << GraphToDot(*graph, &unit->database.symbols());
       return 0;
     }
-    std::cout << (*graph)->ToString(&unit->database.symbols()) << "\n";
+    if (show_graph) {
+      std::cout << graph->ToString(&unit->database.symbols()) << "\n";
+    }
+  }
+
+  if (explain && !analyze) {
+    // Plain EXPLAIN: estimates only, no evaluation.
+    std::cout << mpqe::ExplainPlan(
+        *graph,
+        mpqe::CostModelParamsFromDatabase(unit->program, unit->database),
+        nullptr, &unit->database.symbols());
+    return 0;
   }
 
   mpqe::EvaluationOptions options;
@@ -138,15 +178,35 @@ int main(int argc, char** argv) {
   options.strategy = strategy;
   options.seed = seed;
   options.workers = workers;
+  options.profile = profiling;
   auto scheduler_kind = mpqe::SchedulerKindFromName(scheduler);
   if (!scheduler_kind.ok()) return Fail(scheduler_kind.status().ToString());
   options.scheduler = *scheduler_kind;
 
-  auto result = mpqe::Evaluate(unit->program, unit->database, options);
+  auto result =
+      graph != nullptr
+          ? mpqe::EvaluateWithGraph(*graph, unit->database, options)
+          : mpqe::Evaluate(unit->program, unit->database, options);
   if (!result.ok()) return Fail(result.status().ToString());
 
-  for (const mpqe::Tuple& t : result->answers.SortedTuples()) {
-    std::cout << mpqe::TupleToString(t, &unit->database.symbols()) << "\n";
+  if (analyze) {
+    mpqe::ExplainOptions explain_options;
+    explain_options.analyze = true;
+    explain_options.deviation_factor = deviation_factor;
+    std::cout << mpqe::ExplainPlan(
+        *graph,
+        mpqe::CostModelParamsFromDatabase(unit->program, unit->database),
+        result->profile.get(), &unit->database.symbols(), explain_options);
+  } else {
+    for (const mpqe::Tuple& t : result->answers.SortedTuples()) {
+      std::cout << mpqe::TupleToString(t, &unit->database.symbols()) << "\n";
+    }
+  }
+  if (!profile_out.empty()) {
+    std::ofstream out(profile_out);
+    if (!out) return Fail("cannot write " + profile_out);
+    out << result->profile->ToJson();
+    std::cerr << "profile written to " << profile_out << "\n";
   }
   std::cerr << result->answers.size() << " answer(s)\n";
   if (show_stats) {

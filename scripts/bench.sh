@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Builds the relational microbenchmarks in Release mode, runs them,
-# and writes a machine-readable summary to BENCH_relational.json.
+# and writes machine-readable summaries to BENCH_relational.json and
+# BENCH_obs.json (the profiler-on vs. profiler-off message-hop
+# overhead guard).
 #
 # Usage: scripts/bench.sh [output.json]
 #
@@ -80,4 +82,24 @@ with open(out_path, "w") as f:
     json.dump(result, f, indent=2, sort_keys=True)
     f.write("\n")
 print(f"wrote {out_path}")
+
+# The observability overhead guard: profiler-on vs. profiler-off
+# message-hop cost. The off number is the zero-observer fast path and
+# must not regress; the on number is the documented profiling price.
+obs_path = os.path.join(os.path.dirname(out_path) or ".", "BENCH_obs.json")
+off = micro.get("BM_MessageHopDeterministic")
+on = micro.get("BM_MessageHopProfiled")
+if off and on:
+    obs = {
+        "context": result["context"],
+        "profiler_off": off,
+        "profiler_on": on,
+        "overhead_ratio": round(on["real_time_ns"] / off["real_time_ns"], 3),
+        "overhead_ns_per_hop": round(
+            (on["real_time_ns"] - off["real_time_ns"]) / 10001, 1),
+    }
+    with open(obs_path, "w") as f:
+        json.dump(obs, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {obs_path}")
 EOF

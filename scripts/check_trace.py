@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Validate a Chrome trace-event JSON file produced by TraceExporter.
+"""Validate observability JSON artifacts.
 
-Usage: check_trace.py trace.json
+Usage: check_trace.py trace.json            # Chrome trace (TraceExporter)
+       check_trace.py --profile profile.json  # mpqe-profile-v1 (profiler)
 
-Checks (stdlib only, exit 0 = valid, 1 = invalid):
+Trace checks (stdlib only, exit 0 = valid, 1 = invalid):
   * the file parses as JSON and has a non-empty "traceEvents" list;
   * every event carries the keys its phase type requires;
   * duration events ("X") have dur >= 0;
@@ -11,6 +12,17 @@ Checks (stdlib only, exit 0 = valid, 1 = invalid):
     every flow end's timestamp is >= its start's (send happens-before
     delivery);
   * metadata ("M") names every thread that appears in events.
+
+Profile checks (--profile, schema "mpqe-profile-v1"):
+  * top-level schema marker, totals, phases, nodes, sccs all present;
+  * every node row has the full counter set, node ids are unique, and
+    derived ratios (dup_hit_rate, selectivity) are consistent with the
+    raw counters;
+  * estimate-bearing nodes carry est_log10_tuples and
+    deviation_factor (>= 1);
+  * node counter sums do not exceed the report totals, and
+    msgs_sent == msgs_delivered (every run drains);
+  * every scc row references known nodes and has tree_depth >= 1.
 """
 
 import json
@@ -19,17 +31,133 @@ from collections import Counter
 
 KNOWN_PHASES = {"X", "s", "f", "i", "C", "M", "B", "E"}
 
+NODE_COUNTERS = [
+    "fires", "requests_in", "tuples_in", "tuples_out", "dedup_hits",
+    "msgs_in", "msgs_out", "batch_envelopes_in", "batch_envelopes_out",
+    "fire_ns", "queue_wait_ns",
+]
+
+TOTAL_COUNTERS = [
+    "fires", "tuples_in", "tuples_out", "dedup_hits", "msgs_sent",
+    "msgs_delivered", "fire_ns", "queue_wait_ns",
+]
+
+ROLES = {"goal", "rule", "edb", "cycle_ref"}
+
 
 def fail(msg):
     print(f"check_trace: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
 
 
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+
+def check_profile(path):
+    report = load(path)
+    if report.get("schema") != "mpqe-profile-v1":
+        fail(f'schema is {report.get("schema")!r}, expected "mpqe-profile-v1"')
+    for key in ("totals", "phases", "nodes", "sccs"):
+        if key not in report:
+            fail(f'top-level "{key}" missing')
+    totals = report["totals"]
+    for key in TOTAL_COUNTERS:
+        v = totals.get(key)
+        if not isinstance(v, int) or v < 0:
+            fail(f"totals.{key} is {v!r}, expected a non-negative int")
+    if totals["msgs_sent"] != totals["msgs_delivered"]:
+        fail(f'msgs_sent {totals["msgs_sent"]} != '
+             f'msgs_delivered {totals["msgs_delivered"]}')
+
+    nodes = report["nodes"]
+    if not isinstance(nodes, list) or not nodes:
+        fail('"nodes" missing, not a list, or empty')
+    seen_ids = set()
+    sums = Counter()
+    estimated = 0
+    for i, n in enumerate(nodes):
+        nid = n.get("id")
+        if not isinstance(nid, int) or nid < 0:
+            fail(f"node {i} has bad id {nid!r}")
+        if nid in seen_ids:
+            fail(f"duplicate node id {nid}")
+        seen_ids.add(nid)
+        if n.get("role") not in ROLES:
+            fail(f'node {nid} has unknown role {n.get("role")!r}')
+        if not isinstance(n.get("label"), str) or not n["label"]:
+            fail(f"node {nid} lacks a label")
+        for key in NODE_COUNTERS:
+            v = n.get(key)
+            if not isinstance(v, int) or v < 0:
+                fail(f"node {nid}.{key} is {v!r}, expected non-negative int")
+            sums[key] += v
+        seen = n["tuples_in"] + n["dedup_hits"]
+        want_rate = n["dedup_hits"] / seen if seen else 0.0
+        if abs(n.get("dup_hit_rate", -1) - want_rate) > 1e-4:
+            fail(f'node {nid} dup_hit_rate {n.get("dup_hit_rate")!r} '
+                 f"inconsistent with counters (want {want_rate:.6f})")
+        want_sel = n["tuples_out"] / n["tuples_in"] if n["tuples_in"] else 0.0
+        if abs(n.get("selectivity", -1) - want_sel) > 1e-4:
+            fail(f'node {nid} selectivity {n.get("selectivity")!r} '
+                 f"inconsistent with counters (want {want_sel:.6f})")
+        if "est_log10_tuples" in n:
+            estimated += 1
+            if not isinstance(n["est_log10_tuples"], (int, float)):
+                fail(f"node {nid} est_log10_tuples is not a number")
+            dev = n.get("deviation_factor")
+            if not isinstance(dev, (int, float)) or dev < 1.0:
+                fail(f"node {nid} deviation_factor {dev!r}, expected >= 1")
+
+    # Node rows exclude the sink, so per-node sums are bounded by (not
+    # equal to) the run totals.
+    for node_key, total_key in (("fires", "fires"),
+                                ("tuples_in", "tuples_in"),
+                                ("tuples_out", "tuples_out"),
+                                ("dedup_hits", "dedup_hits"),
+                                ("msgs_out", "msgs_sent"),
+                                ("msgs_in", "msgs_delivered")):
+        if sums[node_key] > totals[total_key]:
+            fail(f"sum of node {node_key} ({sums[node_key]}) exceeds "
+                 f"totals.{total_key} ({totals[total_key]})")
+    if estimated == 0:
+        fail("no node carries a cost-model estimate")
+
+    for s in report["sccs"]:
+        members = s.get("members")
+        if not isinstance(members, list) or not members:
+            fail(f'scc {s.get("id")!r} has no members')
+        for m in members:
+            if m not in seen_ids:
+                fail(f'scc {s.get("id")} references unknown node {m}')
+        if s.get("leader") not in seen_ids:
+            fail(f'scc {s.get("id")} leader {s.get("leader")!r} unknown')
+        if not isinstance(s.get("tree_depth"), int) or s["tree_depth"] < 1:
+            fail(f'scc {s.get("id")} tree_depth {s.get("tree_depth")!r}, '
+                 f"expected >= 1")
+
+    print(f"check_trace: OK: profile with {len(nodes)} nodes "
+          f"({estimated} estimated), {len(report['sccs'])} scc(s), "
+          f"{totals['msgs_sent']} msgs")
+    sys.exit(0)
+
+
 def main():
-    if len(sys.argv) != 2:
+    args = sys.argv[1:]
+    if args and args[0] == "--profile":
+        if len(args) != 2:
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        check_profile(args[1])
+        return
+    if len(args) != 1:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    path = sys.argv[1]
+    path = args[0]
 
     try:
         with open(path, "r", encoding="utf-8") as f:

@@ -54,13 +54,13 @@ Status EvaluationOptions::Validate() const {
 namespace {
 
 // The observers of one evaluation: the caller's ExecutionObservers,
-// plus (when configured) an internal MetricsObserver and the shim
-// wrapping the deprecated raw SendObserver. The shim and metrics
-// observer live exactly as long as the evaluation.
+// plus (when configured) an internal MetricsObserver and the
+// ProfilingObserver backing EvaluationOptions::profile. The internal
+// observers live exactly as long as the evaluation.
 struct ScopedObservers {
   ObserverList list;
   std::optional<MetricsObserver> metrics;
-  std::optional<LegacySendObserver<Network::SendObserver>> legacy;
+  std::optional<ProfilingObserver> profiler;
 
   explicit ScopedObservers(const EvaluationOptions& options) {
     for (ExecutionObserver* o : options.observers) list.Add(o);
@@ -70,11 +70,10 @@ struct ScopedObservers {
       metrics.emplace(options.metrics, metrics_options);
       list.Add(&*metrics);
     }
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    if (options.observer) legacy.emplace(options.observer);
-#pragma GCC diagnostic pop
-    if (legacy.has_value()) list.Add(&*legacy);
+    if (options.profile) {
+      profiler.emplace();
+      list.Add(&*profiler);
+    }
   }
 };
 
@@ -133,6 +132,24 @@ void DumpMetrics(const EvaluationOptions& options, const RuleGoalGraph& graph,
   }
 }
 
+// Per-node profiler counters as aggregated/node/<id>/<field> metric
+// entries (the MetricsRegistry dump is the one sink CI scrapes).
+void DumpProfileMetrics(const ProfileReport& report,
+                        MetricsRegistry& registry) {
+  for (const NodeProfile& n : report.nodes) {
+    std::string prefix = StrCat("aggregated/node/", n.node, "/");
+    registry.GetCounter(StrCat(prefix, "fires")).Increment(n.fires);
+    registry.GetCounter(StrCat(prefix, "tuples_in")).Increment(n.tuples_in);
+    registry.GetCounter(StrCat(prefix, "tuples_out")).Increment(n.tuples_out);
+    registry.GetCounter(StrCat(prefix, "dedup_hits")).Increment(n.dedup_hits);
+    registry.GetCounter(StrCat(prefix, "msgs_in")).Increment(n.msgs_in);
+    registry.GetCounter(StrCat(prefix, "msgs_out")).Increment(n.msgs_out);
+    registry.GetCounter(StrCat(prefix, "fire_ns")).Increment(n.fire_ns);
+    registry.GetCounter(StrCat(prefix, "queue_wait_ns"))
+        .Increment(n.queue_wait_ns);
+  }
+}
+
 }  // namespace
 
 StatusOr<EvaluationResult> EvaluateWithGraph(const RuleGoalGraph& graph,
@@ -140,6 +157,9 @@ StatusOr<EvaluationResult> EvaluateWithGraph(const RuleGoalGraph& graph,
                                              const EvaluationOptions& options) {
   MPQE_RETURN_IF_ERROR(options.Validate());
   ScopedObservers scoped(options);
+  if (scoped.profiler.has_value()) {
+    scoped.profiler->AttachGraph(&graph, &db.symbols());
+  }
 
   Network network;
   for (ExecutionObserver* o : scoped.list.items()) network.AddObserver(o);
@@ -229,6 +249,16 @@ StatusOr<EvaluationResult> EvaluateWithGraph(const RuleGoalGraph& graph,
   }
   if (options.metrics != nullptr) {
     DumpMetrics(options, graph, node_processes, result);
+  }
+  if (scoped.profiler.has_value()) {
+    auto report = std::make_shared<ProfileReport>(scoped.profiler->Finalize());
+    FillCostEstimates(graph,
+                      CostModelParamsFromDatabase(graph.program(), db),
+                      *report);
+    if (options.metrics != nullptr) {
+      DumpProfileMetrics(*report, *options.metrics);
+    }
+    result.profile = std::move(report);
   }
   if (!result.ended_by_protocol && !run->quiescent) {
     return InternalError(

@@ -41,6 +41,7 @@
 #include "msg/network.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
+#include "obs/profiler.h"
 #include "relational/database.h"
 #include "sips/strategy.h"
 
@@ -105,25 +106,12 @@ struct EvaluationOptions {
   // of live graph edges; off by default).
   bool metrics_per_arc = false;
 
-  // DEPRECATED: raw per-send callback, superseded by `observers`
-  // (wrap state in an ExecutionObserver and override OnSend). Still
-  // honored via an internal shim; see DESIGN.md § Observability for
-  // the migration note.
-  [[deprecated("use EvaluationOptions::observers")]]
-  Network::SendObserver observer;
-
-  // The implicit special members touch the deprecated field above;
-  // default them here under suppression so only *user* code that
-  // names `observer` gets the deprecation warning.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EvaluationOptions() = default;
-  EvaluationOptions(const EvaluationOptions&) = default;
-  EvaluationOptions(EvaluationOptions&&) = default;
-  EvaluationOptions& operator=(const EvaluationOptions&) = default;
-  EvaluationOptions& operator=(EvaluationOptions&&) = default;
-  ~EvaluationOptions() = default;
-#pragma GCC diagnostic pop
+  // Attach a ProfilingObserver for the run and fill
+  // EvaluationResult::profile with per-node / per-SCC attribution and
+  // §4.3 cost estimates sized from the database (see obs/profiler.h).
+  // When `metrics` is also set, the per-node counters are additionally
+  // dumped as aggregated/node/<id>/<field> entries.
+  bool profile = false;
 
   /// Checks the options for configuration errors — unknown strategy
   /// name, workers < 1, out-of-range scheduler — and returns a
@@ -159,6 +147,11 @@ struct EvaluationResult {
   // One row per graph node (empty unless requested). Use together
   // with RuleGoalGraph::NodeLabel to see where tuples accumulate.
   std::vector<NodeCounters> node_counters;
+
+  // The profiler's report (set iff EvaluationOptions::profile), with
+  // cost estimates already filled from the database. Shared so the
+  // result stays copyable.
+  std::shared_ptr<const ProfileReport> profile;
 };
 
 /// Builds the rule/goal graph for `program`, wires the process

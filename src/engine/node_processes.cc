@@ -1,6 +1,7 @@
 #include "engine/node_processes.h"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -49,9 +50,11 @@ void NodeProcessBase::OnMessage(const Message& message) {
   uint64_t drops_before = LocalDuplicateDrops();
   fire_tuples_out_ = 0;
   observing_fire_ = true;
+  auto fire_start = std::chrono::steady_clock::now();
   Dispatch(message);
   observing_fire_ = false;
   FlushEmits();
+  auto fire_end = std::chrono::steady_clock::now();
   NodeFireEvent event;
   event.node = node_id_;
   event.pid = process_id();
@@ -66,6 +69,10 @@ void NodeProcessBase::OnMessage(const Message& message) {
   }
   event.tuples_out = fire_tuples_out_;
   event.dedup_hits = LocalDuplicateDrops() - drops_before;
+  event.handle_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(fire_end -
+                                                           fire_start)
+          .count());
   obs.NotifyNodeFire(event);
   termination_.MaybeInitiate();
 }

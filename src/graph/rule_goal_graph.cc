@@ -364,6 +364,23 @@ StatusOr<std::unique_ptr<RuleGoalGraph>> RuleGoalGraph::Build(
   return graph;
 }
 
+int RuleGoalGraph::BfstDepth(NodeId id) const {
+  int depth = 0;
+  for (NodeId n = nodes_[id].bfst_parent; n != kNoNode;
+       n = nodes_[n].bfst_parent) {
+    ++depth;
+  }
+  return depth;
+}
+
+int RuleGoalGraph::BfstHeight(int scc) const {
+  int height = 0;
+  for (NodeId m : scc_members_[scc]) {
+    height = std::max(height, BfstDepth(m));
+  }
+  return height;
+}
+
 std::vector<NodeId> RuleGoalGraph::Feeders(NodeId id) const {
   std::vector<NodeId> feeders;
   const GraphNode& n = nodes_[id];

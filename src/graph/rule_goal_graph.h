@@ -148,6 +148,14 @@ class RuleGoalGraph {
   /// Leader node of component `scc`, or kNoNode for trivial SCCs.
   NodeId scc_leader(int scc) const { return scc_leaders_[scc]; }
 
+  /// Depth of `id` in its component's breadth-first spanning tree
+  /// (0 at the leader; 0 for members of trivial SCCs).
+  int BfstDepth(NodeId id) const;
+
+  /// Height of component `scc`'s BFST: the maximum BfstDepth over its
+  /// members (the number of hops a Fig. 2 wave descends).
+  int BfstHeight(int scc) const;
+
   bool coalesced() const { return coalesced_; }
 
   /// Answer-flow predecessors of `id` in a different strong component

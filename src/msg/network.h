@@ -24,7 +24,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -128,11 +127,6 @@ class Network {
 
   /// Calls OnStart on every process (once, before the first run).
   void Start();
-
-  // Legacy raw send-callback type, kept for the deprecated
-  // EvaluationOptions::observer shim (see obs/observer.h
-  // LegacySendObserver). New code registers ExecutionObservers.
-  using SendObserver = std::function<void(ProcessId to, const Message&)>;
 
   /// Registers an ExecutionObserver (not owned; must outlive the
   /// network). Observers receive OnSend for every send (in the

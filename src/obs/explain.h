@@ -1,0 +1,47 @@
+// EXPLAIN / EXPLAIN ANALYZE rendering of the adorned rule/goal graph.
+//
+// ExplainPlan walks the graph from the root and prints one line per
+// node — adorned atoms in the paper's superscript style (c/d/e/f), a
+// rule node's sips order and arcs, and its strong component — plus
+// §4.3 cost-model estimates (log10 result size, total join cost). In
+// ANALYZE mode a ProfileReport collected from an actual run is
+// rendered side by side with the estimates: tuples in/out, duplicate
+// hit rate, selectivity, messages, and fire/queue-wait time, and
+// nodes whose actual cardinality deviates from the estimate by more
+// than a configurable factor are flagged with `!!`. A footer lists
+// the nontrivial strong components with their Fig. 2 protocol rounds
+// and termination-tree depth.
+
+#ifndef MPQE_OBS_EXPLAIN_H_
+#define MPQE_OBS_EXPLAIN_H_
+
+#include <string>
+
+#include "graph/rule_goal_graph.h"
+#include "obs/profiler.h"
+#include "sips/cost_model.h"
+
+namespace mpqe {
+
+struct ExplainOptions {
+  // When true (EXPLAIN ANALYZE), `profile` must be non-null and its
+  // per-node actuals are printed next to the estimates.
+  bool analyze = false;
+  // Flag nodes whose actual output deviates from the estimate by more
+  // than this factor (either direction).
+  double deviation_factor = 10.0;
+};
+
+/// Renders the plan. `params` sizes the cost-model estimates (use
+/// CostModelParamsFromDatabase to confront estimates with reality);
+/// `profile` supplies the actuals for ANALYZE mode (may be null
+/// otherwise); `symbols` resolves predicate/constant names.
+std::string ExplainPlan(const RuleGoalGraph& graph,
+                        const CostModelParams& params,
+                        const ProfileReport* profile,
+                        const SymbolTable* symbols,
+                        const ExplainOptions& options = ExplainOptions());
+
+}  // namespace mpqe
+
+#endif  // MPQE_OBS_EXPLAIN_H_

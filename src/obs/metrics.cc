@@ -76,7 +76,7 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
 std::string Histogram::ToString() const {
   return StrCat("{count=", count(), " sum=", sum(), " min=", min(),
                 " max=", max(), " p50<=", Percentile(50),
-                " p99<=", Percentile(99), "}");
+                " p95<=", Percentile(95), " p99<=", Percentile(99), "}");
 }
 
 // ---------------------------------------------------------------------------
@@ -143,6 +143,7 @@ std::string MetricsRegistry::ToJson() const {
     out += StrCat(first ? "" : ",", "\n    \"", name, "\": {\"count\": ",
                   h->count(), ", \"sum\": ", h->sum(), ", \"min\": ", h->min(),
                   ", \"max\": ", h->max(), ", \"p50\": ", h->Percentile(50),
+                  ", \"p95\": ", h->Percentile(95),
                   ", \"p99\": ", h->Percentile(99), "}");
     first = false;
   }

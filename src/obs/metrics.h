@@ -92,7 +92,9 @@ class MetricsRegistry {
   /// histogram.
   std::string ToString() const;
   /// {"counters": {...}, "histograms": {name: {count, sum, min, max,
-  /// p50, p99}}} — machine-readable companion to the trace export.
+  /// p50, p95, p99}}} — machine-readable companion to the trace
+  /// export. Keys come out in sorted (map) order, so dumps diff
+  /// cleanly across runs.
   std::string ToJson() const;
 
   void Clear();

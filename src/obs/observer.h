@@ -1,6 +1,5 @@
-// The execution observability layer (src/obs/): a structured,
-// composable alternative to the old raw Network::SendObserver
-// callback. Observers receive typed events from every layer of an
+// The execution observability layer (src/obs/): structured,
+// composable observers receive typed events from every layer of an
 // evaluation — message sends and deliveries (msg/network), node
 // firings (engine/node_processes), evaluator phases
 // (engine/evaluator), and the Fig. 2 termination protocol
@@ -89,6 +88,9 @@ struct NodeFireEvent {
   uint32_t tuples_in = 0;
   uint32_t tuples_out = 0;
   uint64_t dedup_hits = 0;
+  // Wall time the node spent handling this message (dispatch + emit
+  // flush), measured only while observers are installed.
+  uint64_t handle_ns = 0;
 };
 
 // A phase boundary (engine/evaluator.cc). Phases nest at most one
@@ -166,23 +168,6 @@ class ObserverList {
 
  private:
   std::vector<ExecutionObserver*> observers_;
-};
-
-// Adapter that keeps the legacy `EvaluationOptions::observer`
-// (Network::SendObserver) working on top of the new interface: it
-// forwards every OnSend to the wrapped closure and ignores all other
-// events, which is exactly what the old callback saw.
-template <typename Fn>
-class LegacySendObserver : public ExecutionObserver {
- public:
-  explicit LegacySendObserver(Fn fn) : fn_(std::move(fn)) {}
-
-  void OnSend(const SendEvent& event) override {
-    fn_(event.to, *event.message);
-  }
-
- private:
-  Fn fn_;
 };
 
 }  // namespace mpqe

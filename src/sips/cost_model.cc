@@ -48,8 +48,9 @@ OrderCost EstimateOrderCost(const Rule& rule, const Adornment& head_adornment,
     for (const Term& t : atom.args) {
       if (t.is_constant()) ++constant_args;
     }
-    double log_subgoal = params.log_relation_size *
-                         std::pow(params.alpha, static_cast<double>(constant_args));
+    double log_subgoal =
+        params.LogSizeOf(atom.predicate) *
+        std::pow(params.alpha, static_cast<double>(constant_args));
 
     // Join with the context: one order-of-magnitude reduction per
     // shared variable (each is a pair of join arguments).
@@ -70,7 +71,28 @@ OrderCost EstimateOrderCost(const Rule& rule, const Adornment& head_adornment,
     context_vars.insert(vars.begin(), vars.end());
     log_context = log_result;
   }
+  out.log_final = log_context;
   return out;
+}
+
+CostModelParams CostModelParamsFromDatabase(const Program& program,
+                                            const Database& db, double alpha) {
+  CostModelParams params;
+  params.alpha = alpha;
+  double largest = 0.0;
+  const PredicatePool& predicates = program.predicates();
+  for (PredicateId p = 0; p < static_cast<PredicateId>(predicates.size());
+       ++p) {
+    if (!program.IsEdb(p)) continue;
+    const Relation* r = db.GetRelation(predicates.Name(p));
+    if (r == nullptr) continue;
+    double log_size =
+        std::log10(static_cast<double>(std::max<size_t>(r->size(), 1)));
+    params.log_size_by_predicate.emplace(p, log_size);
+    largest = std::max(largest, log_size);
+  }
+  params.log_relation_size = largest;
+  return params;
 }
 
 StatusOr<std::vector<OrderCost>> EnumerateOrderCosts(

@@ -1,8 +1,7 @@
 // Tests for the execution observability subsystem (src/obs/): the
 // ExecutionObserver callback contract (including its threading
-// guarantees under the threaded scheduler), the metrics registry, the
-// Chrome-trace exporter (golden summary + structural checks), and the
-// deprecated raw-SendObserver compatibility shim.
+// guarantees under the threaded scheduler), the metrics registry, and
+// the Chrome-trace exporter (golden summary + structural checks).
 
 #include <gtest/gtest.h>
 
@@ -325,28 +324,6 @@ TEST(ObserverTest, TerminationEventsOnCyclicWorkload) {
   EXPECT_GT(recorder.count(TerminationEvent::Kind::kConcluded), 0u);
   EXPECT_EQ(recorder.count(TerminationEvent::Kind::kWaveStarted),
             result->counters.protocol_waves);
-}
-
-// ---------------------------------------------------------------------------
-// Legacy SendObserver shim
-
-TEST(ObserverTest, DeprecatedSendObserverStillWorks) {
-  auto unit = Parse(kTc);
-  ASSERT_TRUE(unit.ok());
-  uint64_t legacy_sends = 0;
-  CountingObserver modern(nullptr, 0);
-  EvaluationOptions options;
-  options.observers.push_back(&modern);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  options.observer = [&legacy_sends](ProcessId, const Message&) {
-    ++legacy_sends;
-  };
-#pragma GCC diagnostic pop
-  auto result = Evaluate(unit->program, unit->database, options);
-  ASSERT_TRUE(result.ok());
-  EXPECT_EQ(legacy_sends, result->message_stats.Total());
-  EXPECT_EQ(legacy_sends, modern.sends());
 }
 
 // ---------------------------------------------------------------------------
