@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "msg/network.h"
+#include "obs/lineage.h"
 #include "obs/profiler.h"
 #include "relational/operators.h"
 
@@ -85,6 +86,71 @@ void BM_MessageHopProfiled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (kHops + 1));
 }
 BENCHMARK(BM_MessageHopProfiled);
+
+// Ping-pong with full lineage recording: each hop's tuple is inserted
+// into a lineage-enabled relation, gets a fresh id, and publishes a
+// derivation record chaining to the previous hop — the engine's exact
+// per-derivation sequence (InsertRow + OnDerive + lineage stamp).
+// BM_MessageHopDeterministic is the lineage-off baseline; the off-path
+// must stay within noise of it (a null-pointer branch per insert),
+// while this run's per-hop cost is the tracked lineage-on overhead in
+// BENCH_obs.json.
+class PingPongLineage : public Process {
+ public:
+  PingPongLineage(ProcessId peer, TupleIdAllocator* ids,
+                  const ObserverList* observers)
+      : peer_(peer), observers_(observers), seen_(1) {
+    seen_.EnableLineage(ids);
+  }
+
+  void OnMessage(const Message& m) override {
+    int64_t hops = m.values[0].payload();
+    Relation::InsertResult ins = seen_.InsertRow(m.values);
+    MPQE_CHECK(ins.inserted);
+    uint64_t id = seen_.row_id(ins.row);
+    DeriveEvent event;
+    event.tuple_id = id;
+    event.kind = DeriveKind::kUnion;
+    event.source_msg = m.lineage;
+    event.inputs = &m.lineage;
+    event.num_inputs = m.lineage == kNoLineage ? 0 : 1;
+    event.values = m.values;
+    observers_->NotifyDerive(event);
+    if (hops > 0) {
+      Message out = MakeTuple({}, {Value::Int(hops - 1)});
+      out.lineage = id;
+      Send(peer_, std::move(out));
+    }
+  }
+
+ private:
+  ProcessId peer_;
+  const ObserverList* observers_;
+  Relation seen_;
+};
+
+void BM_MessageHopLineage(benchmark::State& state) {
+  const int64_t kHops = 10000;
+  for (auto _ : state) {
+    Network net;
+    LineageObserver lineage;
+    net.AddObserver(&lineage);
+    net.AddProcess(std::make_unique<PingPongLineage>(1, lineage.ids(),
+                                                     &net.observers()));
+    net.AddProcess(std::make_unique<PingPongLineage>(0, lineage.ids(),
+                                                     &net.observers()));
+    net.Start();
+    net.Send(kNoProcess, 0, MakeTuple({}, {Value::Int(kHops)}));
+    auto run = net.RunDeterministic();
+    MPQE_CHECK(run.ok() && run->quiescent);
+    MPQE_CHECK(lineage.record_count() == static_cast<size_t>(kHops) + 1);
+    LineageReport report = lineage.Finalize();
+    MPQE_CHECK(report.max_depth == kHops);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * (kHops + 1));
+}
+BENCHMARK(BM_MessageHopLineage);
 
 void BM_RelationInsert(benchmark::State& state) {
   int64_t n = state.range(0);

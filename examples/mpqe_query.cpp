@@ -29,10 +29,21 @@
 //                      (validate with scripts/check_trace.py --profile)
 //   --deviation-factor=<x>  flag nodes whose actuals deviate from the
 //                      estimate by more than x (default 10)
+//   --why='p(a,b)'     run with lineage recording and print the minimal
+//                      proof tree for the matching answer (leaves are
+//                      EDB facts; `_` matches anything); suppresses the
+//                      answer listing; exits 1 if nothing matches
+//   --lineage-out=<f>  run with lineage recording and write the
+//                      mpqe-lineage-v1 JSON derivation DAG to <f>
+//                      (validate with scripts/check_trace.py --lineage)
+//   --log-level=<l>    engine log level (debug|info|warning|error|off;
+//                      also settable via MPQE_LOG_LEVEL)
+//   --progress-interval-ms=<n>  threaded-scheduler stall heartbeat
 
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -67,6 +78,10 @@ int main(int argc, char** argv) {
   bool explain = false, analyze = false;
   double deviation_factor = 10.0;
   std::string profile_out;
+  std::string why;
+  std::string lineage_out;
+  std::string log_level;
+  int progress_interval_ms = 0;
   std::vector<std::pair<std::string, std::string>> loads;
 
   for (int i = 1; i < argc; ++i) {
@@ -107,6 +122,14 @@ int main(int argc, char** argv) {
       profile_out = value("--profile-out=");
     } else if (arg.rfind("--deviation-factor=", 0) == 0) {
       deviation_factor = std::stod(value("--deviation-factor="));
+    } else if (arg.rfind("--why=", 0) == 0) {
+      why = value("--why=");
+    } else if (arg.rfind("--lineage-out=", 0) == 0) {
+      lineage_out = value("--lineage-out=");
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      log_level = value("--log-level=");
+    } else if (arg.rfind("--progress-interval-ms=", 0) == 0) {
+      progress_interval_ms = std::stoi(value("--progress-interval-ms="));
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       return Fail("unknown option: " + arg);
     } else {
@@ -179,9 +202,22 @@ int main(int argc, char** argv) {
   options.seed = seed;
   options.workers = workers;
   options.profile = profiling;
+  bool lineage = !why.empty() || !lineage_out.empty();
+  options.lineage = lineage;
+  options.log_level = log_level;
+  options.progress_interval_ms = progress_interval_ms;
   auto scheduler_kind = mpqe::SchedulerKindFromName(scheduler);
   if (!scheduler_kind.ok()) return Fail(scheduler_kind.status().ToString());
   options.scheduler = *scheduler_kind;
+
+  // Parse the --why atom before running so a malformed query fails
+  // fast (the symbols it interns are shared with the program's).
+  std::optional<mpqe::LineageQuery> why_query;
+  if (!why.empty()) {
+    auto parsed = mpqe::ParseLineageQuery(why, unit->database.symbols());
+    if (!parsed.ok()) return Fail(parsed.status().ToString());
+    why_query = *std::move(parsed);
+  }
 
   auto result =
       graph != nullptr
@@ -197,10 +233,32 @@ int main(int argc, char** argv) {
         *graph,
         mpqe::CostModelParamsFromDatabase(unit->program, unit->database),
         result->profile.get(), &unit->database.symbols(), explain_options);
+  } else if (why_query.has_value()) {
+    // WHY: print the minimal proof tree instead of the answer listing.
+    auto matches = result->lineage->Match(*why_query);
+    if (matches.empty()) {
+      std::cerr << "no derivation matches " << why << " ("
+                << result->lineage->derived << " derived tuples, "
+                << result->answers.size() << " answer(s))\n";
+      return 1;
+    }
+    std::cout << result->lineage->FormatProof(matches.front()->id);
+    if (matches.size() > 1) {
+      std::cerr << matches.size() << " tuples match " << why
+                << "; showing the shallowest proof (depth "
+                << matches.front()->depth << ")\n";
+    }
   } else {
     for (const mpqe::Tuple& t : result->answers.SortedTuples()) {
       std::cout << mpqe::TupleToString(t, &unit->database.symbols()) << "\n";
     }
+  }
+  if (!lineage_out.empty()) {
+    std::ofstream out(lineage_out);
+    if (!out) return Fail("cannot write " + lineage_out);
+    out << result->lineage->ToJson();
+    std::cerr << "lineage written to " << lineage_out << " ("
+              << result->lineage->records.size() << " records)\n";
   }
   if (!profile_out.empty()) {
     std::ofstream out(profile_out);

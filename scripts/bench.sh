@@ -83,12 +83,14 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"wrote {out_path}")
 
-# The observability overhead guard: profiler-on vs. profiler-off
-# message-hop cost. The off number is the zero-observer fast path and
-# must not regress; the on number is the documented profiling price.
+# The observability overhead guards: profiler-on vs. profiler-off and
+# lineage-on vs. lineage-off message-hop cost. The off number is the
+# zero-observer fast path and must not regress; the on numbers are the
+# documented observability prices.
 obs_path = os.path.join(os.path.dirname(out_path) or ".", "BENCH_obs.json")
 off = micro.get("BM_MessageHopDeterministic")
 on = micro.get("BM_MessageHopProfiled")
+lineage_on = micro.get("BM_MessageHopLineage")
 if off and on:
     obs = {
         "context": result["context"],
@@ -98,6 +100,16 @@ if off and on:
         "overhead_ns_per_hop": round(
             (on["real_time_ns"] - off["real_time_ns"]) / 10001, 1),
     }
+    if lineage_on:
+        # lineage_off is the same zero-observer ping-pong as the
+        # profiler baseline: with lineage absent the only delta is a
+        # null-pointer branch per insert, so one baseline serves both.
+        obs["lineage_off"] = off
+        obs["lineage_on"] = lineage_on
+        obs["lineage_overhead_ratio"] = round(
+            lineage_on["real_time_ns"] / off["real_time_ns"], 3)
+        obs["lineage_overhead_ns_per_hop"] = round(
+            (lineage_on["real_time_ns"] - off["real_time_ns"]) / 10001, 1)
     with open(obs_path, "w") as f:
         json.dump(obs, f, indent=2, sort_keys=True)
         f.write("\n")

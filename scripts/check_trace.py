@@ -3,6 +3,7 @@
 
 Usage: check_trace.py trace.json            # Chrome trace (TraceExporter)
        check_trace.py --profile profile.json  # mpqe-profile-v1 (profiler)
+       check_trace.py --lineage lineage.json  # mpqe-lineage-v1 (provenance)
 
 Trace checks (stdlib only, exit 0 = valid, 1 = invalid):
   * the file parses as JSON and has a non-empty "traceEvents" list;
@@ -23,6 +24,18 @@ Profile checks (--profile, schema "mpqe-profile-v1"):
   * node counter sums do not exceed the report totals, and
     msgs_sent == msgs_delivered (every run drains);
   * every scc row references known nodes and has tree_depth >= 1.
+
+Lineage checks (--lineage, schema "mpqe-lineage-v1"):
+  * top-level schema marker, stats and records present, record ids
+    unique and non-negative, kinds in {edb, rule, union};
+  * EDB records are leaves: no inputs, depth 0; derived records carry
+    a non-empty inputs list;
+  * referential integrity: every input id resolves to a record with a
+    strictly smaller id (the derivation structure is a DAG), and every
+    source id resolves;
+  * rule records carry an integer rule index;
+  * depth == 1 + max(depth of inputs) for derived records, and the
+    stats block's edb_facts/derived/max_depth match the records.
 """
 
 import json
@@ -146,6 +159,81 @@ def check_profile(path):
     sys.exit(0)
 
 
+LINEAGE_KINDS = {"edb", "rule", "union"}
+
+
+def check_lineage(path):
+    report = load(path)
+    if report.get("schema") != "mpqe-lineage-v1":
+        fail(f'schema is {report.get("schema")!r}, expected "mpqe-lineage-v1"')
+    for key in ("stats", "records"):
+        if key not in report:
+            fail(f'top-level "{key}" missing')
+    records = report["records"]
+    if not isinstance(records, list) or not records:
+        fail('"records" missing, not a list, or empty')
+
+    by_id = {}
+    for i, r in enumerate(records):
+        rid = r.get("id")
+        if not isinstance(rid, int) or rid < 0:
+            fail(f"record {i} has bad id {rid!r}")
+        if rid in by_id:
+            fail(f"duplicate record id {rid}")
+        by_id[rid] = r
+        kind = r.get("kind")
+        if kind not in LINEAGE_KINDS:
+            fail(f"record {rid} has unknown kind {kind!r}")
+        if not isinstance(r.get("depth"), int) or r["depth"] < 0:
+            fail(f"record {rid} has bad depth {r.get('depth')!r}")
+        if not isinstance(r.get("display"), str) or not r["display"]:
+            fail(f"record {rid} lacks a display string")
+        if not isinstance(r.get("values"), list):
+            fail(f"record {rid} lacks a values list")
+        if kind == "edb":
+            # EDB facts are leaves of the DAG.
+            if r.get("inputs"):
+                fail(f"edb record {rid} has inputs {r['inputs']!r}")
+            if r["depth"] != 0:
+                fail(f"edb record {rid} has depth {r['depth']}, expected 0")
+        else:
+            inputs = r.get("inputs")
+            if not isinstance(inputs, list) or not inputs:
+                fail(f"derived record {rid} lacks a non-empty inputs list")
+        if kind == "rule" and not isinstance(r.get("rule"), int):
+            fail(f"rule record {rid} lacks an integer rule index")
+
+    edb_facts = derived = max_depth = 0
+    for rid, r in by_id.items():
+        if r["kind"] == "edb":
+            edb_facts += 1
+            continue
+        derived += 1
+        max_depth = max(max_depth, r["depth"])
+        for inp in r["inputs"]:
+            if inp not in by_id:
+                fail(f"record {rid} input {inp} does not resolve")
+            if inp >= rid:
+                fail(f"record {rid} input {inp} does not precede it "
+                     f"(derivation DAG violated)")
+        if "source" in r and r["source"] not in by_id:
+            fail(f"record {rid} source {r['source']} does not resolve")
+        want = 1 + max(by_id[inp]["depth"] for inp in r["inputs"])
+        if r["depth"] != want:
+            fail(f"record {rid} depth {r['depth']} != 1 + max input depth "
+                 f"({want})")
+
+    stats = report["stats"]
+    for key, got in (("edb_facts", edb_facts), ("derived", derived),
+                     ("max_depth", max_depth)):
+        if stats.get(key) != got:
+            fail(f"stats.{key} is {stats.get(key)!r}, records say {got}")
+
+    print(f"check_trace: OK: lineage with {edb_facts} EDB fact(s), "
+          f"{derived} derived record(s), max depth {max_depth}")
+    sys.exit(0)
+
+
 def main():
     args = sys.argv[1:]
     if args and args[0] == "--profile":
@@ -153,6 +241,12 @@ def main():
             print(__doc__, file=sys.stderr)
             sys.exit(2)
         check_profile(args[1])
+        return
+    if args and args[0] == "--lineage":
+        if len(args) != 2:
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        check_lineage(args[1])
         return
     if len(args) != 1:
         print(__doc__, file=sys.stderr)

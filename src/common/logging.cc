@@ -1,13 +1,20 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdint>
+#include <cstdio>
 
 namespace mpqe {
 namespace {
 
 std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
 
-const char* LevelName(LogLevel level) {
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(level); }
+LogLevel GetLogLevel() { return g_log_level.load(); }
+
+const char* LogLevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -21,17 +28,23 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-}  // namespace
-
-void SetLogLevel(LogLevel level) { g_log_level.store(level); }
-LogLevel GetLogLevel() { return g_log_level.load(); }
+const char* ThreadTag() {
+  static std::atomic<uint32_t> next{0};
+  thread_local char tag[16] = {0};
+  if (tag[0] == '\0') {
+    std::snprintf(tag, sizeof(tag), "t%u",
+                  next.fetch_add(1, std::memory_order_relaxed));
+  }
+  return tag;
+}
 
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(level >= g_log_level.load()), level_(level) {
   if (enabled_) {
-    stream_ << "[" << LevelName(level_) << " " << file << ":" << line << "] ";
+    stream_ << "[" << LogLevelName(level_) << " " << file << ":" << line
+            << "] ";
   }
 }
 

@@ -21,6 +21,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// "DEBUG", "INFO", "WARNING" or "ERROR".
+const char* LogLevelName(LogLevel level);
+
+/// A short, stable tag for the calling thread ("t0", "t1", ...), for
+/// correlating concurrent log lines. Assigned on first use per thread,
+/// in first-use order.
+const char* ThreadTag();
+
 namespace internal_logging {
 
 class LogMessage {

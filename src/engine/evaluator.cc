@@ -1,9 +1,12 @@
 #include "engine/evaluator.h"
 
+#include <algorithm>
+#include <map>
 #include <optional>
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/logging_observer.h"
 
 namespace mpqe {
 
@@ -48,6 +51,14 @@ Status EvaluationOptions::Validate() const {
   StatusOr<std::unique_ptr<SipsStrategy>> strategy =
       MakeStrategyByName(this->strategy);
   if (!strategy.ok()) return strategy.status();
+  // Empty log_level is fine (defers to MPQE_LOG_LEVEL); an explicit
+  // but unknown name is a configuration error.
+  StatusOr<std::optional<LogLevel>> level = EngineLogLevelFromName(log_level);
+  if (!level.ok()) return level.status();
+  if (progress_interval_ms < 0) {
+    return InvalidArgumentError(StrCat("progress_interval_ms must be >= 0, got ",
+                                       progress_interval_ms));
+  }
   return Status::Ok();
 }
 
@@ -61,6 +72,8 @@ struct ScopedObservers {
   ObserverList list;
   std::optional<MetricsObserver> metrics;
   std::optional<ProfilingObserver> profiler;
+  std::optional<LineageObserver> lineage;
+  std::optional<LoggingObserver> logger;
 
   explicit ScopedObservers(const EvaluationOptions& options) {
     for (ExecutionObserver* o : options.observers) list.Add(o);
@@ -73,6 +86,18 @@ struct ScopedObservers {
     if (options.profile) {
       profiler.emplace();
       list.Add(&*profiler);
+    }
+    if (options.lineage) {
+      lineage.emplace();
+      list.Add(&*lineage);
+    }
+    // No level resolved (neither the option nor MPQE_LOG_LEVEL names
+    // one) means no observer at all — the zero-observer fast path
+    // stays intact by default.
+    std::optional<LogLevel> level = ResolveEngineLogLevel(options.log_level);
+    if (level.has_value()) {
+      logger.emplace(*level);
+      list.Add(&*logger);
     }
   }
 };
@@ -150,6 +175,34 @@ void DumpProfileMetrics(const ProfileReport& report,
   }
 }
 
+// The stall-heartbeat sink: one WARNING line with the nonempty
+// mailboxes grouped by strong component (runs on the monitor thread;
+// MPQE_LOG serializes whole lines).
+void LogStall(const RuleGoalGraph& graph, const StallInfo& info) {
+  std::map<int64_t, std::vector<std::pair<ProcessId, size_t>>> by_scc;
+  std::string sink_detail;
+  for (const auto& entry : info.queue_depths) {
+    if (entry.first < static_cast<ProcessId>(graph.size())) {
+      by_scc[graph.node(entry.first).scc_id].push_back(entry);
+    } else {
+      sink_detail += StrCat(" sink(depth ", entry.second, ")");
+    }
+  }
+  std::string detail;
+  for (const auto& [scc, rows] : by_scc) {
+    detail += StrCat(" scc ", scc, "{");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) detail += ", ";
+      detail += StrCat("node ", rows[i].first, ": depth ", rows[i].second);
+    }
+    detail += "}";
+  }
+  MPQE_LOG(kWarning) << "[" << ThreadTag() << "] threaded run stalled "
+                     << info.stalled_ms << "ms: delivered=" << info.delivered
+                     << " in_flight=" << info.in_flight << detail
+                     << sink_detail;
+}
+
 }  // namespace
 
 StatusOr<EvaluationResult> EvaluateWithGraph(const RuleGoalGraph& graph,
@@ -160,6 +213,9 @@ StatusOr<EvaluationResult> EvaluateWithGraph(const RuleGoalGraph& graph,
   if (scoped.profiler.has_value()) {
     scoped.profiler->AttachGraph(&graph, &db.symbols());
   }
+  if (scoped.lineage.has_value()) {
+    scoped.lineage->AttachGraph(&graph, &db.symbols());
+  }
 
   Network network;
   for (ExecutionObserver* o : scoped.list.items()) network.AddObserver(o);
@@ -168,6 +224,27 @@ StatusOr<EvaluationResult> EvaluateWithGraph(const RuleGoalGraph& graph,
   shared.db = &db;
   shared.batch_messages = options.batch_messages;
   shared.use_edb_indexes = options.use_edb_indexes;
+  if (scoped.lineage.has_value()) {
+    // Ids must be flowing before any process stores or serves a tuple:
+    // number the EDB rows first (they are the smallest ids — leaves),
+    // then hand the allocator to every node process via shared.
+    shared.lineage_ids = scoped.lineage->ids();
+    // Sorted so EDB fact ids (and thus pinned proof trees) are
+    // deterministic — RelationNames follows hash-map order.
+    std::vector<std::string> names = db.RelationNames();
+    std::sort(names.begin(), names.end());
+    for (const std::string& name : names) {
+      Relation* relation = db.GetMutableRelation(name);
+      relation->EnableLineage(shared.lineage_ids);
+      scoped.lineage->AttachEdbRelation(name, relation);
+    }
+  }
+  if (options.scheduler == SchedulerKind::kThreaded &&
+      options.progress_interval_ms > 0) {
+    network.ConfigureStallMonitor(
+        options.progress_interval_ms,
+        [&graph](const StallInfo& info) { LogStall(graph, info); });
+  }
 
   std::vector<NodeProcessBase*> node_processes;
   SinkProcess* sink_ptr = nullptr;
@@ -259,6 +336,10 @@ StatusOr<EvaluationResult> EvaluateWithGraph(const RuleGoalGraph& graph,
       DumpProfileMetrics(*report, *options.metrics);
     }
     result.profile = std::move(report);
+  }
+  if (scoped.lineage.has_value()) {
+    result.lineage =
+        std::make_shared<const LineageReport>(scoped.lineage->Finalize());
   }
   if (!result.ended_by_protocol && !run->quiescent) {
     return InternalError(

@@ -39,6 +39,7 @@
 #include "engine/node_processes.h"
 #include "graph/rule_goal_graph.h"
 #include "msg/network.h"
+#include "obs/lineage.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
 #include "obs/profiler.h"
@@ -113,6 +114,28 @@ struct EvaluationOptions {
   // dumped as aggregated/node/<id>/<field> entries.
   bool profile = false;
 
+  // Record derivation provenance: every tuple first inserted into any
+  // node relation gets a stable id and a derivation record (rule,
+  // node, ordered input tuples, source message), assembled into
+  // EvaluationResult::lineage at the end of the run. Supports WHY
+  // queries / minimal proof trees; see obs/lineage.h. Adds one branch
+  // per insert when off; roughly doubles per-hop cost when on.
+  bool lineage = false;
+
+  // Engine log level ("debug", "info", "warning", "error", "off").
+  // Empty defers to the MPQE_LOG_LEVEL environment variable; when
+  // neither names a level, engine logging stays off entirely (no
+  // observer is attached). Logging goes to stderr with thread tags and
+  // never changes evaluation behavior or results.
+  std::string log_level;
+
+  // Stall heartbeat for the threaded scheduler: when > 0 and no
+  // message is delivered for this many milliseconds, log per-SCC queue
+  // depths and in-flight counts (at WARNING, repeating each stalled
+  // interval). 0 disables; other schedulers ignore it (they cannot
+  // stall silently).
+  int progress_interval_ms = 0;
+
   /// Checks the options for configuration errors — unknown strategy
   /// name, workers < 1, out-of-range scheduler — and returns a
   /// descriptive InvalidArgument Status instead of letting the
@@ -152,6 +175,12 @@ struct EvaluationResult {
   // cost estimates already filled from the database. Shared so the
   // result stays copyable.
   std::shared_ptr<const ProfileReport> profile;
+
+  // The derivation DAG (set iff EvaluationOptions::lineage): one
+  // record per distinct tuple, EDB leaves resolved, minimal depths
+  // computed. Query with Match/FormatProof; see obs/lineage.h. Shared
+  // so the result stays copyable.
+  std::shared_ptr<const LineageReport> lineage;
 };
 
 /// Builds the rule/goal graph for `program`, wires the process

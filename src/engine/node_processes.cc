@@ -145,6 +145,26 @@ void NodeProcessBase::AccumulateCounters(EngineCounters& out) const {
   out.protocol_waves += static_cast<uint64_t>(termination_.waves_started());
 }
 
+void NodeProcessBase::PublishDerive(uint64_t id, DeriveKind kind,
+                                    uint64_t source, const uint64_t* inputs,
+                                    size_t num_inputs, TupleRef values) {
+  const ObserverList& obs = network().observers();
+  if (obs.empty()) return;
+  DeriveEvent event;
+  event.tuple_id = id;
+  event.node = node_id_;
+  event.role = Role();
+  event.kind = kind;
+  if (gnode().kind == NodeKind::kRule) {
+    event.rule_index = static_cast<int32_t>(gnode().program_rule_index);
+  }
+  event.source_msg = source;
+  event.inputs = inputs;
+  event.num_inputs = num_inputs;
+  event.values = values;
+  obs.NotifyDerive(event);
+}
+
 namespace {
 
 // Per-consumer stream state at a producer (§3.1: "A goal node with
@@ -175,6 +195,9 @@ class GoalProcess : public NodeProcessBase {
       d_in_out_.push_back(static_cast<size_t>(it - out_positions_.begin()));
     }
     d_index_ = answers_.EnsureIndex(d_in_out_);
+    if (shared_.lineage_ids != nullptr) {
+      answers_.EnableLineage(shared_.lineage_ids);
+    }
     for (NodeId rc : gnode().rule_children) {
       if (!SameScc(rc)) ++ending_children_;
     }
@@ -263,7 +286,9 @@ class GoalProcess : public NodeProcessBase {
     const std::vector<size_t>* hits = answers_.Probe(d_index_, m.binding);
     if (hits != nullptr) {
       for (size_t pos : *hits) {
-        Emit(m.from, MakeTuple(m.binding, answers_.tuple(pos).ToTuple()));
+        Message replay = MakeTuple(m.binding, answers_.tuple(pos).ToTuple());
+        replay.lineage = answers_.row_id(pos);
+        Emit(m.from, std::move(replay));
       }
     }
     if (completed_.count(m.binding) != 0) {
@@ -291,13 +316,25 @@ class GoalProcess : public NodeProcessBase {
   }
 
   void OnTuple(const Message& m) {
-    if (!answers_.Insert(m.values)) {
+    Relation::InsertResult ins = answers_.InsertRow(m.values);
+    if (!ins.inserted) {
       ++duplicate_drops_;
       return;
     }
+    uint64_t id = answers_.row_id(ins.row);
+    if (lineage_on()) {
+      // The union derivation: this goal's tuple exists because one
+      // child tuple (the message's lineage) arrived first.
+      PublishDerive(id, DeriveKind::kUnion, m.lineage, &m.lineage, 1,
+                    m.values);
+    }
     Tuple dproj = ProjectTuple(m.values, d_in_out_);
     for (auto& [pid, c] : consumers_) {
-      if (c.bindings.count(dproj) != 0) Emit(pid, MakeTuple(dproj, m.values));
+      if (c.bindings.count(dproj) != 0) {
+        Message fwd = MakeTuple(dproj, m.values);
+        fwd.lineage = id;
+        Emit(pid, std::move(fwd));
+      }
     }
   }
 
@@ -365,11 +402,16 @@ class CycleRefProcess : public NodeProcessBase {
           Emit(Pid(gnode().cycle_source), MakeTupleRequest(m.binding));
         }
         break;
-      case MessageKind::kTuple:
+      case MessageKind::kTuple: {
         // The selection on the ancestor's relation already happened at
-        // the ancestor (it streams only our subscribed bindings).
-        Emit(Pid(gnode().parent), MakeTuple(m.binding, m.values));
+        // the ancestor (it streams only our subscribed bindings). The
+        // lineage id passes through unchanged: forwarding derives
+        // nothing new.
+        Message fwd = MakeTuple(m.binding, m.values);
+        fwd.lineage = m.lineage;
+        Emit(Pid(gnode().parent), std::move(fwd));
         break;
+      }
       case MessageKind::kEnd:
         MPQE_CHECK(false)
             << "per-request end inside a strong component (cycle ref)";
@@ -466,11 +508,16 @@ class EdbProcess : public NodeProcessBase {
 
   void Answer(const Message& m) {
     std::unordered_set<Tuple, TupleHash> sent;
-    auto emit = [&](TupleRef t) {
+    auto emit = [&](size_t pos) {
+      TupleRef t = relation_->tuple(pos);
       if (!Matches(t)) return;
       Tuple out = ProjectTuple(t, out_positions_);
       if (sent.insert(out).second) {
-        Emit(m.from, MakeTuple(m.binding, std::move(out)));
+        Message msg = MakeTuple(m.binding, std::move(out));
+        // Base-fact provenance: the underlying row's id (assigned at
+        // wiring when lineage is on; kNoTupleId == kNoLineage when off).
+        msg.lineage = relation_->row_id(pos);
+        Emit(m.from, std::move(msg));
       } else {
         ++duplicate_drops_;
       }
@@ -482,17 +529,18 @@ class EdbProcess : public NodeProcessBase {
     if (has_index_) {
       const std::vector<size_t>* hits = relation_->Probe(index_handle_, key);
       if (hits != nullptr) {
-        for (size_t pos : *hits) emit(relation_->tuple(pos));
+        for (size_t pos : *hits) emit(pos);
       }
     } else {
       // Scan, filtering on the key columns manually (index ablation or
       // a fully-free request).
-      for (TupleRef t : relation_->tuples()) {
+      for (size_t pos = 0; pos < relation_->size(); ++pos) {
+        TupleRef t = relation_->tuple(pos);
         bool match = true;
         for (size_t i = 0; i < key_positions_.size() && match; ++i) {
           match = t[key_positions_[i]] == key[i];
         }
-        if (match) emit(t);
+        if (match) emit(pos);
       }
     }
     Emit(m.from, MakeEnd(m.binding));
@@ -525,6 +573,9 @@ class RuleProcess : public NodeProcessBase {
   RuleProcess(const EngineShared& shared, NodeId id)
       : NodeProcessBase(shared, id),
         head_answers_(gnode().OutputPositions().size()) {
+    if (shared_.lineage_ids != nullptr) {
+      head_answers_.EnableLineage(shared_.lineage_ids);
+    }
     BuildPlan();
   }
 
@@ -545,6 +596,10 @@ class RuleProcess : public NodeProcessBase {
   uint64_t LocalDuplicateDrops() const override { return duplicate_drops_; }
 
   void HandleWork(const Message& m) override {
+    // The lineage id of the message whose handling produces whatever
+    // fires below (kNoLineage for requests), recorded as each
+    // resulting derivation's source message.
+    trigger_lineage_ = m.lineage;
     switch (m.kind) {
       case MessageKind::kRelationRequest:
         if (!activated_) {
@@ -589,6 +644,9 @@ class RuleProcess : public NodeProcessBase {
   struct ChildReq {
     bool ended = false;
     std::vector<Tuple> answers;
+    // Lineage ids parallel to `answers` (filled only when lineage
+    // tracking is on).
+    std::vector<uint64_t> answer_ids;
     std::unordered_set<Tuple, TupleHash> answer_set;
     // Head bindings whose completion awaits this request's end.
     std::unordered_set<Tuple, TupleHash> dependents;
@@ -672,6 +730,7 @@ class RuleProcess : public NodeProcessBase {
     contexts_.resize(n + 1);
     waiting_.resize(n);
     child_reqs_.resize(n + 1);
+    ctx_sources_.resize(n);
   }
 
   std::optional<Tuple> BuildStage0(const Tuple& binding) const {
@@ -715,7 +774,7 @@ class RuleProcess : public NodeProcessBase {
     head_outstanding_.emplace(m.binding, 0);
     dirty_.push_back(m.binding);
     std::optional<Tuple> ctx0 = BuildStage0(m.binding);
-    if (ctx0.has_value()) AddContext(0, *std::move(ctx0));
+    if (ctx0.has_value()) AddContext(0, *std::move(ctx0), {});
     FlushEnds();
   }
 
@@ -727,10 +786,14 @@ class RuleProcess : public NodeProcessBase {
       return;
     }
     cr.answers.push_back(m.values);
+    if (lineage_on()) cr.answer_ids.push_back(m.lineage);
     std::vector<Tuple>& waiters = waiting_[stage - 1][m.binding];
     for (size_t i = 0; i < waiters.size(); ++i) {
       std::optional<Tuple> extended = Extend(waiters[i], stage, m.values);
-      if (extended.has_value()) AddContext(stage, *std::move(extended));
+      if (extended.has_value()) {
+        AddContext(stage, *std::move(extended),
+                   SourcesPlus(stage - 1, waiters[i], m.lineage));
+      }
     }
     FlushEnds();
   }
@@ -753,16 +816,30 @@ class RuleProcess : public NodeProcessBase {
     FlushEnds();
   }
 
-  void AddContext(size_t k, Tuple ctx) {
+  // The input ids of context `ctx` at stage `k`, extended by one more
+  // child tuple id — the ordered (sips-order) input list of the
+  // resulting stage-k+1 context. Empty when lineage is off.
+  std::vector<uint64_t> SourcesPlus(size_t k, const Tuple& ctx,
+                                    uint64_t child_id) {
+    if (!lineage_on()) return {};
+    std::vector<uint64_t> srcs = ctx_sources_[k][ctx];
+    srcs.push_back(child_id);
+    return srcs;
+  }
+
+  void AddContext(size_t k, Tuple ctx, std::vector<uint64_t> srcs) {
     if (!contexts_[k].insert(ctx).second) {
+      // First derivation wins for contexts too: an alternative way of
+      // reaching the same partial join keeps the original sources.
       ++duplicate_drops_;
       return;
     }
     size_t n = children_.size();
     if (k == n) {
-      EmitHead(ctx);
+      EmitHead(ctx, srcs);
       return;
     }
+    if (lineage_on()) ctx_sources_[k][ctx] = srcs;
     size_t stage = k + 1;
     const ChildPlan& plan = children_[k];
     Tuple nb;
@@ -787,24 +864,40 @@ class RuleProcess : public NodeProcessBase {
       ++head_outstanding_[hb];
       dirty_.push_back(hb);
     }
-    // Join with already-received answers for this request.
+    // Join with already-received answers for this request. (`cr` stays
+    // valid across the recursion: AddContext(stage, ...) only touches
+    // per-stage maps at indexes > k.)
     for (size_t i = 0; i < cr.answers.size(); ++i) {
       std::optional<Tuple> extended = Extend(ctx, stage, cr.answers[i]);
-      if (extended.has_value()) AddContext(stage, *std::move(extended));
+      if (extended.has_value()) {
+        std::vector<uint64_t> next = srcs;
+        if (lineage_on()) next.push_back(cr.answer_ids[i]);
+        AddContext(stage, *std::move(extended), std::move(next));
+      }
     }
   }
 
-  void EmitHead(const Tuple& ctx) {
+  void EmitHead(const Tuple& ctx, const std::vector<uint64_t>& srcs) {
     Tuple out;
     out.reserve(head_out_.size());
     for (const HeadOut& h : head_out_) {
       out.push_back(h.is_constant ? h.constant : ctx[h.slot]);
     }
-    if (head_answers_.Insert(out)) {
-      Emit(Pid(gnode().parent), MakeTuple(HeadBindingOf(ctx), std::move(out)));
-    } else {
+    Relation::InsertResult ins = head_answers_.InsertRow(out);
+    if (!ins.inserted) {
       ++duplicate_drops_;
+      return;
     }
+    uint64_t id = head_answers_.row_id(ins.row);
+    if (lineage_on()) {
+      // The rule firing: `out` exists because the subgoal tuples in
+      // `srcs` (sips order) joined into a full context.
+      PublishDerive(id, DeriveKind::kRuleFire, trigger_lineage_, srcs.data(),
+                    srcs.size(), out);
+    }
+    Message msg = MakeTuple(HeadBindingOf(ctx), std::move(out));
+    msg.lineage = id;
+    Emit(Pid(gnode().parent), std::move(msg));
   }
 
   void FlushEnds() {
@@ -842,6 +935,10 @@ class RuleProcess : public NodeProcessBase {
   std::vector<std::unordered_map<Tuple, std::vector<Tuple>, TupleHash>>
       waiting_;
   std::vector<std::unordered_map<Tuple, ChildReq, TupleHash>> child_reqs_;
+  // Per-stage ordered input ids of each live context (lineage only).
+  std::vector<std::unordered_map<Tuple, std::vector<uint64_t>, TupleHash>>
+      ctx_sources_;
+  uint64_t trigger_lineage_ = kNoLineage;
   std::unordered_set<Tuple, TupleHash> head_seen_;
   std::unordered_set<Tuple, TupleHash> head_ended_;
   std::unordered_map<Tuple, int64_t, TupleHash> head_outstanding_;

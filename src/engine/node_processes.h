@@ -73,6 +73,11 @@ struct EngineShared {
   // this is the identity; kept explicit for clarity).
   std::vector<ProcessId> node_pid;
   ProcessId sink_pid = kNoProcess;
+  // Derivation provenance (obs/lineage.h): when set, node relations
+  // draw per-row ids from this allocator and processes stamp
+  // Message::lineage / publish DeriveEvents. Null keeps the lineage-off
+  // fast path to one branch per insert site.
+  TupleIdAllocator* lineage_ids = nullptr;
 };
 
 // Base for graph-node processes: message dispatch, the termination
@@ -119,6 +124,15 @@ class NodeProcessBase : public Process, public TerminationOwner {
   /// flush when packaging is enabled. All computation messages from
   /// HandleWork should go through this.
   void Emit(ProcessId to, Message m);
+
+  bool lineage_on() const { return shared_.lineage_ids != nullptr; }
+
+  /// Publishes the first-derivation record for tuple `id` to the
+  /// observers (lineage tracking; see obs/lineage.h). `inputs` and
+  /// `values` need only stay valid through the call.
+  void PublishDerive(uint64_t id, DeriveKind kind, uint64_t source,
+                     const uint64_t* inputs, size_t num_inputs,
+                     TupleRef values);
 
   const EngineShared& shared_;
   NodeId node_id_;

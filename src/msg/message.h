@@ -26,6 +26,11 @@ namespace mpqe {
 using ProcessId = int32_t;
 inline constexpr ProcessId kNoProcess = -1;
 
+// Sentinel for "no lineage attached" (mirrors kNoTupleId in
+// relational/relation.h; kept separate so msg/ does not depend on the
+// relational layer's headers beyond tuple.h).
+inline constexpr uint64_t kNoLineage = ~uint64_t{0};
+
 enum class MessageKind : uint8_t {
   // -- computation (§3.1) -------------------------------------------------
   kRelationRequest = 0,  // consumer subscribes to a producer
@@ -68,6 +73,12 @@ struct Message {
 
   // kTuple: values of the producer's non-e positions, in order.
   Tuple values;
+
+  // kTuple: the lineage id of the carried tuple in the producer's
+  // relation (kNoLineage when provenance tracking is off). Stitches
+  // cross-process derivations together: a consumer records this id as
+  // an input of whatever it derives from the tuple. See obs/lineage.h.
+  uint64_t lineage = kNoLineage;
 
   // Protocol wave number (diagnostics / sanity checks).
   int64_t wave = 0;

@@ -322,6 +322,53 @@ StatusOr<RunResult> Network::RunThreaded(int workers, uint64_t max_messages) {
     }
   };
 
+  // Stall heartbeat (ConfigureStallMonitor): a monitor thread watches
+  // the `delivered` counter; whenever it sits still for a full
+  // interval, the handler gets a queue-depth snapshot. Purely
+  // diagnostic — it never touches scheduling state.
+  std::thread monitor;
+  std::mutex monitor_mutex;
+  std::condition_variable monitor_cv;
+  bool monitor_stop = false;
+  if (stall_interval_ms_ > 0 && stall_handler_) {
+    monitor = std::thread([&]() {
+      const auto interval = std::chrono::milliseconds(stall_interval_ms_);
+      uint64_t last_seen = delivered.load(std::memory_order_acquire);
+      auto last_change = std::chrono::steady_clock::now();
+      std::unique_lock<std::mutex> lock(monitor_mutex);
+      for (;;) {
+        if (monitor_cv.wait_for(lock, interval,
+                                [&] { return monitor_stop; })) {
+          return;
+        }
+        uint64_t now_delivered = delivered.load(std::memory_order_acquire);
+        auto now = std::chrono::steady_clock::now();
+        if (now_delivered != last_seen) {
+          last_seen = now_delivered;
+          last_change = now;
+          continue;
+        }
+        if (now - last_change < interval) continue;
+        StallInfo info;
+        info.delivered = now_delivered;
+        info.in_flight = TotalPending();
+        info.stalled_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - last_change)
+                .count();
+        for (ProcessId id = 0;
+             id < static_cast<ProcessId>(processes_.size()); ++id) {
+          size_t depth = PendingCount(id);
+          if (depth > 0) info.queue_depths.emplace_back(id, depth);
+        }
+        lock.unlock();
+        stall_handler_(info);
+        lock.lock();
+        last_change = now;  // re-arm: next report after a further interval
+      }
+    });
+  }
+
   std::vector<std::thread> pool;
   pool.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) pool.emplace_back(worker);
@@ -331,6 +378,15 @@ StatusOr<RunResult> Network::RunThreaded(int workers, uint64_t max_messages) {
     ready_cv_.notify_all();
   }
   for (auto& t : pool) t.join();
+
+  if (monitor.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(monitor_mutex);
+      monitor_stop = true;
+    }
+    monitor_cv.notify_one();
+    monitor.join();
+  }
 
   if (overflow.load()) {
     return ResourceExhaustedError(

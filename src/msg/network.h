@@ -24,9 +24,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -95,6 +97,16 @@ struct RunResult {
   uint64_t delivered = 0;  // messages delivered during this run
 };
 
+// Snapshot handed to the stall-monitor callback: the threaded
+// scheduler completed no delivery for the configured interval.
+struct StallInfo {
+  uint64_t delivered = 0;  // total deliveries completed so far this run
+  size_t in_flight = 0;    // undelivered messages across all mailboxes
+  int64_t stalled_ms = 0;  // time since the last completed delivery
+  // Nonempty mailboxes at snapshot time: (process id, queue depth).
+  std::vector<std::pair<ProcessId, size_t>> queue_depths;
+};
+
 class Network {
  public:
   Network() = default;
@@ -141,6 +153,19 @@ class Network {
   /// same audience; empty() is the zero-observer fast-path check.
   const ObserverList& observers() const { return observers_; }
 
+  /// Installs a stall heartbeat for RunThreaded: when no delivery
+  /// completes for `interval_ms`, `handler` runs (on a dedicated
+  /// monitor thread, concurrently with the workers — it must be
+  /// thread-safe) with a queue-depth snapshot, and again after each
+  /// further stalled interval. Install before running; the
+  /// single-threaded schedulers ignore it (they cannot stall silently
+  /// — they either progress or return). `interval_ms <= 0` disables.
+  void ConfigureStallMonitor(int interval_ms,
+                             std::function<void(const StallInfo&)> handler) {
+    stall_interval_ms_ = interval_ms;
+    stall_handler_ = std::move(handler);
+  }
+
   // Run until RequestStop() or global quiescence. `max_messages`
   // guards against livelock (0 = unlimited); exceeding it returns an
   // error.
@@ -179,6 +204,10 @@ class Network {
   // Workers blocked on ready_cv_ (guarded by ready_mutex_): lets Send
   // skip the notify syscall when every worker is already busy.
   int sleeping_workers_ = 0;
+
+  // Stall heartbeat (ConfigureStallMonitor).
+  int stall_interval_ms_ = 0;
+  std::function<void(const StallInfo&)> stall_handler_;
 };
 
 }  // namespace mpqe

@@ -1,0 +1,84 @@
+#include "obs/logging_observer.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/string_util.h"
+
+namespace mpqe {
+
+LoggingObserver::LoggingObserver(LogLevel level, std::ostream* out)
+    : level_(level), out_(out != nullptr ? out : &std::cerr) {}
+
+void LoggingObserver::Line(LogLevel level, const std::string& text) {
+  if (level < level_) return;
+  std::string line =
+      StrCat("[", LogLevelName(level), " ", ThreadTag(), " engine] ", text,
+             "\n");
+  std::lock_guard<std::mutex> lock(mutex_);
+  (*out_) << line;
+  out_->flush();
+}
+
+void LoggingObserver::OnPhase(const PhaseEvent& event) {
+  Line(LogLevel::kInfo, StrCat("phase ", PhaseToString(event.phase),
+                               event.begin ? " begin" : " end"));
+}
+
+void LoggingObserver::OnTermination(const TerminationEvent& event) {
+  switch (event.kind) {
+    case TerminationEvent::Kind::kWaveStarted:
+      Line(LogLevel::kInfo, StrCat("wave ", event.wave, " started at node ",
+                                   event.node, " (idleness=", event.idleness,
+                                   ")"));
+      break;
+    case TerminationEvent::Kind::kConcluded:
+      Line(LogLevel::kInfo,
+           StrCat("wave ", event.wave, " concluded at node ", event.node));
+      break;
+    case TerminationEvent::Kind::kAnswerNegative:
+    case TerminationEvent::Kind::kAnswerConfirmed:
+      Line(LogLevel::kDebug,
+           StrCat("wave ", event.wave, ": node ", event.node, " answered ",
+                  event.kind == TerminationEvent::Kind::kAnswerNegative
+                      ? "end_negative"
+                      : "end_confirmed",
+                  " (open_work=", event.open_work ? 1 : 0, ")"));
+      break;
+    case TerminationEvent::Kind::kWorkNotice:
+      Line(LogLevel::kDebug,
+           StrCat("work notice from node ", event.node, " (wave ", event.wave,
+                  ")"));
+      break;
+    case TerminationEvent::Kind::kKindCount:
+      break;
+  }
+}
+
+StatusOr<std::optional<LogLevel>> EngineLogLevelFromName(
+    const std::string& name) {
+  if (name.empty() || name == "off" || name == "none") {
+    return std::optional<LogLevel>();
+  }
+  if (name == "debug") return std::optional<LogLevel>(LogLevel::kDebug);
+  if (name == "info") return std::optional<LogLevel>(LogLevel::kInfo);
+  if (name == "warning") return std::optional<LogLevel>(LogLevel::kWarning);
+  if (name == "error") return std::optional<LogLevel>(LogLevel::kError);
+  return InvalidArgumentError(
+      StrCat("unknown log level \"", name,
+             "\" (expected debug, info, warning, error, or off)"));
+}
+
+std::optional<LogLevel> ResolveEngineLogLevel(const std::string& option_value) {
+  std::string name = option_value;
+  if (name.empty()) {
+    const char* env = std::getenv("MPQE_LOG_LEVEL");
+    if (env == nullptr) return std::nullopt;
+    name = env;
+  }
+  auto parsed = EngineLogLevelFromName(name);
+  if (!parsed.ok()) return std::nullopt;
+  return *parsed;
+}
+
+}  // namespace mpqe

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 
 #include "common/string_util.h"
 
@@ -50,7 +51,12 @@ double Histogram::mean() const {
 
 uint64_t Histogram::Percentile(double p) const {
   uint64_t n = count();
+  // Empty histogram: every percentile is 0 (and the rank arithmetic
+  // below would be meaningless). ToString/ToJson rely on this.
   if (n == 0) return 0;
+  // NaN slips through std::clamp (all comparisons false) and would
+  // make the rank cast undefined; treat it as p0.
+  if (std::isnan(p)) p = 0.0;
   p = std::clamp(p, 0.0, 100.0);
   uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(n));
   if (rank >= n) rank = n - 1;

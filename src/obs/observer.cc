@@ -34,6 +34,18 @@ const char* NodeRoleToString(NodeRole role) {
   return "?";
 }
 
+const char* DeriveKindToString(DeriveKind kind) {
+  switch (kind) {
+    case DeriveKind::kEdbFact:
+      return "edb";
+    case DeriveKind::kRuleFire:
+      return "rule";
+    case DeriveKind::kUnion:
+      return "union";
+  }
+  return "?";
+}
+
 const char* TerminationEvent::KindToString(Kind kind) {
   switch (kind) {
     case Kind::kWaveStarted:

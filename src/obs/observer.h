@@ -93,6 +93,36 @@ struct NodeFireEvent {
   uint64_t handle_ns = 0;
 };
 
+// How a tuple came to exist at a node. Only a tuple's *first*
+// derivation is reported — duplicate re-derivations are dropped by the
+// node relations exactly as before, which is also why cyclic programs
+// still terminate. See obs/lineage.h for the DAG assembled from these.
+enum class DeriveKind : uint8_t {
+  kEdbFact = 0,   // a base fact (ids pre-assigned at wiring; no event)
+  kRuleFire = 1,  // a rule head instance joined from the input tuples
+  kUnion = 2,     // a goal node absorbed a child's tuple into its union
+};
+
+const char* DeriveKindToString(DeriveKind kind);
+
+// One first-derivation of a tuple (engine/node_processes.cc, fired
+// only when lineage tracking is enabled). Serialized per deriving
+// process like OnNodeFire; derivations at different processes may
+// report concurrently. `inputs` and `values` point into the deriving
+// process's storage and are valid only for the duration of the
+// callback.
+struct DeriveEvent {
+  uint64_t tuple_id = kNoLineage;  // the derived tuple's lineage id
+  int32_t node = -1;               // graph NodeId of the deriving node
+  NodeRole role = NodeRole::kGoal;
+  DeriveKind kind = DeriveKind::kRuleFire;
+  int32_t rule_index = -1;         // program rule index (kRuleFire only)
+  uint64_t source_msg = kNoLineage;  // lineage id of the trigger message
+  const uint64_t* inputs = nullptr;  // ordered input ids (sips order)
+  size_t num_inputs = 0;
+  TupleRef values;                 // the derived tuple's values
+};
+
 // A phase boundary (engine/evaluator.cc). Phases nest at most one
 // level deep and begin/end events alternate per phase.
 struct PhaseEvent {
@@ -129,6 +159,7 @@ class ExecutionObserver {
   virtual void OnSend(const SendEvent& event) { (void)event; }
   virtual void OnDeliver(const DeliverEvent& event) { (void)event; }
   virtual void OnNodeFire(const NodeFireEvent& event) { (void)event; }
+  virtual void OnDerive(const DeriveEvent& event) { (void)event; }
   virtual void OnPhase(const PhaseEvent& event) { (void)event; }
   virtual void OnTermination(const TerminationEvent& event) { (void)event; }
 };
@@ -158,6 +189,9 @@ class ObserverList {
   }
   void NotifyNodeFire(const NodeFireEvent& event) const {
     for (ExecutionObserver* o : observers_) o->OnNodeFire(event);
+  }
+  void NotifyDerive(const DeriveEvent& event) const {
+    for (ExecutionObserver* o : observers_) o->OnDerive(event);
   }
   void NotifyPhase(const PhaseEvent& event) const {
     for (ExecutionObserver* o : observers_) o->OnPhase(event);

@@ -126,7 +126,7 @@ void Relation::GrowDedup() {
   }
 }
 
-bool Relation::Insert(TupleRef tuple) {
+Relation::InsertResult Relation::InsertRow(TupleRef tuple) {
   MPQE_CHECK(tuple.size() == arity_)
       << "tuple arity " << tuple.size() << " != relation arity " << arity_;
   if (slots_.empty() || NeedsGrow(num_rows_, slots_.size())) GrowDedup();
@@ -135,7 +135,9 @@ bool Relation::Insert(TupleRef tuple) {
   size_t i = Mix64(hash) & mask;
   while (slots_[i] != 0) {
     size_t row = slots_[i] - 1;
-    if (hashes_[row] == hash && RowEquals(row, tuple)) return false;
+    if (hashes_[row] == hash && RowEquals(row, tuple)) {
+      return InsertResult{row, false};
+    }
     i = (i + 1) & mask;
   }
   // New row: append to the arena. (If `tuple` views this relation's own
@@ -146,8 +148,20 @@ bool Relation::Insert(TupleRef tuple) {
   values_.insert(values_.end(), tuple.begin(), tuple.end());
   hashes_.push_back(hash);
   slots_[i] = static_cast<uint32_t>(position + 1);
+  if (lineage_ids_ != nullptr) row_ids_.push_back(lineage_ids_->Allocate());
   for (auto& index : indexes_) index.Add(*this, position);
-  return true;
+  return InsertResult{position, true};
+}
+
+void Relation::EnableLineage(TupleIdAllocator* ids) {
+  MPQE_CHECK(ids != nullptr);
+  if (lineage_ids_ == ids) return;
+  lineage_ids_ = ids;
+  row_ids_.clear();
+  row_ids_.reserve(num_rows_);
+  for (size_t row = 0; row < num_rows_; ++row) {
+    row_ids_.push_back(ids->Allocate());
+  }
 }
 
 bool Relation::Contains(TupleRef tuple) const {

@@ -22,6 +22,7 @@
 #ifndef MPQE_RELATIONAL_RELATION_H_
 #define MPQE_RELATIONAL_RELATION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -31,6 +32,26 @@
 namespace mpqe {
 
 class Relation;
+
+// Sentinel for "no lineage id" (lineage disabled, or no id attached).
+inline constexpr uint64_t kNoTupleId = ~uint64_t{0};
+
+// Allocates globally unique, monotonically increasing 64-bit tuple
+// ids. One allocator is shared by every relation of an evaluation so
+// that numeric id order is consistent with derivation order: a derived
+// tuple's inputs were allocated (hence numbered) strictly before it,
+// which makes the lineage graph a DAG by construction (obs/lineage.h).
+// fetch_add keeps allocation safe from concurrent node processes.
+class TupleIdAllocator {
+ public:
+  uint64_t Allocate() { return next_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Ids handed out so far (all ids are in [0, allocated())).
+  uint64_t allocated() const { return next_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> next_{0};
+};
 
 // Hash index over a subset of columns. Bucket keys are row positions
 // into the owning relation's arena — the projected key tuples are
@@ -76,9 +97,20 @@ class Relation {
   size_t size() const { return num_rows_; }
   bool empty() const { return num_rows_ == 0; }
 
+  struct InsertResult {
+    size_t row = 0;        // the tuple's row (existing row on a duplicate)
+    bool inserted = false; // whether a new row was created
+  };
+
+  /// Inserts a copy of `tuple` if not already present. Returns the
+  /// tuple's row — the original row on a duplicate hit, so callers see
+  /// the *first* insertion's identity (and lineage id) for re-derived
+  /// tuples. The tuple's size must equal arity().
+  InsertResult InsertRow(TupleRef tuple);
+
   /// Inserts a copy of `tuple` if not already present; returns true if
   /// inserted. The tuple's size must equal arity().
-  bool Insert(TupleRef tuple);
+  bool Insert(TupleRef tuple) { return InsertRow(tuple).inserted; }
 
   bool Contains(TupleRef tuple) const;
 
@@ -126,6 +158,24 @@ class Relation {
   /// Tuples in insertion order.
   TupleRange tuples() const { return TupleRange(this); }
 
+  /// Switches on per-row lineage ids drawn from `ids` (not owned; must
+  /// outlive the relation). Existing rows are numbered immediately in
+  /// row order; later inserts number new rows as they land, and
+  /// duplicate hits keep the original row's id — the first derivation
+  /// wins, mirroring duplicate elimination. Calling again with the same
+  /// allocator is a no-op; a different allocator renumbers all rows
+  /// (a fresh evaluation over the same database).
+  void EnableLineage(TupleIdAllocator* ids);
+
+  bool lineage_enabled() const { return lineage_ids_ != nullptr; }
+
+  /// The lineage id of the tuple at `position`, or kNoTupleId when
+  /// lineage is disabled. Ids are as stable as row ids: they attach to
+  /// positions, which never move or get reused across arena growth.
+  uint64_t row_id(size_t position) const {
+    return lineage_ids_ == nullptr ? kNoTupleId : row_ids_[position];
+  }
+
   /// Registers (or finds) an incrementally maintained index on
   /// `key_columns` and returns its handle for Probe().
   size_t EnsureIndex(const std::vector<size_t>& key_columns);
@@ -152,6 +202,8 @@ class Relation {
   std::vector<uint64_t> hashes_;  // per-row full-tuple hash
   std::vector<uint32_t> slots_;   // dedup table: row id + 1; 0 = empty
   std::vector<RelationIndex> indexes_;
+  TupleIdAllocator* lineage_ids_ = nullptr;  // null = lineage off
+  std::vector<uint64_t> row_ids_;            // per-row id when enabled
 };
 
 }  // namespace mpqe

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <string>
+#include <thread>
+
 #include "common/logging.h"
 
 namespace mpqe {
@@ -44,6 +48,24 @@ TEST(LoggingTest, LogIncludesLevelAndLocation) {
   EXPECT_NE(err.find("logging_test.cc"), std::string::npos);
   EXPECT_NE(err.find("careful"), std::string::npos);
   SetLogLevel(old_level);
+}
+
+TEST(LoggingTest, LogLevelNamesAreStable) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "WARNING");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+TEST(LoggingTest, ThreadTagIsStablePerThreadAndDistinctAcross) {
+  const char* mine = ThreadTag();
+  ASSERT_NE(mine, nullptr);
+  EXPECT_EQ(mine[0], 't');
+  EXPECT_STREQ(mine, ThreadTag());  // stable within a thread
+  std::string other;
+  std::thread([&other] { other = ThreadTag(); }).join();
+  EXPECT_EQ(other[0], 't');
+  EXPECT_NE(other, mine);
 }
 
 TEST(LoggingTest, DisabledLogDoesNotEvaluateExpensively) {

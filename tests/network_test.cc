@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "msg/network.h"
 
@@ -175,6 +177,62 @@ TEST(NetworkTest, ThreadedHandlesEmptyStart) {
   ASSERT_TRUE(run.ok());
   EXPECT_TRUE(run->quiescent);
   EXPECT_EQ(run->delivered, 0u);
+}
+
+// Burns wall-clock inside OnMessage so the stall monitor sees "no
+// delivery completed" intervals while work is still in flight.
+class SleepyProcess : public Process {
+ public:
+  explicit SleepyProcess(int sleep_ms) : sleep_ms_(sleep_ms) {}
+  void OnMessage(const Message& m) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms_));
+    int64_t hops = m.values[0].payload();
+    if (hops > 0) {
+      Send(process_id(), MakeTuple({}, {Value::Int(hops - 1)}));
+    }
+  }
+
+ private:
+  int sleep_ms_;
+};
+
+TEST(NetworkTest, StallMonitorFiresOnSlowThreadedRun) {
+  Network net;
+  net.AddProcess(std::make_unique<SleepyProcess>(40));
+  std::atomic<int> stalls{0};
+  std::atomic<uint64_t> last_in_flight{0};
+  net.ConfigureStallMonitor(5, [&](const StallInfo& info) {
+    stalls.fetch_add(1);
+    last_in_flight.store(info.in_flight);
+    EXPECT_GE(info.stalled_ms, 5);
+  });
+  net.Start();
+  net.Send(kNoProcess, 0, MakeTuple({}, {Value::Int(3)}));
+  auto run = net.RunThreaded(2);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->quiescent);
+  // Each 40ms handler stalls several 5ms intervals.
+  EXPECT_GE(stalls.load(), 1);
+}
+
+TEST(NetworkTest, StallMonitorSilentOnFastRun) {
+  std::atomic<int> counter{0};
+  Network net;
+  net.AddProcess(std::make_unique<CountingProcess>(&counter));
+  std::atomic<int> stalls{0};
+  net.ConfigureStallMonitor(60000, [&](const StallInfo&) {
+    stalls.fetch_add(1);
+  });
+  net.Start();
+  net.Send(kNoProcess, 0, MakeTuple({}, {Value::Int(10)}));
+  auto run = net.RunThreaded(2);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->quiescent);
+  EXPECT_EQ(stalls.load(), 0);
+  // The deterministic scheduler ignores the monitor entirely.
+  net.Send(kNoProcess, 0, MakeTuple({}, {Value::Int(2)}));
+  ASSERT_TRUE(net.RunDeterministic().ok());
+  EXPECT_EQ(stalls.load(), 0);
 }
 
 TEST(NetworkTest, PendingCountTracksMailbox) {

@@ -7,6 +7,7 @@
 
 #include <array>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <map>
@@ -17,6 +18,7 @@
 #include "common/string_util.h"
 #include "datalog/parser.h"
 #include "engine/evaluator.h"
+#include "obs/logging_observer.h"
 #include "obs/metrics.h"
 #include "obs/trace_exporter.h"
 #include "workload/generators.h"
@@ -54,6 +56,30 @@ TEST(MetricsTest, HistogramStatistics) {
   // Percentiles report log2-bucket upper bounds.
   EXPECT_GE(h.Percentile(100.0), 1000u);
   EXPECT_LE(h.Percentile(0.0), 1u);
+}
+
+// Regression: every statistic on an empty histogram must be a defined
+// zero, not rank arithmetic on count 0 (ToString/ToJson format empty
+// histograms for every run that records no samples).
+TEST(MetricsTest, EmptyHistogramStatisticsAreDefined) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.0), 0u);
+  EXPECT_EQ(h.Percentile(50.0), 0u);
+  EXPECT_EQ(h.Percentile(95.0), 0u);
+  EXPECT_EQ(h.Percentile(100.0), 0u);
+  // Out-of-range and NaN percentiles are clamped, never UB.
+  EXPECT_EQ(h.Percentile(-5.0), 0u);
+  EXPECT_EQ(h.Percentile(200.0), 0u);
+  EXPECT_EQ(h.Percentile(std::nan("")), 0u);
+  h.Record(8);
+  EXPECT_EQ(h.Percentile(std::nan("")), h.Percentile(0.0));
+  std::string line = h.ToString();
+  EXPECT_NE(line.find("count=1"), std::string::npos);
 }
 
 TEST(MetricsTest, RegistryReturnsStableReferences) {
@@ -411,6 +437,60 @@ TEST(TraceExporterTest, WriteFileRejectsBadPath) {
 
 // ---------------------------------------------------------------------------
 // Event-name tables
+
+// ---------------------------------------------------------------------------
+// LoggingObserver (engine log lines)
+
+TEST(LoggingObserverTest, EmitsLeveledThreadTaggedLines) {
+  auto unit = Parse(kTc);
+  ASSERT_TRUE(unit.ok());
+  std::ostringstream log;
+  LoggingObserver logger(LogLevel::kInfo, &log);
+  EvaluationOptions options;
+  options.observers.push_back(&logger);
+  auto result = Evaluate(unit->program, unit->database, options);
+  ASSERT_TRUE(result.ok());
+  std::string text = log.str();
+  EXPECT_NE(text.find("[INFO"), std::string::npos);
+  EXPECT_NE(text.find("engine] phase run begin"), std::string::npos);
+  EXPECT_NE(text.find("engine] phase run end"), std::string::npos);
+  // Fig. 2 waves on the cyclic tc SCC.
+  EXPECT_NE(text.find("wave 1 started"), std::string::npos);
+  EXPECT_NE(text.find("concluded"), std::string::npos);
+  // INFO filtering: the per-node protocol answers are DEBUG-only.
+  EXPECT_EQ(text.find("end_confirmed"), std::string::npos);
+}
+
+TEST(LoggingObserverTest, DebugLevelAddsProtocolAnswers) {
+  auto unit = Parse(kTc);
+  ASSERT_TRUE(unit.ok());
+  std::ostringstream log;
+  LoggingObserver logger(LogLevel::kDebug, &log);
+  EvaluationOptions options;
+  options.observers.push_back(&logger);
+  ASSERT_TRUE(Evaluate(unit->program, unit->database, options).ok());
+  EXPECT_NE(log.str().find("end_confirmed"), std::string::npos);
+}
+
+TEST(LoggingObserverTest, LevelNamesResolve) {
+  auto level = EngineLogLevelFromName("debug");
+  ASSERT_TRUE(level.ok());
+  EXPECT_EQ(**level, LogLevel::kDebug);
+  auto off = EngineLogLevelFromName("off");
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off->has_value());
+  auto empty = EngineLogLevelFromName("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty->has_value());
+  EXPECT_FALSE(EngineLogLevelFromName("verbose").ok());
+  // An explicit bad level is a Validate-time configuration error.
+  EvaluationOptions options;
+  options.log_level = "verbose";
+  EXPECT_FALSE(options.Validate().ok());
+  options.log_level = "info";
+  options.progress_interval_ms = -1;
+  EXPECT_FALSE(options.Validate().ok());
+}
 
 TEST(ObserverTest, EnumNamesAreStable) {
   EXPECT_STREQ(PhaseToString(Phase::kAdornment), "adornment");
