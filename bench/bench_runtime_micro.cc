@@ -152,6 +152,168 @@ void BM_MessageHopLineage(benchmark::State& state) {
 }
 BENCHMARK(BM_MessageHopLineage);
 
+// ---------------------------------------------------------------------------
+// Columnar segment hops
+
+constexpr size_t kSegmentRows = 128;
+
+// Forwards the SAME shared 128-row segment back and forth: one
+// envelope per hop carries kSegmentRows tuples with zero row copies
+// (the hop counter rides in the message binding). Items = rows
+// transported; compare per-item against BM_MessageHopDeterministic for
+// the wire-level win of segmenting.
+class SegmentForward : public Process {
+ public:
+  explicit SegmentForward(ProcessId peer) : peer_(peer) {}
+  void OnMessage(const Message& m) override {
+    int64_t hops = m.binding[0].payload();
+    if (hops > 0) {
+      Message out = MakeTupleSegment(m.segment_ptr());
+      out.binding = Tuple{Value::Int(hops - 1)};
+      Send(peer_, std::move(out));
+    }
+  }
+
+ private:
+  ProcessId peer_;
+};
+
+std::shared_ptr<TupleSegment> MakeSeedSegment(int64_t hops) {
+  auto seed = std::make_shared<TupleSegment>();
+  seed->binding = Tuple{Value::Int(hops)};
+  seed->arity = 1;
+  for (size_t i = 0; i < kSegmentRows; ++i) {
+    seed->AppendRow(Tuple{Value::Int(static_cast<int64_t>(i))});
+  }
+  return seed;
+}
+
+void BM_SegmentHopDeterministic(benchmark::State& state) {
+  const int64_t kHops = 10000;
+  for (auto _ : state) {
+    Network net;
+    net.AddProcess(std::make_unique<SegmentForward>(1));
+    net.AddProcess(std::make_unique<SegmentForward>(0));
+    net.Start();
+    net.Send(kNoProcess, 0, MakeTupleSegment(MakeSeedSegment(kHops)));
+    auto run = net.RunDeterministic();
+    MPQE_CHECK(run.ok() && run->quiescent);
+  }
+  state.SetItemsProcessed(state.iterations() * (kHops + 1) *
+                          static_cast<int64_t>(kSegmentRows));
+}
+BENCHMARK(BM_SegmentHopDeterministic);
+
+// The engine's per-arriving-segment sequence without lineage: insert
+// every row into a relation (duplicate elimination), build the next
+// hop's segment columnar, forward it. This is the lineage-off baseline
+// for the segmented overhead guard in BENCH_obs.json.
+class SegmentDedupHop : public Process {
+ public:
+  SegmentDedupHop(ProcessId peer, TupleIdAllocator* ids,
+                  const ObserverList* observers)
+      : peer_(peer), observers_(observers), seen_(1) {
+    if (ids != nullptr) seen_.EnableLineage(ids);
+  }
+
+  void OnMessage(const Message& m) override {
+    const TupleSegment& in = m.segment();
+    int64_t hops = m.binding[0].payload();
+    bool lineage = seen_.lineage_enabled();
+    auto out = std::make_shared<TupleSegment>();
+    out->binding = Tuple{Value::Int(hops - 1)};
+    out->arity = 1;
+    out->values.reserve(in.num_rows);
+    std::vector<uint64_t> inputs;
+    if (lineage) {
+      out->lineage.reserve(in.num_rows);
+      inputs.reserve(in.num_rows);
+    }
+    for (size_t r = 0; r < in.num_rows; ++r) {
+      // A fresh value per hop: every insert derives a new tuple, as in
+      // a growing node relation.
+      Tuple row{Value::Int(in.row(r)[0].payload() +
+                           static_cast<int64_t>(kSegmentRows))};
+      Relation::InsertResult ins = seen_.InsertRow(row);
+      MPQE_CHECK(ins.inserted);
+      out->AppendRow(row);
+      if (lineage) {
+        out->lineage.push_back(seen_.row_id(ins.row));
+        inputs.push_back(in.row_lineage(r));
+      }
+    }
+    if (lineage) {
+      // One batched derive callback per absorbed segment — the
+      // engine's vectorized lineage path.
+      DeriveBatchEvent event;
+      event.kind = DeriveKind::kUnion;
+      event.segment = out;
+      event.inputs = inputs.data();
+      observers_->NotifyDeriveBatch(event);
+    }
+    if (hops > 0) Send(peer_, MakeTupleSegment(std::move(out)));
+  }
+
+ private:
+  ProcessId peer_;
+  const ObserverList* observers_;
+  Relation seen_;
+};
+
+void BM_SegmentHopDedup(benchmark::State& state) {
+  const int64_t kHops = 1000;
+  for (auto _ : state) {
+    Network net;
+    net.AddProcess(
+        std::make_unique<SegmentDedupHop>(1, nullptr, &net.observers()));
+    net.AddProcess(
+        std::make_unique<SegmentDedupHop>(0, nullptr, &net.observers()));
+    net.Start();
+    net.Send(kNoProcess, 0, MakeTupleSegment(MakeSeedSegment(kHops)));
+    auto run = net.RunDeterministic();
+    MPQE_CHECK(run.ok() && run->quiescent);
+  }
+  state.SetItemsProcessed(state.iterations() * (kHops + 1) *
+                          static_cast<int64_t>(kSegmentRows));
+}
+BENCHMARK(BM_SegmentHopDedup);
+
+// As BM_SegmentHopDedup with full lineage recording: per row an id
+// assignment and a lineage-column push, per segment ONE batched derive
+// record (delta-encoded by the LineageObserver) instead of one
+// callback per tuple. The tracked lineage-on overhead ratio in
+// BENCH_obs.json is this against BM_SegmentHopDedup.
+void BM_SegmentHopLineage(benchmark::State& state) {
+  const int64_t kHops = 1000;
+  for (auto _ : state) {
+    Network net;
+    LineageObserver lineage;
+    net.AddObserver(&lineage);
+    net.AddProcess(std::make_unique<SegmentDedupHop>(1, lineage.ids(),
+                                                     &net.observers()));
+    net.AddProcess(std::make_unique<SegmentDedupHop>(0, lineage.ids(),
+                                                     &net.observers()));
+    net.Start();
+    // Seed rows draw real ids so every hop's inputs resolve.
+    Relation seed_rel(1);
+    seed_rel.EnableLineage(lineage.ids());
+    auto seed = MakeSeedSegment(kHops);
+    for (size_t i = 0; i < kSegmentRows; ++i) {
+      Relation::InsertResult ins = seed_rel.InsertRow(seed->row(i));
+      seed->lineage.push_back(seed_rel.row_id(ins.row));
+    }
+    net.Send(kNoProcess, 0, MakeTupleSegment(std::move(seed)));
+    auto run = net.RunDeterministic();
+    MPQE_CHECK(run.ok() && run->quiescent);
+    MPQE_CHECK(lineage.record_count() ==
+               static_cast<size_t>(kHops + 1) * kSegmentRows);
+    benchmark::DoNotOptimize(lineage);
+  }
+  state.SetItemsProcessed(state.iterations() * (kHops + 1) *
+                          static_cast<int64_t>(kSegmentRows));
+}
+BENCHMARK(BM_SegmentHopLineage);
+
 void BM_RelationInsert(benchmark::State& state) {
   int64_t n = state.range(0);
   for (auto _ : state) {

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Fail if the segmented lineage overhead regresses past the guard.
+
+Usage: bench_guard.py BENCH_obs.json fresh_micro.json
+
+BENCH_obs.json is the recorded summary written by scripts/bench.sh; it
+carries lineage_overhead_guard (the ceiling) and lineage_overhead_ratio
+(the number recorded at commit time). fresh_micro.json is raw
+google-benchmark output from a fresh run of the segment-hop pair, e.g.
+
+  bench_runtime_micro --benchmark_filter='BM_SegmentHop(Dedup|Lineage)' \
+      --benchmark_out=fresh_micro.json --benchmark_out_format=json
+
+The guard recomputes lineage_on / lineage_off from the fresh run
+(BM_SegmentHopLineage vs. BM_SegmentHopDedup — the identical
+insert+forward loop over 128-row segments, with and without lineage
+recording) and exits nonzero if the ratio exceeds the recorded guard.
+Absolute hop times shift with hardware; the ratio is machine-portable,
+which is why CI compares ratios and not nanoseconds.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"bench_guard: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    obs_path, fresh_path = sys.argv[1:3]
+
+    obs = load(obs_path)
+    guard = obs.get("lineage_overhead_guard")
+    if not isinstance(guard, (int, float)) or guard <= 1.0:
+        fail(f"{obs_path} lineage_overhead_guard is {guard!r}, "
+             f"expected a number > 1")
+    recorded = obs.get("lineage_overhead_ratio")
+
+    fresh = load(fresh_path)
+    rows, medians = {}, {}
+    for b in fresh.get("benchmarks", []):
+        if b.get("aggregate_name") == "median":
+            medians[b["run_name"]] = b["real_time"]
+        elif b.get("run_type") != "aggregate":
+            rows[b["name"]] = b["real_time"]
+    # Prefer the median of repeated runs when the caller passed
+    # --benchmark_repetitions; a lone sample sits too close to the
+    # ceiling to trust.
+    if medians:
+        rows = medians
+    off = rows.get("BM_SegmentHopDedup")
+    on = rows.get("BM_SegmentHopLineage")
+    if not off or not on:
+        fail(f"{fresh_path} lacks BM_SegmentHopDedup/BM_SegmentHopLineage "
+             f"rows (got {sorted(rows)})")
+
+    ratio = on / off
+    if ratio > guard:
+        fail(f"segmented lineage overhead ratio {ratio:.3f} exceeds guard "
+             f"{guard} (recorded at commit time: {recorded})")
+    print(f"bench_guard: OK: segmented lineage overhead ratio {ratio:.3f} "
+          f"<= guard {guard} (recorded: {recorded})")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

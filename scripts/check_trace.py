@@ -9,6 +9,9 @@ Trace checks (stdlib only, exit 0 = valid, 1 = invalid):
   * the file parses as JSON and has a non-empty "traceEvents" list;
   * every event carries the keys its phase type requires;
   * duration events ("X") have dur >= 0;
+  * segment envelopes (send flows named "msg:tuple_segment" and their
+    deliver slices "tuple_segment") carry an integer args.rows >= 1 —
+    empty segments never ship;
   * flow starts ("s") and ends ("f") pair up one-to-one by id, and
     every flow end's timestamp is >= its start's (send happens-before
     delivery);
@@ -16,9 +19,12 @@ Trace checks (stdlib only, exit 0 = valid, 1 = invalid):
 
 Profile checks (--profile, schema "mpqe-profile-v1"):
   * top-level schema marker, totals, phases, nodes, sccs all present;
-  * every node row has the full counter set, node ids are unique, and
-    derived ratios (dup_hit_rate, selectivity) are consistent with the
-    raw counters;
+  * every node row has the full counter set (including the segment
+    envelope counters segments_in/out and segment_rows_in/out), node
+    ids are unique, and derived ratios (dup_hit_rate, selectivity,
+    rows_per_segment_out) are consistent with the raw counters;
+  * segment rows imply segment envelopes and vice versa (a shipped
+    segment is never empty);
   * estimate-bearing nodes carry est_log10_tuples and
     deviation_factor (>= 1);
   * node counter sums do not exceed the report totals, and
@@ -47,6 +53,7 @@ KNOWN_PHASES = {"X", "s", "f", "i", "C", "M", "B", "E"}
 NODE_COUNTERS = [
     "fires", "requests_in", "tuples_in", "tuples_out", "dedup_hits",
     "msgs_in", "msgs_out", "batch_envelopes_in", "batch_envelopes_out",
+    "segments_in", "segments_out", "segment_rows_in", "segment_rows_out",
     "fire_ns", "queue_wait_ns",
 ]
 
@@ -118,6 +125,17 @@ def check_profile(path):
         if abs(n.get("selectivity", -1) - want_sel) > 1e-4:
             fail(f'node {nid} selectivity {n.get("selectivity")!r} '
                  f"inconsistent with counters (want {want_sel:.6f})")
+        for way in ("in", "out"):
+            segs, rows = n[f"segments_{way}"], n[f"segment_rows_{way}"]
+            if (segs == 0) != (rows == 0) or rows < segs:
+                fail(f"node {nid} segment_rows_{way} {rows} inconsistent "
+                     f"with segments_{way} {segs} (segments are non-empty)")
+        want_rps = (n["segment_rows_out"] / n["segments_out"]
+                    if n["segments_out"] else 0.0)
+        if abs(n.get("rows_per_segment_out", -1) - want_rps) > 1e-4:
+            fail(f'node {nid} rows_per_segment_out '
+                 f'{n.get("rows_per_segment_out")!r} inconsistent with '
+                 f"counters (want {want_rps:.6f})")
         if "est_log10_tuples" in n:
             estimated += 1
             if not isinstance(n["est_log10_tuples"], (int, float)):
@@ -268,6 +286,7 @@ def main():
     named_threads = set()
     used_threads = set()
     counts = Counter()
+    segment_events = 0
 
     for i, e in enumerate(events):
         if not isinstance(e, dict):
@@ -291,6 +310,14 @@ def main():
         if not isinstance(e["ts"], (int, float)) or e["ts"] < 0:
             fail(f"event {i} has bad ts {e['ts']!r}")
         used_threads.add((e["pid"], e.get("tid")))
+
+        if (ph in ("s", "X") and
+                e["name"] in ("msg:tuple_segment", "tuple_segment")):
+            rows = (e.get("args") or {}).get("rows")
+            if not isinstance(rows, int) or rows < 1:
+                fail(f"segment event {i} ({e['name']}) has bad args.rows "
+                     f"{rows!r}, expected an int >= 1")
+            segment_events += 1
 
         if ph == "X":
             dur = e.get("dur")
@@ -328,7 +355,8 @@ def main():
 
     summary = " ".join(f"{ph}={n}" for ph, n in sorted(counts.items()))
     print(f"check_trace: OK: {len(events)} events ({summary}), "
-          f"{len(flow_starts)} matched flows")
+          f"{len(flow_starts)} matched flows, "
+          f"{segment_events} segment envelope(s)")
     sys.exit(0)
 
 

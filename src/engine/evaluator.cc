@@ -48,6 +48,9 @@ Status EvaluationOptions::Validate() const {
     return InvalidArgumentError(
         StrCat("workers must be >= 1, got ", workers));
   }
+  if (segment_messages && segment_max_rows < 1) {
+    return InvalidArgumentError("segment_max_rows must be >= 1");
+  }
   StatusOr<std::unique_ptr<SipsStrategy>> strategy =
       MakeStrategyByName(this->strategy);
   if (!strategy.ok()) return strategy.status();
@@ -169,6 +172,9 @@ void DumpProfileMetrics(const ProfileReport& report,
     registry.GetCounter(StrCat(prefix, "dedup_hits")).Increment(n.dedup_hits);
     registry.GetCounter(StrCat(prefix, "msgs_in")).Increment(n.msgs_in);
     registry.GetCounter(StrCat(prefix, "msgs_out")).Increment(n.msgs_out);
+    registry.GetCounter(StrCat(prefix, "segments_out")).Increment(n.segments_out);
+    registry.GetCounter(StrCat(prefix, "segment_rows_out"))
+        .Increment(n.segment_rows_out);
     registry.GetCounter(StrCat(prefix, "fire_ns")).Increment(n.fire_ns);
     registry.GetCounter(StrCat(prefix, "queue_wait_ns"))
         .Increment(n.queue_wait_ns);
@@ -223,6 +229,8 @@ StatusOr<EvaluationResult> EvaluateWithGraph(const RuleGoalGraph& graph,
   shared.graph = &graph;
   shared.db = &db;
   shared.batch_messages = options.batch_messages;
+  shared.segment_messages = options.segment_messages;
+  shared.segment_max_rows = options.segment_max_rows;
   shared.use_edb_indexes = options.use_edb_indexes;
   if (scoped.lineage.has_value()) {
     // Ids must be flowing before any process stores or serves a tuple:

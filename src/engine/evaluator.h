@@ -77,6 +77,19 @@ struct EvaluationOptions {
   // fewer physical messages, identical logical traffic and answers.
   bool batch_messages = false;
 
+  // Accumulate the answer tuples a node emits on one stream while
+  // handling one message into a columnar TupleSegment (msg/segment.h)
+  // delivered as a single shared kTupleSegment message; consumers
+  // dedup/join whole segments and fan-out shares one segment object
+  // across consumers. Identical answers and logical traffic, far fewer
+  // physical messages and per-tuple costs. Independent of
+  // batch_messages (segments ride inside envelopes when both are on).
+  bool segment_messages = true;
+
+  // Flush an accumulating segment early once it reaches this many rows
+  // (bounds per-handler buffering; must be >= 1).
+  size_t segment_max_rows = 1024;
+
   // Safety valve against runaway computations (0 = unlimited).
   uint64_t max_messages = 0;
 

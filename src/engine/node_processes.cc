@@ -62,9 +62,15 @@ void NodeProcessBase::OnMessage(const Message& message) {
   event.trigger = message.kind;
   if (message.kind == MessageKind::kTuple) {
     event.tuples_in = 1;
+  } else if (message.kind == MessageKind::kTupleSegment) {
+    event.tuples_in = static_cast<uint32_t>(message.segment().num_rows);
   } else if (message.kind == MessageKind::kBatch) {
-    for (const Message& sub : message.batch) {
-      if (sub.kind == MessageKind::kTuple) ++event.tuples_in;
+    for (const Message& sub : message.batch()) {
+      if (sub.kind == MessageKind::kTuple) {
+        ++event.tuples_in;
+      } else if (sub.kind == MessageKind::kTupleSegment) {
+        event.tuples_in += static_cast<uint32_t>(sub.segment().num_rows);
+      }
     }
   }
   event.tuples_out = fire_tuples_out_;
@@ -96,7 +102,9 @@ void NodeProcessBase::Dispatch(const Message& message) {
       break;
     case MessageKind::kBatch: {
       termination_.OnWorkMessage();
-      for (const Message& packaged : message.batch) {
+      for (const Message& packaged : message.batch()) {
+        // Cheap even for packaged segments: copying a Message bumps
+        // the payload refcount, it never deep-copies the rows.
         Message sub = packaged;
         sub.from = message.from;
         HandleWork(sub);
@@ -112,15 +120,77 @@ void NodeProcessBase::Dispatch(const Message& message) {
 
 void NodeProcessBase::Emit(ProcessId to, Message m) {
   if (observing_fire_ && m.kind == MessageKind::kTuple) ++fire_tuples_out_;
-  if (!shared_.batch_messages) {
+  if (!shared_.batch_messages && !shared_.segment_messages) {
     Send(to, std::move(m));
     return;
   }
+  // With segmenting on, *every* emission is deferred to FlushEmits so
+  // an `end` emitted after buffered rows cannot overtake them.
   outbox_.emplace_back(to, std::move(m));
 }
 
+void NodeProcessBase::EmitTuple(ProcessId to, const Tuple& binding,
+                                TupleRef values, uint64_t lineage_id) {
+  if (!shared_.segment_messages) {
+    Message m = MakeTuple(binding, values.ToTuple());
+    m.lineage = lineage_id;
+    Emit(to, std::move(m));
+    return;
+  }
+  if (observing_fire_) ++fire_tuples_out_;
+  for (size_t i = 0; i < open_segments_.size(); ++i) {
+    OpenSegment& open = open_segments_[i];
+    if (open.to != to || !(open.segment->binding == binding)) continue;
+    open.segment->AppendRow(values);
+    if (lineage_id != kNoLineage) open.segment->lineage.push_back(lineage_id);
+    if (open.segment->num_rows >= shared_.segment_max_rows) {
+      // Seal at the size cap: the handle stays at its outbox position;
+      // further rows on this stream open a new (later) segment, so
+      // per-stream order is preserved.
+      open_segments_.erase(open_segments_.begin() +
+                           static_cast<ptrdiff_t>(i));
+    }
+    return;
+  }
+  auto segment = std::make_shared<TupleSegment>();
+  segment->binding = binding;
+  segment->arity = values.size();
+  segment->AppendRow(values);
+  if (lineage_id != kNoLineage) segment->lineage.push_back(lineage_id);
+  OpenSegment open;
+  open.to = to;
+  open.outbox_index = outbox_.size();
+  open.segment = segment;
+  outbox_.emplace_back(to, MakeTupleSegment(std::move(segment)));
+  open_segments_.push_back(std::move(open));
+}
+
+void NodeProcessBase::EmitSegment(ProcessId to,
+                                  std::shared_ptr<const TupleSegment> segment) {
+  if (observing_fire_) {
+    fire_tuples_out_ += static_cast<uint32_t>(segment->num_rows);
+  }
+  Emit(to, MakeTupleSegment(std::move(segment)));
+}
+
 void NodeProcessBase::FlushEmits() {
+  // Demote single-row segments to bare tuples (mirrors the batch
+  // layer's singletons-are-sent-bare rule); multi-row ones are sealed
+  // simply by dropping the mutable handle.
+  for (OpenSegment& open : open_segments_) {
+    if (open.segment->num_rows != 1) continue;
+    Message demoted =
+        MakeTuple(open.segment->binding, open.segment->row(0).ToTuple());
+    demoted.lineage = open.segment->row_lineage(0);
+    outbox_[open.outbox_index].second = std::move(demoted);
+  }
+  open_segments_.clear();
   if (outbox_.empty()) return;
+  if (!shared_.batch_messages) {
+    for (auto& [to, m] : outbox_) Send(to, std::move(m));
+    outbox_.clear();
+    return;
+  }
   // Group by destination, preserving per-destination send order and
   // first-appearance destination order.
   std::vector<ProcessId> order;
@@ -163,6 +233,20 @@ void NodeProcessBase::PublishDerive(uint64_t id, DeriveKind kind,
   event.num_inputs = num_inputs;
   event.values = values;
   obs.NotifyDerive(event);
+}
+
+void NodeProcessBase::PublishDeriveBatch(
+    DeriveKind kind, const std::shared_ptr<const TupleSegment>& segment,
+    const std::vector<uint64_t>& inputs) {
+  const ObserverList& obs = network().observers();
+  if (obs.empty()) return;
+  DeriveBatchEvent event;
+  event.node = node_id_;
+  event.role = Role();
+  event.kind = kind;
+  event.segment = segment;
+  event.inputs = inputs.data();
+  obs.NotifyDeriveBatch(event);
 }
 
 namespace {
@@ -252,6 +336,9 @@ class GoalProcess : public NodeProcessBase {
       case MessageKind::kTuple:
         OnTuple(m);
         break;
+      case MessageKind::kTupleSegment:
+        OnTupleSegment(m);
+        break;
       case MessageKind::kEnd:
         OnEnd(m);
         break;
@@ -282,13 +369,35 @@ class GoalProcess : public NodeProcessBase {
     ConsumerStream& c = consumers_[m.from];
     if (!c.bindings.insert(m.binding).second) return;  // duplicate request
 
-    // Replay the stored stream restricted to this binding.
+    // Replay the stored stream restricted to this binding — as one
+    // shared segment when there is more than a row of it.
     const std::vector<size_t>* hits = answers_.Probe(d_index_, m.binding);
     if (hits != nullptr) {
-      for (size_t pos : *hits) {
-        Message replay = MakeTuple(m.binding, answers_.tuple(pos).ToTuple());
-        replay.lineage = answers_.row_id(pos);
-        Emit(m.from, std::move(replay));
+      if (shared_.segment_messages && hits->size() > 1) {
+        auto replay = std::make_shared<TupleSegment>();
+        replay->binding = m.binding;
+        replay->arity = out_positions_.size();
+        for (size_t pos : *hits) {
+          replay->AppendRow(answers_.tuple(pos));
+          if (lineage_on()) replay->lineage.push_back(answers_.row_id(pos));
+          if (replay->num_rows >= shared_.segment_max_rows) {
+            auto next = std::make_shared<TupleSegment>();
+            next->binding = replay->binding;
+            next->arity = replay->arity;
+            EmitSegment(m.from, std::move(replay));
+            replay = std::move(next);
+          }
+        }
+        if (replay->num_rows == 1) {
+          EmitTuple(m.from, m.binding, replay->row(0), replay->row_lineage(0));
+        } else if (!replay->empty()) {
+          EmitSegment(m.from, std::move(replay));
+        }
+      } else {
+        for (size_t pos : *hits) {
+          EmitTuple(m.from, m.binding, answers_.tuple(pos),
+                    answers_.row_id(pos));
+        }
       }
     }
     if (completed_.count(m.binding) != 0) {
@@ -331,11 +440,83 @@ class GoalProcess : public NodeProcessBase {
     Tuple dproj = ProjectTuple(m.values, d_in_out_);
     for (auto& [pid, c] : consumers_) {
       if (c.bindings.count(dproj) != 0) {
-        Message fwd = MakeTuple(dproj, m.values);
-        fwd.lineage = id;
-        Emit(pid, std::move(fwd));
+        EmitTuple(pid, dproj, m.values, id);
       }
     }
+  }
+
+  // Vectorized union: absorb a whole segment, then hand each consumer
+  // one shared out-segment of the genuinely new rows. Rows are grouped
+  // by their d-projection (normally a single group — answers echo the
+  // request binding at d positions — but constants or repeated head
+  // variables can split a stream).
+  void OnTupleSegment(const Message& m) {
+    const TupleSegment& in = m.segment();
+    struct OutGroup {
+      std::shared_ptr<TupleSegment> segment;
+      std::vector<uint64_t> inputs;  // one per row (lineage only)
+    };
+    std::vector<OutGroup> groups;
+    // Publishes one derive batch for the group and hands every
+    // subscribed consumer the same segment object (singletons demote
+    // to bare tuples). Called at the size cap and once at the end.
+    auto flush_group = [&](OutGroup& group) {
+      if (group.segment->empty()) return;
+      if (lineage_on()) {
+        PublishDeriveBatch(DeriveKind::kUnion, group.segment, group.inputs);
+      }
+      const Tuple& binding = group.segment->binding;
+      for (auto& [pid, c] : consumers_) {
+        if (c.bindings.count(binding) == 0) continue;
+        if (group.segment->num_rows == 1) {
+          EmitTuple(pid, binding, group.segment->row(0),
+                    group.segment->row_lineage(0));
+        } else {
+          EmitSegment(pid, group.segment);
+        }
+      }
+    };
+    Tuple dproj(d_in_out_.size(), Value());
+    for (size_t r = 0; r < in.num_rows; ++r) {
+      TupleRef row = in.row(r);
+      Relation::InsertResult ins = answers_.InsertRow(row);
+      if (!ins.inserted) {
+        ++duplicate_drops_;
+        continue;
+      }
+      for (size_t i = 0; i < d_in_out_.size(); ++i) {
+        dproj[i] = row[d_in_out_[i]];
+      }
+      OutGroup* group = nullptr;
+      for (OutGroup& g : groups) {
+        if (g.segment->binding == dproj) {
+          group = &g;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        OutGroup g;
+        g.segment = std::make_shared<TupleSegment>();
+        g.segment->binding = dproj;
+        g.segment->arity = in.arity;
+        groups.push_back(std::move(g));
+        group = &groups.back();
+      }
+      group->segment->AppendRow(row);
+      if (lineage_on()) {
+        group->segment->lineage.push_back(answers_.row_id(ins.row));
+        group->inputs.push_back(in.row_lineage(r));
+      }
+      if (group->segment->num_rows >= shared_.segment_max_rows) {
+        flush_group(*group);
+        auto next = std::make_shared<TupleSegment>();
+        next->binding = group->segment->binding;
+        next->arity = group->segment->arity;
+        group->segment = std::move(next);
+        group->inputs.clear();
+      }
+    }
+    for (OutGroup& group : groups) flush_group(group);
   }
 
   void OnEnd(const Message& m) {
@@ -412,6 +593,10 @@ class CycleRefProcess : public NodeProcessBase {
         Emit(Pid(gnode().parent), std::move(fwd));
         break;
       }
+      case MessageKind::kTupleSegment:
+        // Forward the shared handle — a refcount bump, zero row copies.
+        EmitSegment(Pid(gnode().parent), m.segment_ptr());
+        break;
       case MessageKind::kEnd:
         MPQE_CHECK(false)
             << "per-request end inside a strong component (cycle ref)";
@@ -508,16 +693,37 @@ class EdbProcess : public NodeProcessBase {
 
   void Answer(const Message& m) {
     std::unordered_set<Tuple, TupleHash> sent;
+    // Segmented path: the whole answer set for this request is known
+    // within this one handler, so rows go straight into one segment
+    // (EmitTuple's open-segment lookup would be per-row overhead).
+    std::shared_ptr<TupleSegment> segment;
+    if (shared_.segment_messages) {
+      segment = std::make_shared<TupleSegment>();
+      segment->binding = m.binding;
+      segment->arity = out_positions_.size();
+    }
     auto emit = [&](size_t pos) {
       TupleRef t = relation_->tuple(pos);
       if (!Matches(t)) return;
       Tuple out = ProjectTuple(t, out_positions_);
       if (sent.insert(out).second) {
-        Message msg = MakeTuple(m.binding, std::move(out));
-        // Base-fact provenance: the underlying row's id (assigned at
-        // wiring when lineage is on; kNoTupleId == kNoLineage when off).
-        msg.lineage = relation_->row_id(pos);
-        Emit(m.from, std::move(msg));
+        if (segment != nullptr) {
+          segment->AppendRow(out);
+          // Base-fact provenance: the underlying row's id (assigned at
+          // wiring when lineage is on).
+          if (lineage_on()) segment->lineage.push_back(relation_->row_id(pos));
+          if (segment->num_rows >= shared_.segment_max_rows) {
+            auto next = std::make_shared<TupleSegment>();
+            next->binding = segment->binding;
+            next->arity = segment->arity;
+            EmitSegment(m.from, std::move(segment));
+            segment = std::move(next);
+          }
+        } else {
+          Message msg = MakeTuple(m.binding, std::move(out));
+          msg.lineage = relation_->row_id(pos);
+          Emit(m.from, std::move(msg));
+        }
       } else {
         ++duplicate_drops_;
       }
@@ -541,6 +747,15 @@ class EdbProcess : public NodeProcessBase {
           match = t[key_positions_[i]] == key[i];
         }
         if (match) emit(pos);
+      }
+    }
+    if (segment != nullptr && !segment->empty()) {
+      if (segment->num_rows == 1) {
+        Message msg = MakeTuple(m.binding, segment->row(0).ToTuple());
+        msg.lineage = segment->row_lineage(0);
+        Emit(m.from, std::move(msg));
+      } else {
+        EmitSegment(m.from, std::move(segment));
       }
     }
     Emit(m.from, MakeEnd(m.binding));
@@ -614,6 +829,9 @@ class RuleProcess : public NodeProcessBase {
         break;
       case MessageKind::kTuple:
         OnChildTuple(m);
+        break;
+      case MessageKind::kTupleSegment:
+        OnChildSegment(m);
         break;
       case MessageKind::kEnd:
         OnChildEnd(m);
@@ -798,6 +1016,40 @@ class RuleProcess : public NodeProcessBase {
     FlushEnds();
   }
 
+  // Vectorized arrival: one stage/request/waiter-list lookup for the
+  // whole segment, one scratch row buffer reused across rows, one
+  // FlushEnds at the end. Join semantics per row are identical to
+  // OnChildTuple. (The waiter/request references stay valid across
+  // AddContext: the recursion only touches per-stage maps at deeper
+  // stages — see the note in AddContext.)
+  void OnChildSegment(const Message& m) {
+    const TupleSegment& segment = m.segment();
+    size_t stage = pid_to_stage_.at(m.from);
+    ChildReq& cr = child_reqs_[stage][m.binding];
+    std::vector<Tuple>& waiters = waiting_[stage - 1][m.binding];
+    Tuple row_buf;
+    for (size_t r = 0; r < segment.num_rows; ++r) {
+      TupleRef row = segment.row(r);
+      row_buf.assign(row.begin(), row.end());
+      if (!cr.answer_set.insert(row_buf).second) {
+        ++duplicate_drops_;
+        continue;
+      }
+      uint64_t row_id = segment.row_lineage(r);
+      trigger_lineage_ = row_id;
+      cr.answers.push_back(row_buf);
+      if (lineage_on()) cr.answer_ids.push_back(row_id);
+      for (size_t i = 0; i < waiters.size(); ++i) {
+        std::optional<Tuple> extended = Extend(waiters[i], stage, row_buf);
+        if (extended.has_value()) {
+          AddContext(stage, *std::move(extended),
+                     SourcesPlus(stage - 1, waiters[i], row_id));
+        }
+      }
+    }
+    FlushEnds();
+  }
+
   void OnChildEnd(const Message& m) {
     size_t stage = pid_to_stage_.at(m.from);
     auto it = child_reqs_[stage].find(m.binding);
@@ -895,9 +1147,7 @@ class RuleProcess : public NodeProcessBase {
       PublishDerive(id, DeriveKind::kRuleFire, trigger_lineage_, srcs.data(),
                     srcs.size(), out);
     }
-    Message msg = MakeTuple(HeadBindingOf(ctx), std::move(out));
-    msg.lineage = id;
-    Emit(Pid(gnode().parent), std::move(msg));
+    EmitTuple(Pid(gnode().parent), HeadBindingOf(ctx), out, id);
   }
 
   void FlushEnds() {
@@ -976,12 +1226,19 @@ void SinkProcess::OnMessage(const Message& message) {
     case MessageKind::kTuple:
       answers_.Insert(message.values);
       break;
+    case MessageKind::kTupleSegment: {
+      const TupleSegment& segment = message.segment();
+      for (size_t r = 0; r < segment.num_rows; ++r) {
+        answers_.Insert(segment.row(r));
+      }
+      break;
+    }
     case MessageKind::kEnd:
       done_ = true;
       network().RequestStop();
       break;
     case MessageKind::kBatch:
-      for (const Message& sub : message.batch) OnMessage(sub);
+      for (const Message& sub : message.batch()) OnMessage(sub);
       break;
     default:
       MPQE_CHECK(false) << "unexpected " << message.ToString();

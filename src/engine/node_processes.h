@@ -66,6 +66,14 @@ struct EngineShared {
   // Package the computation messages emitted while handling one
   // message into per-destination batch envelopes (footnote 2).
   bool batch_messages = false;
+  // Accumulate the answer tuples emitted on one stream while handling
+  // one message into a columnar TupleSegment (msg/segment.h) delivered
+  // as a single shared kTupleSegment message. Independent of
+  // batch_messages (segments ride inside envelopes when both are on).
+  bool segment_messages = true;
+  // Flush an accumulating segment early once it reaches this many
+  // rows (bounds per-handler buffering; >= 1).
+  size_t segment_max_rows = 1024;
   // Ablation: when false, EDB node processes answer tuple requests by
   // scanning instead of probing hash indexes.
   bool use_edb_indexes = true;
@@ -120,10 +128,23 @@ class NodeProcessBase : public Process, public TerminationOwner {
 
   virtual void HandleWork(const Message& message) = 0;
 
-  /// Sends `m` to `to`, or queues it for the end-of-handler batch
-  /// flush when packaging is enabled. All computation messages from
+  /// Sends `m` to `to`, or queues it for the end-of-handler flush when
+  /// packaging or segmenting is enabled. All computation messages from
   /// HandleWork should go through this.
   void Emit(ProcessId to, Message m);
+
+  /// Emits one answer tuple on the (`to`, `binding`) stream. With
+  /// segmenting on, the row lands in that stream's accumulating
+  /// segment (opened at the emission point to preserve stream order,
+  /// flushed at handler end or at segment_max_rows; a segment that
+  /// ends up with a single row is demoted to a bare kTuple). With
+  /// segmenting off this is exactly a per-tuple Emit.
+  void EmitTuple(ProcessId to, const Tuple& binding, TupleRef values,
+                 uint64_t lineage_id);
+
+  /// Emits a pre-built (sealed, immutable) segment. Fan-out call sites
+  /// pass the same handle to several consumers — no per-tuple copy.
+  void EmitSegment(ProcessId to, std::shared_ptr<const TupleSegment> segment);
 
   bool lineage_on() const { return shared_.lineage_ids != nullptr; }
 
@@ -134,6 +155,14 @@ class NodeProcessBase : public Process, public TerminationOwner {
                      const uint64_t* inputs, size_t num_inputs,
                      TupleRef values);
 
+  /// Publishes one batched derivation record for a whole segment
+  /// (row i of `segment` derived from the single input `inputs[i]`;
+  /// see DeriveBatchEvent). One observer callback per segment instead
+  /// of one per row.
+  void PublishDeriveBatch(DeriveKind kind,
+                          const std::shared_ptr<const TupleSegment>& segment,
+                          const std::vector<uint64_t>& inputs);
+
   const EngineShared& shared_;
   NodeId node_id_;
   TerminationParticipant termination_;
@@ -143,7 +172,18 @@ class NodeProcessBase : public Process, public TerminationOwner {
   void FlushEmits();
   NodeRole Role() const;
 
+  // A segment still accepting rows. Its (const-aliased) handle already
+  // sits in outbox_ at `outbox_index` — opened at first-row time so
+  // later non-tuple emissions to the same destination cannot overtake
+  // the rows. Nothing reads the payload until FlushEmits sends it.
+  struct OpenSegment {
+    ProcessId to = kNoProcess;
+    size_t outbox_index = 0;
+    std::shared_ptr<TupleSegment> segment;
+  };
+
   std::vector<std::pair<ProcessId, Message>> outbox_;
+  std::vector<OpenSegment> open_segments_;
   // Per-firing observability scratch: tuples emitted during the
   // current OnMessage, counted only while observers are installed.
   uint32_t fire_tuples_out_ = 0;

@@ -16,20 +16,17 @@
 #define MPQE_MSG_MESSAGE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "msg/segment.h"
 #include "relational/tuple.h"
 
 namespace mpqe {
 
 using ProcessId = int32_t;
 inline constexpr ProcessId kNoProcess = -1;
-
-// Sentinel for "no lineage attached" (mirrors kNoTupleId in
-// relational/relation.h; kept separate so msg/ does not depend on the
-// relational layer's headers beyond tuple.h).
-inline constexpr uint64_t kNoLineage = ~uint64_t{0};
 
 enum class MessageKind : uint8_t {
   // -- computation (§3.1) -------------------------------------------------
@@ -46,8 +43,10 @@ enum class MessageKind : uint8_t {
   kWorkNotice = 8,    // member -> leader: external work entered the SCC
   // -- packaging extension (footnote 2) --------------------------------------
   kBatch = 9,  // envelope carrying several computation messages
+  // -- columnar extension (msg/segment.h) ------------------------------------
+  kTupleSegment = 10,  // shared handle to a run of answer tuples
 
-  kMessageKindCount = 10,
+  kMessageKindCount = 11,
 };
 
 const char* MessageKindToString(MessageKind kind);
@@ -66,9 +65,10 @@ struct Message {
   MessageKind kind = MessageKind::kRelationRequest;
   ProcessId from = kNoProcess;  // stamped by Network::Send
 
-  // kTupleRequest / kTuple / kEnd: values of the producer's d
-  // positions, in position order; empty when the producer has no d
-  // arguments.
+  // kTupleRequest / kTuple / kEnd / kTupleSegment: values of the
+  // producer's d positions, in position order; empty when the producer
+  // has no d arguments. (For kTupleSegment this duplicates the
+  // segment's binding so stream-level code never touches the payload.)
   Tuple binding;
 
   // kTuple: values of the producer's non-e positions, in order.
@@ -89,10 +89,32 @@ struct Message {
   // every member's customers are served; see footnote 4).
   bool flag = false;
 
-  // kBatch: the packaged messages, in send order (footnote 2: "package
-  // a set of related tuple requests ... the retrieval can be done in
-  // one scan"). Sub-messages carry the envelope's sender.
-  std::vector<Message> batch;
+  // Indirect payload, shared and type-erased: a kBatch envelope's
+  // std::vector<Message> or a kTupleSegment's TupleSegment (a message
+  // never carries both — the kind discriminates). Null for every other
+  // kind, so protocol/end messages carry one pointer instead of an
+  // embedded vector, and copying a payload-bearing message is a
+  // refcount bump, not a deep copy.
+  std::shared_ptr<const void> payload;
+
+  /// The packaged messages, in send order (footnote 2: "package a set
+  /// of related tuple requests ... the retrieval can be done in one
+  /// scan"). Sub-messages carry the envelope's sender. Requires
+  /// kind == kBatch with a payload.
+  const std::vector<Message>& batch() const {
+    return *static_cast<const std::vector<Message>*>(payload.get());
+  }
+
+  /// The columnar segment. Requires kind == kTupleSegment.
+  const TupleSegment& segment() const {
+    return *static_cast<const TupleSegment*>(payload.get());
+  }
+
+  /// The segment as a shareable handle (forwarding a segment to
+  /// another process is a refcount bump on the same object).
+  std::shared_ptr<const TupleSegment> segment_ptr() const {
+    return std::static_pointer_cast<const TupleSegment>(payload);
+  }
 
   std::string ToString(const SymbolTable* symbols = nullptr) const;
 };
@@ -108,6 +130,7 @@ Message MakeEndConfirmed(int64_t wave, bool open_work);
 Message MakeSccConcluded();
 Message MakeWorkNotice();
 Message MakeBatch(std::vector<Message> messages);
+Message MakeTupleSegment(std::shared_ptr<const TupleSegment> segment);
 
 }  // namespace mpqe
 

@@ -20,7 +20,11 @@ uint64_t MessageStats::Total() const {
 }
 
 uint64_t MessageStats::ComputationTotal() const {
-  return Total() - ProtocolTotal() - Count(MessageKind::kBatch);
+  // Envelopes (batches and segments) are transport, not computation;
+  // their contents count individually (sub-messages are already in
+  // by_kind, segment rows only in segment_rows).
+  return Total() - ProtocolTotal() - Count(MessageKind::kBatch) -
+         Count(MessageKind::kTupleSegment) + segment_rows;
 }
 
 uint64_t MessageStats::PhysicalTotal() const {
@@ -67,14 +71,22 @@ void Network::Send(ProcessId from, ProcessId to, Message message) {
   sent_by_kind_[static_cast<size_t>(message.kind)].fetch_add(
       1, std::memory_order_relaxed);
   // Batches count once physically (above) and per sub-message
-  // logically, so ComputationTotal() keeps its meaning.
-  if (!message.batch.empty()) {
-    for (const Message& sub : message.batch) {
+  // logically; segments count once physically and per row logically —
+  // so ComputationTotal() keeps its meaning.
+  if (message.kind == MessageKind::kBatch) {
+    const std::vector<Message>& batch = message.batch();
+    for (const Message& sub : batch) {
       sent_by_kind_[static_cast<size_t>(sub.kind)].fetch_add(
           1, std::memory_order_relaxed);
+      if (sub.kind == MessageKind::kTupleSegment) {
+        segment_rows_.fetch_add(sub.segment().num_rows,
+                                std::memory_order_relaxed);
+      }
     }
-    packaged_submessages_.fetch_add(message.batch.size(),
-                                    std::memory_order_relaxed);
+    packaged_submessages_.fetch_add(batch.size(), std::memory_order_relaxed);
+  } else if (message.kind == MessageKind::kTupleSegment) {
+    segment_rows_.fetch_add(message.segment().num_rows,
+                            std::memory_order_relaxed);
   }
   Mailbox& box = *mailboxes_[to];
   {
@@ -132,6 +144,17 @@ void Network::Deliver(ProcessId id, const Message& message) {
     event.from = message.from;
     event.to = id;
     event.kind = message.kind;
+    if (message.kind == MessageKind::kTupleSegment) {
+      event.payload_rows = message.segment().num_rows;
+      event.payload_segments = 1;
+    } else if (message.kind == MessageKind::kBatch) {
+      for (const Message& sub : message.batch()) {
+        if (sub.kind == MessageKind::kTupleSegment) {
+          event.payload_rows += sub.segment().num_rows;
+          ++event.payload_segments;
+        }
+      }
+    }
     event.handle_ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start)
@@ -406,6 +429,7 @@ MessageStats Network::stats() const {
   }
   s.packaged_submessages =
       packaged_submessages_.load(std::memory_order_relaxed);
+  s.segment_rows = segment_rows_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -73,14 +73,18 @@ struct MessageStats {
   // How many of the per-kind counts above traveled inside batch
   // envelopes rather than as their own messages.
   uint64_t packaged_submessages = 0;
+  // Answer tuples that traveled inside columnar segments (the
+  // by_kind[kTupleSegment] entry counts envelopes, this counts rows).
+  uint64_t segment_rows = 0;
 
   uint64_t Count(MessageKind kind) const {
     return by_kind[static_cast<size_t>(kind)];
   }
   uint64_t Total() const;
   /// Computation messages only (excludes the Fig. 2 protocol traffic
-  /// and batch envelopes). Sub-messages inside batches are counted
-  /// individually, so this is the *logical* traffic.
+  /// and batch/segment envelopes). Sub-messages inside batches and
+  /// rows inside segments are counted individually, so this is the
+  /// *logical* traffic.
   uint64_t ComputationTotal() const;
   /// Fig. 2 protocol traffic only.
   uint64_t ProtocolTotal() const;
@@ -196,6 +200,7 @@ class Network {
              static_cast<size_t>(MessageKind::kMessageKindCount)>
       sent_by_kind_{};
   std::atomic<uint64_t> packaged_submessages_{0};
+  std::atomic<uint64_t> segment_rows_{0};
 
   // Threaded-scheduler shared state.
   std::mutex ready_mutex_;

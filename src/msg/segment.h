@@ -1,0 +1,60 @@
+// Columnar tuple segments: the wire representation of a run of answer
+// tuples on one stream. A TupleSegment holds a contiguous value block
+// strided by arity — the same layout as the relational arena
+// (relational/relation.h) — plus an optional per-row lineage column,
+// and travels between node processes as a shared-ownership
+// (std::shared_ptr<const TupleSegment>) handle inside a kTupleSegment
+// message. Fan-out to several consumers shares one segment object; no
+// per-tuple copy is made anywhere on the path.
+//
+// Invariants: `values.size() == num_rows * arity` (num_rows is stored
+// explicitly so arity-0 streams work), and `lineage` is either empty
+// (provenance off) or holds exactly one id per row.
+
+#ifndef MPQE_MSG_SEGMENT_H_
+#define MPQE_MSG_SEGMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "relational/tuple.h"
+
+namespace mpqe {
+
+// Sentinel for "no lineage attached" (mirrors kNoTupleId in
+// relational/relation.h; kept separate so msg/ does not depend on the
+// relational layer's headers beyond tuple.h).
+inline constexpr uint64_t kNoLineage = ~uint64_t{0};
+
+struct TupleSegment {
+  // The stream's tuple-request binding: every row answers it.
+  Tuple binding;
+  size_t arity = 0;     // values per row
+  size_t num_rows = 0;  // explicit so arity-0 rows still count
+  // Row-major value block, num_rows * arity entries.
+  std::vector<Value> values;
+  // Per-row lineage ids (empty when provenance tracking is off).
+  std::vector<uint64_t> lineage;
+
+  bool empty() const { return num_rows == 0; }
+
+  TupleRef row(size_t i) const {
+    return TupleRef(values.data() + i * arity, arity);
+  }
+
+  uint64_t row_lineage(size_t i) const {
+    return lineage.empty() ? kNoLineage : lineage[i];
+  }
+
+  /// Appends a row (the caller pushes the lineage id separately when
+  /// tracking is on; see the invariant above).
+  void AppendRow(TupleRef row) {
+    values.insert(values.end(), row.begin(), row.end());
+    ++num_rows;
+  }
+};
+
+}  // namespace mpqe
+
+#endif  // MPQE_MSG_SEGMENT_H_

@@ -278,9 +278,24 @@ void LineageObserver::OnDerive(const DeriveEvent& event) {
   records_.push_back(std::move(record));
 }
 
+void LineageObserver::OnDeriveBatch(const DeriveBatchEvent& event) {
+  const TupleSegment& segment = *event.segment;
+  BatchEntry entry;
+  entry.node = event.node;
+  entry.kind = event.kind;
+  entry.segment = event.segment;
+  entry.input_deltas.reserve(segment.num_rows);
+  for (size_t i = 0; i < segment.num_rows; ++i) {
+    entry.input_deltas.push_back(segment.lineage[i] - event.inputs[i]);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  batch_rows_ += segment.num_rows;
+  batches_.push_back(std::move(entry));
+}
+
 size_t LineageObserver::record_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return records_.size();
+  return records_.size() + batch_rows_;
 }
 
 LineageReport LineageObserver::Finalize() const {
@@ -289,6 +304,24 @@ LineageReport LineageObserver::Finalize() const {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     report.records = records_;
+    report.records.reserve(records_.size() + batch_rows_);
+    // Expand the batched segments: row i of a batch is a single-input
+    // derivation (id = lineage column, input = id - delta), exactly
+    // what the per-tuple path would have recorded.
+    for (const BatchEntry& b : batches_) {
+      const TupleSegment& segment = *b.segment;
+      for (size_t i = 0; i < segment.num_rows; ++i) {
+        LineageRecord r;
+        r.id = segment.lineage[i];
+        r.kind = b.kind;
+        r.node = b.node;
+        uint64_t input = r.id - b.input_deltas[i];
+        r.source_msg = input;
+        r.values = segment.row(i).ToTuple();
+        r.inputs.push_back(input);
+        report.records.push_back(std::move(r));
+      }
+    }
     edb = edb_;
   }
 

@@ -157,6 +157,14 @@ class LineageObserver : public ExecutionObserver {
 
   void OnDerive(const DeriveEvent& event) override;
 
+  /// One entry per absorbed segment instead of one record per row:
+  /// retains the (shared, immutable) segment — the derived ids ride in
+  /// its lineage column for free — plus a delta-encoded input column
+  /// (id - input per row; always positive, inputs precede their
+  /// derivation). Finalize() expands the rows into LineageRecords.
+  void OnDeriveBatch(const DeriveBatchEvent& event) override;
+
+  /// Records captured so far, counting each batched segment row.
   size_t record_count() const;
 
   /// Builds the self-contained report: resolves referenced EDB facts
@@ -172,9 +180,21 @@ class LineageObserver : public ExecutionObserver {
     uint64_t first = 0;  // row_id(0); rows are numbered contiguously
   };
 
+  // A segment absorbed whole (see OnDeriveBatch): row i was first
+  // derived as id segment->lineage[i] from the single input
+  // segment->lineage[i] - input_deltas[i].
+  struct BatchEntry {
+    int32_t node = -1;
+    DeriveKind kind = DeriveKind::kUnion;
+    std::shared_ptr<const TupleSegment> segment;
+    std::vector<uint64_t> input_deltas;
+  };
+
   TupleIdAllocator ids_;
   mutable std::mutex mutex_;
   std::vector<LineageRecord> records_;  // raw: display fields unset
+  std::vector<BatchEntry> batches_;     // raw: expanded by Finalize
+  size_t batch_rows_ = 0;               // rows across batches_
   std::vector<EdbRange> edb_;
   const RuleGoalGraph* graph_ = nullptr;
   const SymbolTable* symbols_ = nullptr;

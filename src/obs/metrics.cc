@@ -181,8 +181,10 @@ MetricsObserver::MetricsObserver(MetricsRegistry* registry, Options options)
   delivered_ = &registry_->GetCounter("msg/delivered");
   fires_ = &registry_->GetCounter("node/fires");
   dedup_hits_ = &registry_->GetCounter("dedup/hits");
+  segment_rows_sent_ = &registry_->GetCounter("msg/segment_rows");
   handle_ns_ = &registry_->GetHistogram("msg/handle_ns");
   tuples_out_ = &registry_->GetHistogram("fire/tuples_out");
+  segment_rows_ = &registry_->GetHistogram("msg/segment_rows_per_segment");
 }
 
 Counter& MetricsObserver::PerNodeFires(int32_t node) {
@@ -208,6 +210,18 @@ Counter& MetricsObserver::PerArcSends(ProcessId from, ProcessId to) {
 
 void MetricsObserver::OnSend(const SendEvent& event) {
   sent_by_kind_[static_cast<size_t>(event.message->kind)]->Increment();
+  if (event.message->kind == MessageKind::kTupleSegment) {
+    uint64_t rows = event.message->segment().num_rows;
+    segment_rows_sent_->Increment(rows);
+    segment_rows_->Record(rows);
+  } else if (event.message->kind == MessageKind::kBatch) {
+    for (const Message& sub : event.message->batch()) {
+      if (sub.kind != MessageKind::kTupleSegment) continue;
+      uint64_t rows = sub.segment().num_rows;
+      segment_rows_sent_->Increment(rows);
+      segment_rows_->Record(rows);
+    }
+  }
   if (options_.per_arc) PerArcSends(event.from, event.to).Increment();
 }
 

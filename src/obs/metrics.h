@@ -149,8 +149,10 @@ class MetricsObserver : public ExecutionObserver {
   Counter* delivered_ = nullptr;
   Counter* fires_ = nullptr;
   Counter* dedup_hits_ = nullptr;
+  Counter* segment_rows_sent_ = nullptr;
   Histogram* handle_ns_ = nullptr;
   Histogram* tuples_out_ = nullptr;
+  Histogram* segment_rows_ = nullptr;  // rows per emitted segment
 
   // Per-node / per-arc handles are created lazily under mutex_.
   std::mutex mutex_;

@@ -29,6 +29,7 @@
 #define MPQE_OBS_OBSERVER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "msg/message.h"
@@ -72,13 +73,21 @@ struct DeliverEvent {
   ProcessId from = kNoProcess;
   ProcessId to = kNoProcess;
   MessageKind kind = MessageKind::kRelationRequest;
+  // Answer tuples that traveled inside this message's columnar
+  // segment(s): the segment's row count for kTupleSegment, the sum
+  // over packaged segments for kBatch, 0 otherwise.
+  uint64_t payload_rows = 0;
+  // Columnar segments inside this message: 1 for kTupleSegment, the
+  // packaged-segment count for kBatch, 0 otherwise.
+  uint64_t payload_segments = 0;
   // Wall time the receiver spent inside OnMessage.
   uint64_t handle_ns = 0;
 };
 
 // One node-process firing: a graph node handled one message
-// (engine/node_processes.cc). `tuples_in`/`tuples_out` count kTuple
-// payloads consumed/emitted during this firing; `dedup_hits` is how
+// (engine/node_processes.cc). `tuples_in`/`tuples_out` count answer
+// tuples consumed/emitted during this firing — bare kTuple payloads
+// and rows inside columnar segments both count; `dedup_hits` is how
 // many arrivals/results duplicate elimination rejected.
 struct NodeFireEvent {
   int32_t node = -1;  // graph NodeId
@@ -123,6 +132,24 @@ struct DeriveEvent {
   TupleRef values;                 // the derived tuple's values
 };
 
+// A run of first-derivations published as one event: the deriving node
+// absorbed a whole columnar segment in one firing
+// (engine/node_processes.cc, segmented path, lineage tracking only).
+// Row i of `segment` was derived with id `segment->lineage[i]` from
+// the single input `inputs[i]` (segment-batched derivations are
+// single-input unions; rule firings keep per-tuple DeriveEvents
+// because their input lists vary in length). The segment handle may be
+// retained — it is the same shared object the consumers receive — but
+// `inputs` is valid only for the duration of the callback. Serialized
+// per deriving process like OnDerive.
+struct DeriveBatchEvent {
+  int32_t node = -1;  // graph NodeId of the deriving node
+  NodeRole role = NodeRole::kGoal;
+  DeriveKind kind = DeriveKind::kUnion;
+  std::shared_ptr<const TupleSegment> segment;
+  const uint64_t* inputs = nullptr;  // one id per segment row
+};
+
 // A phase boundary (engine/evaluator.cc). Phases nest at most one
 // level deep and begin/end events alternate per phase.
 struct PhaseEvent {
@@ -160,6 +187,7 @@ class ExecutionObserver {
   virtual void OnDeliver(const DeliverEvent& event) { (void)event; }
   virtual void OnNodeFire(const NodeFireEvent& event) { (void)event; }
   virtual void OnDerive(const DeriveEvent& event) { (void)event; }
+  virtual void OnDeriveBatch(const DeriveBatchEvent& event) { (void)event; }
   virtual void OnPhase(const PhaseEvent& event) { (void)event; }
   virtual void OnTermination(const TerminationEvent& event) { (void)event; }
 };
@@ -192,6 +220,9 @@ class ObserverList {
   }
   void NotifyDerive(const DeriveEvent& event) const {
     for (ExecutionObserver* o : observers_) o->OnDerive(event);
+  }
+  void NotifyDeriveBatch(const DeriveBatchEvent& event) const {
+    for (ExecutionObserver* o : observers_) o->OnDeriveBatch(event);
   }
   void NotifyPhase(const PhaseEvent& event) const {
     for (ExecutionObserver* o : observers_) o->OnPhase(event);

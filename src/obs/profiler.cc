@@ -69,6 +69,12 @@ double NodeProfile::DupHitRate() const {
                          static_cast<double>(seen);
 }
 
+double NodeProfile::RowsPerSegmentOut() const {
+  return segments_out == 0 ? 0.0
+                           : static_cast<double>(segment_rows_out) /
+                                 static_cast<double>(segments_out);
+}
+
 double NodeProfile::Selectivity() const {
   return tuples_in == 0 ? 0.0
                         : static_cast<double>(tuples_out) /
@@ -132,6 +138,12 @@ std::string ProfileReport::ToJson() const {
                   ", \"msgs_in\": ", n.msgs_in, ", \"msgs_out\": ", n.msgs_out,
                   ", \"batch_envelopes_in\": ", n.batch_envelopes_in,
                   ", \"batch_envelopes_out\": ", n.batch_envelopes_out,
+                  ", \"segments_in\": ", n.segments_in,
+                  ", \"segments_out\": ", n.segments_out,
+                  ", \"segment_rows_in\": ", n.segment_rows_in,
+                  ", \"segment_rows_out\": ", n.segment_rows_out,
+                  ", \"rows_per_segment_out\": ",
+                  JsonDouble(n.RowsPerSegmentOut()),
                   ", \"fire_ns\": ", n.fire_ns,
                   ", \"queue_wait_ns\": ", n.queue_wait_ns);
     if (n.est_log10_tuples != kNoEstimate) {
@@ -187,7 +199,18 @@ void ProfilingObserver::OnSend(const SendEvent& event) {
   if (event.from >= 0) {
     PidStats& s = Stats(event.from);
     ++s.msgs_out;
-    if (event.message->kind == MessageKind::kBatch) ++s.batch_envelopes_out;
+    if (event.message->kind == MessageKind::kBatch) {
+      ++s.batch_envelopes_out;
+      for (const Message& sub : event.message->batch()) {
+        if (sub.kind == MessageKind::kTupleSegment) {
+          ++s.segments_out;
+          s.segment_rows_out += sub.segment().num_rows;
+        }
+      }
+    } else if (event.message->kind == MessageKind::kTupleSegment) {
+      ++s.segments_out;
+      s.segment_rows_out += event.message->segment().num_rows;
+    }
   }
 }
 
@@ -199,6 +222,8 @@ void ProfilingObserver::OnDeliver(const DeliverEvent& event) {
   ++s.msgs_in;
   if (event.kind == MessageKind::kBatch) ++s.batch_envelopes_in;
   if (event.kind == MessageKind::kTupleRequest) ++s.requests_in;
+  s.segments_in += event.payload_segments;
+  s.segment_rows_in += event.payload_rows;
   // Per-channel FIFO: the oldest in-flight send on this channel is the
   // one just delivered. The delivery *started* handle_ns ago.
   auto it = in_flight_sends_.find({event.from, event.to});
@@ -295,6 +320,10 @@ ProfileReport ProfilingObserver::Finalize() const {
     row.msgs_out = s.msgs_out;
     row.batch_envelopes_in = s.batch_envelopes_in;
     row.batch_envelopes_out = s.batch_envelopes_out;
+    row.segments_in = s.segments_in;
+    row.segments_out = s.segments_out;
+    row.segment_rows_in = s.segment_rows_in;
+    row.segment_rows_out = s.segment_rows_out;
     row.fire_ns = s.fire_ns;
     row.queue_wait_ns = s.queue_wait_ns;
     if (graph_ != nullptr) {

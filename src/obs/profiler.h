@@ -62,8 +62,17 @@ struct NodeProfile {
   uint64_t msgs_out = 0;      // physical sends
   uint64_t batch_envelopes_in = 0;
   uint64_t batch_envelopes_out = 0;
+  // Columnar segments (bare kTupleSegment messages plus segments
+  // packaged inside batch envelopes) and the rows they carried.
+  uint64_t segments_in = 0;
+  uint64_t segments_out = 0;
+  uint64_t segment_rows_in = 0;
+  uint64_t segment_rows_out = 0;
   uint64_t fire_ns = 0;        // wall time inside message handling
   uint64_t queue_wait_ns = 0;  // send-to-delivery-start latency
+
+  /// Mean rows per emitted segment (0 when none were emitted).
+  double RowsPerSegmentOut() const;
 
   // §4.3 estimates (rule nodes; kNoEstimate elsewhere). The estimate
   // is per tuple request, so the comparable figure is
@@ -161,6 +170,10 @@ class ProfilingObserver : public ExecutionObserver {
     uint64_t msgs_out = 0;
     uint64_t batch_envelopes_in = 0;
     uint64_t batch_envelopes_out = 0;
+    uint64_t segments_in = 0;
+    uint64_t segments_out = 0;
+    uint64_t segment_rows_in = 0;
+    uint64_t segment_rows_out = 0;
     uint64_t fire_ns = 0;
     uint64_t queue_wait_ns = 0;
     NodeRole role = NodeRole::kGoal;

@@ -88,6 +88,9 @@ void TraceExporter::OnSend(const SendEvent& event) {
   e.has_flow_id = true;
   e.name = StrCat("msg:", MessageKindToString(event.message->kind));
   e.args_json = StrCat("\"to\": ", event.to);
+  if (event.message->kind == MessageKind::kTupleSegment) {
+    e.args_json += StrCat(", \"rows\": ", event.message->segment().num_rows);
+  }
   Push(std::move(e));
 }
 
@@ -103,6 +106,9 @@ void TraceExporter::OnDeliver(const DeliverEvent& event) {
   slice.dur_us = dur;
   slice.name = MessageKindToString(event.kind);
   slice.args_json = StrCat("\"from\": ", event.from);
+  if (event.payload_rows > 0) {
+    slice.args_json += StrCat(", \"rows\": ", event.payload_rows);
+  }
   Push(std::move(slice));
   if (options_.flow_events) {
     std::pair<ProcessId, ProcessId> channel{event.from, event.to};

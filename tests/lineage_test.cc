@@ -166,7 +166,7 @@ TEST(LineageTest, SameGenerationProofPinned) {
   ASSERT_FALSE(matches.empty());
   EXPECT_EQ(
       result->lineage->FormatProof(matches.front()->id),
-      "sg(a, x)  (union #8)\n"
+      "sg(a, x)  (union #9)\n"
       "  rule#1[sg(a, _?7) :- up(a, _?13), sg(_?13, _?14), down(_?14, _?7).]"
       "  (rule #7)\n"
       "    up(a, m)  (edb #3)\n"

@@ -81,6 +81,16 @@ class StreamMonitor : public ExecutionObserver {
         if (!s.requested) ++s.answers_before_request;
         break;
       }
+      case MessageKind::kTupleSegment: {
+        // A segment is a run of tuples on one stream: every row is
+        // subject to the same ordering invariants.
+        StreamState& s = streams_[{m.from, to, m.binding}];
+        size_t rows = m.segment().num_rows;
+        EXPECT_GT(rows, 0u) << "empty segment on the wire";
+        if (s.ended) s.tuples_after_end += rows;
+        if (!s.requested) s.answers_before_request += rows;
+        break;
+      }
       case MessageKind::kEnd: {
         StreamState& s = streams_[{m.from, to, m.binding}];
         if (s.ended) ++s.double_ends;
@@ -88,7 +98,7 @@ class StreamMonitor : public ExecutionObserver {
         break;
       }
       case MessageKind::kBatch:
-        for (const Message& sub : m.batch) {
+        for (const Message& sub : m.batch()) {
           Message stamped = sub;
           stamped.from = m.from;
           ObserveLocked(to, stamped);
@@ -109,6 +119,7 @@ struct Config {
   uint64_t seed;
   bool coalesce;
   bool batch;
+  bool segments = true;
 };
 
 std::vector<Config> Configs() {
@@ -116,6 +127,7 @@ std::vector<Config> Configs() {
       {"det", SchedulerKind::kDeterministic, 0, false, false},
       {"det/coalesced", SchedulerKind::kDeterministic, 0, true, false},
       {"det/batched", SchedulerKind::kDeterministic, 0, false, true},
+      {"det/per-tuple", SchedulerKind::kDeterministic, 0, false, false, false},
       {"rand7", SchedulerKind::kRandom, 7, false, false},
       {"rand11/coalesced", SchedulerKind::kRandom, 11, true, false},
       {"threaded", SchedulerKind::kThreaded, 0, false, false},
@@ -135,6 +147,7 @@ TEST(StreamOrderTest, RecursiveCycleWorkload) {
     options.workers = 3;
     options.graph_options.coalesce_nodes = config.coalesce;
     options.batch_messages = config.batch;
+    options.segment_messages = config.segments;
     // Guard: a protocol regression must fail fast, not hang the test.
     options.max_messages = 1000000;
     options.observers.push_back(&monitor);
@@ -162,6 +175,7 @@ TEST(StreamOrderTest, MutualRecursionWorkload) {
     options.seed = config.seed;
     options.graph_options.coalesce_nodes = config.coalesce;
     options.batch_messages = config.batch;
+    options.segment_messages = config.segments;
     // Guard: a protocol regression must fail fast, not hang the test.
     options.max_messages = 1000000;
     options.observers.push_back(&monitor);
