@@ -1,0 +1,204 @@
+// mpqe_bench_concurrent: load benchmark for the prepared-query engine
+// — N concurrent session streams x M queries each over one
+// PreparedQuery and one shared DatabaseSnapshot, reporting throughput
+// (qps), per-query latency percentiles, and the plan-cache prepare
+// cost cold vs. hit.
+//
+//   $ ./mpqe_bench_concurrent --sessions=8 --queries=50 --scale=512
+//   $ ./mpqe_bench_concurrent --json=BENCH_engine.json
+//
+// Options:
+//   --sessions=<n>   concurrent session streams          (default 8)
+//   --queries=<m>    queries per stream                  (default 25)
+//   --scale=<k>      chain EDB size for the TC workload  (default 256)
+//   --workers=<n>    engine worker-pool size             (default = sessions)
+//   --repeats=<r>    hit-path Prepare calls to sample    (default 64)
+//   --json=<file>    write the machine-readable summary  (default stdout only)
+//
+// The prepare_hit_ns figure is the MEDIAN of `repeats` cache-hit
+// Prepare calls with byte-identical text (the raw-text alias path: no
+// parse, no adornment, no sips, no graph build). bench_guard.py
+// --prepare asserts prepare_cold_ns / prepare_hit_ns >= 10.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "engine/engine.h"
+#include "obs/metrics.h"
+#include "workload/generators.h"
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int Fail(const std::string& message) {
+  std::cerr << "mpqe_bench_concurrent: " << message << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int sessions = 8;
+  int queries = 25;
+  int64_t scale = 256;
+  int workers = 0;
+  int repeats = 64;
+  std::string json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&arg](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--sessions=", 0) == 0) {
+      sessions = std::stoi(value("--sessions="));
+    } else if (arg.rfind("--queries=", 0) == 0) {
+      queries = std::stoi(value("--queries="));
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      scale = std::stoll(value("--scale="));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      workers = std::stoi(value("--workers="));
+    } else if (arg.rfind("--repeats=", 0) == 0) {
+      repeats = std::stoi(value("--repeats="));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = value("--json=");
+    } else {
+      return Fail("unknown option: " + arg);
+    }
+  }
+  if (sessions < 1 || queries < 1 || scale < 2 || repeats < 1) {
+    return Fail("sessions/queries/repeats must be >= 1 and scale >= 2");
+  }
+
+  // The TC-over-a-chain example: one plan, shared by every stream.
+  mpqe::Database db;
+  if (auto s = mpqe::workload::MakeChain(db, "edge", scale); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  const std::string program_text = mpqe::workload::LinearTcProgram(0);
+
+  mpqe::MetricsRegistry metrics;
+  mpqe::EngineOptions engine_options;
+  engine_options.workers = workers > 0 ? workers : sessions;
+  engine_options.metrics = &metrics;
+  mpqe::Engine engine(engine_options);
+  auto snapshot = engine.Attach(std::move(db), "chain");
+
+  // Cold compile.
+  auto plan = engine.Prepare(snapshot, program_text);
+  if (!plan.ok()) return Fail(plan.status().ToString());
+  const uint64_t prepare_cold_ns = engine.plan_cache_stats().last_prepare_ns;
+
+  // Hit path: byte-identical text, median of `repeats` samples.
+  std::vector<uint64_t> hit_samples;
+  hit_samples.reserve(static_cast<size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) {
+    auto hit = engine.Prepare(snapshot, program_text);
+    if (!hit.ok()) return Fail(hit.status().ToString());
+    if (hit->get() != plan->get()) return Fail("cache hit rebuilt the plan");
+    hit_samples.push_back(engine.plan_cache_stats().last_prepare_ns);
+  }
+  std::sort(hit_samples.begin(), hit_samples.end());
+  const uint64_t prepare_hit_ns = hit_samples[hit_samples.size() / 2];
+
+  // N streams x M queries. Each stream task runs its queries
+  // back-to-back; streams overlap on the worker pool.
+  mpqe::Histogram latency;
+  std::atomic<uint64_t> failures{0};
+  const size_t expected_answers =
+      static_cast<size_t>(scale) - 1;  // tc(0, W) reaches 1..scale-1
+  const uint64_t wall_start = NowNs();
+  std::vector<std::future<void>> streams;
+  streams.reserve(static_cast<size_t>(sessions));
+  for (int s = 0; s < sessions; ++s) {
+    streams.push_back(engine.Submit([&] {
+      for (int q = 0; q < queries; ++q) {
+        auto session = engine.CreateSession(*plan);
+        if (!session.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto result = (*session)->Run();
+        if (!result.ok() || result->answers.size() != expected_answers) {
+          failures.fetch_add(1);
+          continue;
+        }
+        latency.Record((*session)->latency_ns());
+      }
+    }));
+  }
+  for (auto& stream : streams) stream.get();
+  const uint64_t wall_ns = NowNs() - wall_start;
+
+  if (failures.load() != 0) {
+    return Fail(mpqe::StrCat(failures.load(), " of ", sessions * queries,
+                             " queries failed or returned wrong answers"));
+  }
+
+  const uint64_t total_queries =
+      static_cast<uint64_t>(sessions) * static_cast<uint64_t>(queries);
+  const double qps =
+      wall_ns == 0 ? 0.0
+                   : static_cast<double>(total_queries) * 1e9 /
+                         static_cast<double>(wall_ns);
+  mpqe::PlanCacheStats cache = engine.plan_cache_stats();
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"workload\": \"linear_tc_chain\",\n"
+       << "  \"scale\": " << scale << ",\n"
+       << "  \"sessions\": " << sessions << ",\n"
+       << "  \"queries_per_session\": " << queries << ",\n"
+       << "  \"total_queries\": " << total_queries << ",\n"
+       << "  \"engine_workers\": " << engine.workers() << ",\n"
+       << "  \"wall_ns\": " << wall_ns << ",\n"
+       << "  \"qps\": " << qps << ",\n"
+       << "  \"latency_ns\": {\n"
+       << "    \"count\": " << latency.count() << ",\n"
+       << "    \"mean\": " << latency.mean() << ",\n"
+       << "    \"min\": " << latency.min() << ",\n"
+       << "    \"max\": " << latency.max() << ",\n"
+       << "    \"p50\": " << latency.Percentile(50) << ",\n"
+       << "    \"p95\": " << latency.Percentile(95) << ",\n"
+       << "    \"p99\": " << latency.Percentile(99) << "\n"
+       << "  },\n"
+       << "  \"prepare_cold_ns\": " << prepare_cold_ns << ",\n"
+       << "  \"prepare_hit_ns\": " << prepare_hit_ns << ",\n"
+       << "  \"prepare_speedup\": "
+       << (prepare_hit_ns == 0
+               ? static_cast<double>(prepare_cold_ns)
+               : static_cast<double>(prepare_cold_ns) /
+                     static_cast<double>(prepare_hit_ns))
+       << ",\n"
+       << "  \"plan_cache\": {\n"
+       << "    \"hits\": " << cache.hits << ",\n"
+       << "    \"misses\": " << cache.misses << ",\n"
+       << "    \"evictions\": " << cache.evictions << ",\n"
+       << "    \"size\": " << cache.size << "\n"
+       << "  }\n"
+       << "}\n";
+
+  std::cout << json.str();
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) return Fail("cannot write " + json_path);
+    out << json.str();
+    std::cerr << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

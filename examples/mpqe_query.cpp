@@ -1,10 +1,12 @@
 // mpqe_query: command-line Datalog evaluator over the message-passing
 // engine. Reads a program (facts + rules + query) from a file or
-// stdin, evaluates it, and prints answers plus telemetry.
+// stdin, compiles it into one PreparedQuery via the engine lifecycle
+// (engine/engine.h), runs it, and prints answers plus telemetry.
 //
 //   $ ./mpqe_query program.dl
 //   $ ./mpqe_query --strategy=no_sips --scheduler=threaded program.dl
 //   $ echo 'e(1,2). p(X,Y) :- e(X,Y). ?- p(1,W).' | ./mpqe_query -
+//   $ ./mpqe_query --repeat=100 --stats program.dl   # plan-cache hits
 //
 // Options:
 //   --strategy=<greedy|greedy_no_e|left_to_right|qual_tree|
@@ -12,13 +14,18 @@
 //   --scheduler=<deterministic|random|threaded>
 //   --seed=<n>         (random scheduler)
 //   --workers=<n>      (threaded scheduler)
+//   --repeat=<n>       prepare + run the query n times through the
+//                      engine's plan cache (run 1 compiles, runs 2..n
+//                      hit) and report per-run latency percentiles and
+//                      the cache counters
 //   --coalesce         coalesce goal nodes (single-processor variant)
 //   --batch            package emitted messages per destination
 //   --load=rel=file    bulk-load TSV facts into relation `rel`
 //                      (repeatable; loaded before evaluation)
 //   --graph            print the rule/goal graph before evaluating
 //   --dot              print the graph in Graphviz DOT and exit
-//   --stats            print message/engine statistics
+//   --stats            print message/engine statistics, the plan-cache
+//                      counters, and the session latency histogram
 //   --explain          print the adorned plan with §4.3 cost estimates
 //                      (sized from the EDB) and exit without running
 //   --explain=analyze  run with the profiler, then print the plan with
@@ -50,12 +57,12 @@
 #include <vector>
 
 #include "datalog/parser.h"
+#include "engine/engine.h"
 #include "engine/evaluator.h"
 #include "obs/explain.h"
+#include "obs/metrics.h"
 #include "relational/io.h"
 #include "graph/rule_goal_graph.h"
-#include "sips/cost_model.h"
-#include "sips/strategy.h"
 
 namespace {
 
@@ -72,6 +79,7 @@ int main(int argc, char** argv) {
   std::string scheduler = "deterministic";
   uint64_t seed = 1;
   int workers = 4;
+  int repeat = 1;
   bool show_graph = false, show_dot = false, show_stats = false;
   bool coalesce = false;
   bool batch = false;
@@ -97,6 +105,9 @@ int main(int argc, char** argv) {
       seed = std::stoull(value("--seed="));
     } else if (arg.rfind("--workers=", 0) == 0) {
       workers = std::stoi(value("--workers="));
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      repeat = std::stoi(value("--repeat="));
+      if (repeat < 1) return Fail("--repeat must be >= 1");
     } else if (arg == "--coalesce") {
       coalesce = true;
     } else if (arg == "--batch") {
@@ -159,59 +170,9 @@ int main(int argc, char** argv) {
     std::cerr << "loaded " << stats->rows << " rows into " << rel << " ("
               << stats->duplicates << " duplicates)\n";
   }
-  if (auto s = unit->program.Validate(&unit->database); !s.ok()) {
-    return Fail(s.ToString());
-  }
 
-  mpqe::GraphBuildOptions graph_options;
-  graph_options.coalesce_nodes = coalesce;
-  bool profiling = analyze || !profile_out.empty();
-
-  // EXPLAIN and the profile report need the graph in hand, so build it
-  // here and evaluate over it instead of letting Evaluate rebuild.
-  std::unique_ptr<mpqe::RuleGoalGraph> graph;
-  if (show_graph || show_dot || explain || profiling) {
-    auto strat = mpqe::MakeStrategyByName(strategy);
-    if (!strat.ok()) return Fail(strat.status().ToString());
-    auto built =
-        mpqe::RuleGoalGraph::Build(unit->program, **strat, graph_options);
-    if (!built.ok()) return Fail(built.status().ToString());
-    graph = std::move(*built);
-    if (show_dot) {
-      std::cout << GraphToDot(*graph, &unit->database.symbols());
-      return 0;
-    }
-    if (show_graph) {
-      std::cout << graph->ToString(&unit->database.symbols()) << "\n";
-    }
-  }
-
-  if (explain && !analyze) {
-    // Plain EXPLAIN: estimates only, no evaluation.
-    std::cout << mpqe::ExplainPlan(
-        *graph,
-        mpqe::CostModelParamsFromDatabase(unit->program, unit->database),
-        nullptr, &unit->database.symbols());
-    return 0;
-  }
-
-  mpqe::EvaluationOptions options;
-  options.graph_options = graph_options;
-  options.batch_messages = batch;
-  options.strategy = strategy;
-  options.seed = seed;
-  options.workers = workers;
-  options.profile = profiling;
-  bool lineage = !why.empty() || !lineage_out.empty();
-  options.lineage = lineage;
-  options.log_level = log_level;
-  options.progress_interval_ms = progress_interval_ms;
-  auto scheduler_kind = mpqe::SchedulerKindFromName(scheduler);
-  if (!scheduler_kind.ok()) return Fail(scheduler_kind.status().ToString());
-  options.scheduler = *scheduler_kind;
-
-  // Parse the --why atom before running so a malformed query fails
-  // fast (the symbols it interns are shared with the program's).
+  // Parse the --why atom before the database moves into the snapshot
+  // (the symbols it interns are shared with the program's).
   std::optional<mpqe::LineageQuery> why_query;
   if (!why.empty()) {
     auto parsed = mpqe::ParseLineageQuery(why, unit->database.symbols());
@@ -219,20 +180,74 @@ int main(int argc, char** argv) {
     why_query = *std::move(parsed);
   }
 
-  auto result =
-      graph != nullptr
-          ? mpqe::EvaluateWithGraph(*graph, unit->database, options)
-          : mpqe::Evaluate(unit->program, unit->database, options);
-  if (!result.ok()) return Fail(result.status().ToString());
+  // The engine lifecycle: snapshot the EDB, compile the program into
+  // one PreparedQuery (cached), run sessions over it.
+  mpqe::MetricsRegistry engine_metrics;
+  mpqe::EngineOptions engine_options;
+  engine_options.metrics = &engine_metrics;
+  mpqe::Engine engine(engine_options);
+  auto snapshot = engine.Attach(std::move(unit->database), path);
+  const mpqe::SymbolTable& symbols = snapshot->db().symbols();
+
+  mpqe::PlanOptions plan_options;
+  plan_options.strategy = strategy;
+  plan_options.graph_options.coalesce_nodes = coalesce;
+
+  auto plan = engine.Prepare(snapshot, unit->program, plan_options);
+  if (!plan.ok()) return Fail(plan.status().ToString());
+
+  if (show_dot) {
+    std::cout << GraphToDot((*plan)->graph(), &symbols);
+    return 0;
+  }
+  if (show_graph) {
+    std::cout << (*plan)->graph().ToString(&symbols) << "\n";
+  }
+  if (explain && !analyze) {
+    // Plain EXPLAIN: estimates only, no evaluation.
+    std::cout << mpqe::ExplainPlan((*plan)->graph(), (*plan)->cost_params(),
+                                   nullptr, &symbols);
+    return 0;
+  }
+
+  bool profiling = analyze || !profile_out.empty();
+  mpqe::SessionOptions session_options;
+  session_options.batch_messages = batch;
+  session_options.seed = seed;
+  session_options.workers = workers;
+  session_options.profile = profiling;
+  bool lineage = !why.empty() || !lineage_out.empty();
+  session_options.lineage = lineage;
+  session_options.log_level = log_level;
+  session_options.progress_interval_ms = progress_interval_ms;
+  auto scheduler_kind = mpqe::SchedulerKindFromName(scheduler);
+  if (!scheduler_kind.ok()) return Fail(scheduler_kind.status().ToString());
+  session_options.scheduler = *scheduler_kind;
+
+  // Run 1 pays the cold compile above; with --repeat every later
+  // iteration re-Prepares (a plan-cache hit: no parse, no adornment,
+  // no sips, no graph build) and runs a fresh session over the same
+  // compiled plan.
+  std::optional<mpqe::EvaluationResult> result;
+  for (int run = 0; run < repeat; ++run) {
+    if (run > 0) {
+      plan = engine.Prepare(snapshot, unit->program, plan_options);
+      if (!plan.ok()) return Fail(plan.status().ToString());
+    }
+    auto session = engine.CreateSession(*plan, session_options);
+    if (!session.ok()) return Fail(session.status().ToString());
+    auto run_result = (*session)->Run();
+    if (!run_result.ok()) return Fail(run_result.status().ToString());
+    if (!result.has_value()) result = *std::move(run_result);
+  }
 
   if (analyze) {
     mpqe::ExplainOptions explain_options;
     explain_options.analyze = true;
     explain_options.deviation_factor = deviation_factor;
-    std::cout << mpqe::ExplainPlan(
-        *graph,
-        mpqe::CostModelParamsFromDatabase(unit->program, unit->database),
-        result->profile.get(), &unit->database.symbols(), explain_options);
+    std::cout << mpqe::ExplainPlan((*plan)->graph(), (*plan)->cost_params(),
+                                   result->profile.get(), &symbols,
+                                   explain_options);
   } else if (why_query.has_value()) {
     // WHY: print the minimal proof tree instead of the answer listing.
     auto matches = result->lineage->Match(*why_query);
@@ -250,7 +265,7 @@ int main(int argc, char** argv) {
     }
   } else {
     for (const mpqe::Tuple& t : result->answers.SortedTuples()) {
-      std::cout << mpqe::TupleToString(t, &unit->database.symbols()) << "\n";
+      std::cout << mpqe::TupleToString(t, &symbols) << "\n";
     }
   }
   if (!lineage_out.empty()) {
@@ -267,6 +282,13 @@ int main(int argc, char** argv) {
     std::cerr << "profile written to " << profile_out << "\n";
   }
   std::cerr << result->answers.size() << " answer(s)\n";
+  if (show_stats || repeat > 1) {
+    std::cerr << engine.plan_cache_stats().ToString() << "\n"
+              << "session latency: "
+              << engine_metrics.GetHistogram("engine/session_latency_ns")
+                     .ToString()
+              << "\n";
+  }
   if (show_stats) {
     std::cerr << "messages: " << result->message_stats.ToString() << "\n"
               << "counters: " << result->counters.ToString() << "\n"

@@ -39,7 +39,8 @@ fi
 
 cmake -S "${repo}" -B "${build}" "${cmake_args[@]}" >/dev/null
 cmake --build "${build}" -j "$(nproc)" \
-  --target bench_runtime_micro bench_duplicate_elimination >/dev/null
+  --target bench_runtime_micro bench_duplicate_elimination \
+  mpqe_bench_concurrent >/dev/null
 
 # Our binaries' build type, read back from the configured cache — this
 # is what BENCH_*.json certifies, independent of the library flavor.
@@ -63,6 +64,14 @@ pair_json="${build}/bench_segment_pair.json"
   --benchmark_filter='BM_SegmentHop(Dedup|Lineage)$' \
   --benchmark_out="${pair_json}" --benchmark_out_format=json \
   --benchmark_repetitions=5 >&2
+
+# Prepared-query engine load bench: concurrent sessions over one plan
+# plus the plan-cache cold/hit prepare costs. bench_guard.py --prepare
+# (CI) asserts the hit path stays >= 10x faster than a cold compile.
+engine_json="$(dirname "$out")/BENCH_engine.json"
+"${build}/bench/mpqe_bench_concurrent" \
+  --sessions=8 --queries=25 --scale=512 --json="${engine_json}" >&2
+python3 "${repo}/scripts/bench_guard.py" --prepare "${engine_json}"
 
 MPQE_BUILD_TYPE="${build_type}" \
 python3 - "$out" "$micro_json" "$dedup_json" "$pair_json" <<'EOF'

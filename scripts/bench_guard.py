@@ -1,5 +1,25 @@
 #!/usr/bin/env python3
-"""Fail if the segmented lineage overhead regresses past the guard.
+"""Fail if a recorded performance guard regresses.
+
+Two modes:
+
+Lineage overhead (default):
+
+    bench_guard.py BENCH_obs.json fresh_micro.json
+
+Plan-cache prepare speedup:
+
+    bench_guard.py --prepare BENCH_engine.json [min_speedup]
+
+The --prepare mode reads the summary written by mpqe_bench_concurrent
+(scripts/bench.sh records it as BENCH_engine.json) and fails unless
+the plan-cache hit path is at least min_speedup (default 10) times
+faster than the cold compile on the transitive-closure example —
+prepare_cold_ns / prepare_hit_ns >= min_speedup. A hit that slow means
+the cache stopped short-circuiting parse/adorn/sips/graph-build.
+
+Lineage mode: BENCH_obs.json is the recorded summary written by
+scripts/bench.sh; fresh_micro.json is raw google-benchmark output.
 
 Usage: bench_guard.py BENCH_obs.json fresh_micro.json
 
@@ -36,7 +56,38 @@ def load(path):
         fail(f"cannot load {path}: {e}")
 
 
+def check_prepare(engine_path, min_speedup):
+    doc = load(engine_path)
+    cold = doc.get("prepare_cold_ns")
+    hit = doc.get("prepare_hit_ns")
+    if not isinstance(cold, (int, float)) or cold <= 0:
+        fail(f"{engine_path} prepare_cold_ns is {cold!r}")
+    if not isinstance(hit, (int, float)) or hit < 0:
+        fail(f"{engine_path} prepare_hit_ns is {hit!r}")
+    # A hit measured as 0 ns is below clock resolution — infinitely
+    # faster than the cold compile, which trivially passes.
+    speedup = float("inf") if hit == 0 else cold / hit
+    if speedup < min_speedup:
+        fail(f"plan-cache hit path is only {speedup:.1f}x faster than cold "
+             f"prepare (cold={cold} ns, hit={hit} ns), expected >= "
+             f"{min_speedup}x")
+    cache = doc.get("plan_cache", {})
+    if cache.get("hits", 0) < 1:
+        fail(f"{engine_path} records no plan-cache hits")
+    print(f"bench_guard: OK: plan-cache hit path {speedup:.1f}x faster than "
+          f"cold prepare (cold={cold} ns, hit={hit} ns, guard "
+          f">= {min_speedup}x)")
+    sys.exit(0)
+
+
 def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "--prepare":
+        if len(sys.argv) not in (3, 4):
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        min_speedup = float(sys.argv[3]) if len(sys.argv) == 4 else 10.0
+        check_prepare(sys.argv[2], min_speedup)
+        return
     if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)
         sys.exit(2)

@@ -157,8 +157,13 @@ class Lexer {
 
 class ParserImpl {
  public:
-  ParserImpl(std::string_view text, Program& program, Database& db)
-      : lexer_(text), program_(program), db_(db) {}
+  // `fact_db` may be null: then the text must contain rules/queries
+  // only and any fact is a parse error (the rules-only entry point of
+  // Engine::Prepare, where the EDB snapshot is immutable).
+  ParserImpl(std::string_view text, Program& program, SymbolTable& symbols,
+             Database* fact_db)
+      : lexer_(text), program_(program), symbols_(symbols),
+        fact_db_(fact_db) {}
 
   Status Run() {
     MPQE_RETURN_IF_ERROR(Advance());
@@ -213,6 +218,13 @@ class ParserImpl {
   }
 
   Status AddFact(const Atom& atom, int line) {
+    if (fact_db_ == nullptr) {
+      return InvalidArgumentError(
+          StrCat("line ", line, ": fact for ",
+                 program_.predicates().Name(atom.predicate),
+                 " not allowed here; prepared-query text holds rules and "
+                 "queries only (the EDB comes from the snapshot)"));
+    }
     Tuple tuple;
     tuple.reserve(atom.args.size());
     for (const Term& t : atom.args) {
@@ -226,8 +238,8 @@ class ParserImpl {
     }
     MPQE_ASSIGN_OR_RETURN(
         bool inserted,
-        db_.InsertFact(program_.predicates().Name(atom.predicate),
-                       std::move(tuple)));
+        fact_db_->InsertFact(program_.predicates().Name(atom.predicate),
+                             std::move(tuple)));
     (void)inserted;  // duplicate facts are silently merged
     return Status::Ok();
   }
@@ -282,7 +294,7 @@ class ParserImpl {
       case TokenKind::kIdent:
       case TokenKind::kString: {
         MPQE_RETURN_IF_ERROR(Advance());
-        return Term::Const(db_.Sym(t.text));
+        return Term::Const(symbols_.Symbol(t.text));
       }
       case TokenKind::kInteger: {
         MPQE_RETURN_IF_ERROR(Advance());
@@ -309,7 +321,8 @@ class ParserImpl {
 
   Lexer lexer_;
   Program& program_;
-  Database& db_;
+  SymbolTable& symbols_;
+  Database* fact_db_;
   Token current_{TokenKind::kEof, "", 0, 0};
   std::unordered_map<std::string, VariableId> clause_variables_;
   int clause_counter_ = 0;
@@ -318,7 +331,13 @@ class ParserImpl {
 }  // namespace
 
 Status ParseInto(std::string_view text, Program& program, Database& db) {
-  ParserImpl impl(text, program, db);
+  ParserImpl impl(text, program, db.symbols(), &db);
+  return impl.Run();
+}
+
+Status ParseRulesInto(std::string_view text, Program& program,
+                      SymbolTable& symbols) {
+  ParserImpl impl(text, program, symbols, nullptr);
   return impl.Run();
 }
 

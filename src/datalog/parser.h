@@ -43,6 +43,15 @@ Status ParseInto(std::string_view text, Program& program, Database& db);
 /// Parses `text` into a fresh Program + Database pair.
 StatusOr<ParsedUnit> Parse(std::string_view text);
 
+/// Parses rules/queries only, interning constants into `symbols`
+/// (which must be the symbol table of the database the program will
+/// run against). Facts are rejected with InvalidArgument — the entry
+/// point of Engine::Prepare, where the EDB is an immutable snapshot.
+/// SymbolTable interning is internally synchronized, so concurrent
+/// Prepare calls over one snapshot are safe.
+Status ParseRulesInto(std::string_view text, Program& program,
+                      SymbolTable& symbols);
+
 }  // namespace mpqe
 
 #endif  // MPQE_DATALOG_PARSER_H_

@@ -1,0 +1,388 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/string_util.h"
+#include "datalog/parser.h"
+#include "sips/strategy.h"
+
+namespace mpqe {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// The non-text part of a plan-cache key: every input that changes the
+// compiled plan besides the program itself.
+std::string KeyPrefix(const DatabaseSnapshot& snapshot,
+                      const PlanOptions& options) {
+  return StrCat("snap=", snapshot.uid(), ";strategy=", options.strategy,
+                ";max_nodes=", options.graph_options.max_nodes,
+                ";coalesce=", options.graph_options.coalesce_nodes ? 1 : 0,
+                ";");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// EngineOptions
+
+Status EngineOptions::Validate() const {
+  if (workers < 0) {
+    return InvalidArgumentError(
+        StrCat("workers: must be >= 0 (0 = auto), got ", workers));
+  }
+  if (plan_cache_capacity < 1) {
+    return InvalidArgumentError("plan_cache_capacity: must be >= 1");
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// DatabaseSnapshot
+
+int DatabaseSnapshot::running_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+Status DatabaseSnapshot::ValidateProgram(const Program& program) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_ == 0 && !exclusive_running_) {
+    return program.Validate(&db_);
+  }
+  // Sessions in flight: the catalog is frozen under them. Validate
+  // without a database, then check EDB atoms against the catalog
+  // read-only — a relation Program::Validate would have created is a
+  // FailedPrecondition here.
+  MPQE_RETURN_IF_ERROR(program.Validate(nullptr));
+  for (const Rule& rule : program.rules()) {
+    for (const Atom& atom : rule.body) {
+      if (!program.IsEdb(atom.predicate)) continue;
+      const std::string& name = program.predicates().Name(atom.predicate);
+      const Relation* relation = db_.GetRelation(name);
+      if (relation == nullptr) {
+        return FailedPreconditionError(
+            StrCat("EDB relation ", name,
+                   " does not exist and cannot be created while ", running_,
+                   " session(s) are running on snapshot ", uid_));
+      }
+      if (relation->arity() != atom.args.size()) {
+        return InvalidArgumentError(
+            StrCat("EDB predicate ", name, " used with arity ",
+                   atom.args.size(), " but relation has arity ",
+                   relation->arity()));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+size_t DatabaseSnapshot::EnsureIndexes(
+    const std::vector<EdbIndexSpec>& specs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t skipped = 0;
+  for (const EdbIndexSpec& spec : specs) {
+    Relation* relation = db_.GetMutableRelation(spec.relation);
+    if (relation == nullptr) continue;
+    size_t handle = 0;
+    if (relation->FindIndex(spec.key_columns, &handle)) continue;
+    if (running_ > 0 || exclusive_running_) {
+      // Sessions are probing these relations right now; building would
+      // race them. The plan's leaves degrade to scans for this index.
+      ++skipped;
+      continue;
+    }
+    relation->EnsureIndex(spec.key_columns);
+  }
+  return skipped;
+}
+
+Status DatabaseSnapshot::BeginSession(bool exclusive) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (exclusive_running_) {
+    return FailedPreconditionError(
+        StrCat("snapshot ", uid_,
+               " is held exclusively by a lineage session"));
+  }
+  if (exclusive && running_ > 0) {
+    return FailedPreconditionError(
+        StrCat("lineage requires exclusive snapshot access, but ", running_,
+               " session(s) are running on snapshot ", uid_));
+  }
+  ++running_;
+  exclusive_running_ = exclusive;
+  return Status::Ok();
+}
+
+void DatabaseSnapshot::EndSession(bool exclusive) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --running_;
+  if (exclusive) exclusive_running_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// PreparedQuery
+
+std::string PreparedQuery::Describe() const {
+  GraphStats stats = graph_->Stats();
+  return StrCat("plan: nodes=", stats.node_count,
+                " nontrivial_sccs=", stats.nontrivial_sccs,
+                " strategy=", plan_options_.strategy,
+                " edb_indexes=", index_specs_.size(),
+                " prepare_ns=", prepare_ns_);
+}
+
+// ---------------------------------------------------------------------------
+// QuerySession
+
+StatusOr<EvaluationResult> QuerySession::Run() {
+  bool expected = false;
+  if (!ran_.compare_exchange_strong(expected, true)) {
+    return FailedPreconditionError(
+        "QuerySession::Run called twice; sessions are single-use");
+  }
+  DatabaseSnapshot& snapshot = *plan_->snapshot();
+  // Lineage instrumentation writes tuple-id allocators into the shared
+  // EDB relations, so it needs the snapshot to itself; everything else
+  // shares. Exclusive sessions may also register indexes (kRegister),
+  // shared ones must not (kLookupOnly).
+  const bool exclusive = options_.lineage;
+  MPQE_RETURN_IF_ERROR(snapshot.BeginSession(exclusive));
+  const uint64_t start = NowNs();
+  StatusOr<EvaluationResult> result =
+      RunSession(plan_->graph(), snapshot.db_, options_,
+                 exclusive ? EdbIndexMode::kRegister
+                           : EdbIndexMode::kLookupOnly);
+  latency_ns_ = NowNs() - start;
+  snapshot.EndSession(exclusive);
+  engine_->RecordSessionLatency(latency_ns_);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)),
+      plan_cache_(std::max<size_t>(1, options_.plan_cache_capacity)) {
+  int n = options_.workers;
+  if (n <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    n = static_cast<int>(std::clamp(hw, 2u, 8u));
+  }
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    stopping_ = true;
+  }
+  pool_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void Engine::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(pool_mutex_);
+      pool_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue before exiting: everything Submit accepted
+      // runs, even if the Engine is being destroyed.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> Engine::Submit(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> future = task->get_future();
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    queue_.emplace_back([task] { (*task)(); });
+  }
+  pool_cv_.notify_one();
+  return future;
+}
+
+std::shared_ptr<DatabaseSnapshot> Engine::Attach(Database db,
+                                                 std::string name) {
+  uint64_t uid = next_snapshot_uid_.fetch_add(1, std::memory_order_relaxed);
+  if (name.empty()) name = StrCat("snapshot-", uid);
+  return std::shared_ptr<DatabaseSnapshot>(
+      new DatabaseSnapshot(std::move(db), std::move(name), uid));
+}
+
+StatusOr<std::shared_ptr<const PreparedQuery>> Engine::Prepare(
+    const std::shared_ptr<DatabaseSnapshot>& snapshot,
+    std::string_view program_text, const PlanOptions& options) {
+  return PrepareImpl(snapshot, nullptr, program_text, options);
+}
+
+StatusOr<std::shared_ptr<const PreparedQuery>> Engine::Prepare(
+    const std::shared_ptr<DatabaseSnapshot>& snapshot, const Program& program,
+    const PlanOptions& options) {
+  return PrepareImpl(snapshot, &program, std::string_view(), options);
+}
+
+StatusOr<std::shared_ptr<const PreparedQuery>> Engine::PrepareImpl(
+    const std::shared_ptr<DatabaseSnapshot>& snapshot, const Program* program,
+    std::string_view program_text, const PlanOptions& options) {
+  if (snapshot == nullptr) {
+    return InvalidArgumentError("Prepare: snapshot must not be null");
+  }
+  MPQE_RETURN_IF_ERROR(options.Validate());
+  const uint64_t start = NowNs();
+  Counter* hit_counter =
+      options_.metrics ? &options_.metrics->GetCounter("plan_cache/hit")
+                       : nullptr;
+  Counter* miss_counter =
+      options_.metrics ? &options_.metrics->GetCounter("plan_cache/miss")
+                       : nullptr;
+
+  const std::string prefix = KeyPrefix(*snapshot, options);
+
+  // Fast path: byte-identical raw text seen before — no parse at all.
+  std::string raw_key;
+  if (program == nullptr) {
+    raw_key = StrCat("raw;", prefix, program_text);
+    if (std::shared_ptr<const PreparedQuery> plan =
+            plan_cache_.Lookup(raw_key, /*count_miss=*/false)) {
+      last_prepare_ns_.store(NowNs() - start, std::memory_order_relaxed);
+      if (hit_counter) hit_counter->Increment();
+      if (options_.metrics) {
+        options_.metrics->GetHistogram("engine/prepare_ns")
+            .Record(last_prepare_ns_.load(std::memory_order_relaxed));
+      }
+      return plan;
+    }
+  }
+
+  // Parse (text path) and canonicalize.
+  Program parsed;
+  if (program == nullptr) {
+    Status parse_status =
+        ParseRulesInto(program_text, parsed, snapshot->db_.symbols());
+    if (!parse_status.ok()) {
+      if (miss_counter) miss_counter->Increment();
+      return parse_status;
+    }
+    program = &parsed;
+  }
+  std::string canonical_text = program->ToString(&snapshot->db().symbols());
+  std::string canonical_key = StrCat("canon;", prefix, canonical_text);
+
+  std::shared_ptr<const PreparedQuery> plan =
+      plan_cache_.Lookup(canonical_key);
+  const bool hit = plan != nullptr;
+  if (!hit) {
+    MPQE_ASSIGN_OR_RETURN(
+        plan, Compile(snapshot, *program, std::move(canonical_text), options));
+    plan_cache_.Insert(canonical_key, plan);
+  }
+  if (!raw_key.empty()) plan_cache_.AddAlias(raw_key, canonical_key);
+
+  last_prepare_ns_.store(NowNs() - start, std::memory_order_relaxed);
+  if (hit && hit_counter) hit_counter->Increment();
+  if (!hit && miss_counter) miss_counter->Increment();
+  if (options_.metrics) {
+    options_.metrics->GetHistogram("engine/prepare_ns")
+        .Record(last_prepare_ns_.load(std::memory_order_relaxed));
+  }
+  return plan;
+}
+
+StatusOr<std::shared_ptr<const PreparedQuery>> Engine::Compile(
+    const std::shared_ptr<DatabaseSnapshot>& snapshot, const Program& program,
+    std::string canonical_text, const PlanOptions& options) {
+  const uint64_t start = NowNs();
+  auto plan = std::shared_ptr<PreparedQuery>(new PreparedQuery());
+  plan->snapshot_ = snapshot;
+  plan->plan_options_ = options;
+  plan->canonical_text_ = std::move(canonical_text);
+  // The graph keeps a pointer to its program, so the plan owns a copy
+  // with the same lifetime.
+  plan->program_ = std::make_unique<Program>(program);
+
+  if (!options.skip_validation) {
+    MPQE_RETURN_IF_ERROR(snapshot->ValidateProgram(*plan->program_));
+  }
+  MPQE_ASSIGN_OR_RETURN(std::unique_ptr<SipsStrategy> strategy,
+                        MakeStrategyByName(options.strategy));
+  MPQE_ASSIGN_OR_RETURN(
+      plan->graph_, RuleGoalGraph::Build(*plan->program_, *strategy,
+                                         options.graph_options));
+  // Decide and build physical access paths now so sessions never touch
+  // the relation catalog.
+  plan->index_specs_ = ComputeEdbIndexSpecs(*plan->graph_);
+  size_t skipped = snapshot->EnsureIndexes(plan->index_specs_);
+  if (skipped > 0 && options_.metrics) {
+    options_.metrics->GetCounter("plan_cache/index_builds_skipped")
+        .Increment(skipped);
+  }
+  plan->cost_params_ =
+      CostModelParamsFromDatabase(*plan->program_, snapshot->db());
+  plan->prepare_ns_ = NowNs() - start;
+  return std::shared_ptr<const PreparedQuery>(std::move(plan));
+}
+
+StatusOr<std::unique_ptr<QuerySession>> Engine::CreateSession(
+    std::shared_ptr<const PreparedQuery> plan, const SessionOptions& options) {
+  if (plan == nullptr) {
+    return InvalidArgumentError("CreateSession: plan must not be null");
+  }
+  MPQE_RETURN_IF_ERROR(options.Validate());
+  if (options_.metrics) {
+    options_.metrics->GetCounter("engine/sessions").Increment();
+  }
+  return std::unique_ptr<QuerySession>(
+      new QuerySession(this, std::move(plan), options));
+}
+
+std::future<StatusOr<EvaluationResult>> Engine::RunAsync(
+    std::shared_ptr<const PreparedQuery> plan, const SessionOptions& options) {
+  auto promise =
+      std::make_shared<std::promise<StatusOr<EvaluationResult>>>();
+  std::future<StatusOr<EvaluationResult>> future = promise->get_future();
+  StatusOr<std::unique_ptr<QuerySession>> session =
+      CreateSession(std::move(plan), options);
+  if (!session.ok()) {
+    promise->set_value(session.status());
+    return future;
+  }
+  auto shared_session =
+      std::shared_ptr<QuerySession>(std::move(session).value());
+  Submit([promise, shared_session] {
+    promise->set_value(shared_session->Run());
+  });
+  return future;
+}
+
+void Engine::RecordSessionLatency(uint64_t ns) {
+  if (options_.metrics) {
+    options_.metrics->GetHistogram("engine/session_latency_ns").Record(ns);
+  }
+}
+
+PlanCacheStats Engine::plan_cache_stats() const {
+  PlanCacheStats stats = plan_cache_.stats();
+  stats.last_prepare_ns = last_prepare_ns_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace mpqe

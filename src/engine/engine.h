@@ -1,0 +1,295 @@
+// The prepared-query engine API (DESIGN.md §11): the three-object
+// lifecycle that splits evaluation into compile-once / run-many.
+//
+//   Engine engine;                                 // worker pool + plan cache
+//   auto snap = engine.Attach(std::move(db));      // immutable EDB snapshot
+//   auto plan = engine.Prepare(snap, program_text) // parse+adorn+sips+graph,
+//                                                  //   LRU-cached
+//   auto session = engine.CreateSession(*plan);    // per-execution state
+//   auto result = (*session)->Run();               // or engine.RunAsync(...)
+//
+// * Engine owns the worker pool and the plan cache. Prepare compiles a
+//   program against one snapshot and caches the result keyed on the
+//   canonicalized program text (which carries the goal adornment —
+//   same rules, different query constants => distinct entries), the
+//   plan options, and the snapshot uid. A repeat of the *raw* text
+//   hits an alias key before the parser even runs, so the hit path is
+//   a hash lookup (prepare_ns ~ 0).
+//
+// * DatabaseSnapshot wraps a Database the engine treats as immutable.
+//   All mutation the old API performed lazily at run time — index
+//   registration in EdbProcess::OnStart, relation creation inside
+//   Program::Validate — happens at prepare time under the snapshot
+//   mutex, and only while no session is running. Sessions then execute
+//   with EdbIndexMode::kLookupOnly: shared reads, no locks, no writes.
+//
+// * PreparedQuery is an immutable compiled plan: its own Program copy,
+//   the adorned rule/goal graph with sips choices baked in, the EDB
+//   index specs, and the §4.3 cost-model parameters sized from the
+//   snapshot. Any number of concurrent sessions may share one plan.
+//
+// * QuerySession is one execution: scheduler choice, wire format,
+//   observers, metrics — the run-time half of the old
+//   EvaluationOptions. Sessions with lineage enabled take the snapshot
+//   exclusively (provenance instrumentation writes id allocators into
+//   the shared relations); everything else runs concurrently.
+//
+// The one-shot Evaluate() in engine/evaluator.h remains as a thin
+// compatibility wrapper over the same run-time half.
+
+#ifndef MPQE_ENGINE_ENGINE_H_
+#define MPQE_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/program.h"
+#include "engine/evaluator.h"
+#include "engine/plan.h"
+#include "engine/plan_cache.h"
+#include "graph/rule_goal_graph.h"
+#include "obs/metrics.h"
+#include "relational/database.h"
+#include "sips/cost_model.h"
+
+namespace mpqe {
+
+class Engine;
+class PreparedQuery;
+class QuerySession;
+
+struct EngineOptions {
+  // Worker-pool size; 0 picks from the hardware concurrency
+  // (clamped to [2, 8]).
+  int workers = 0;
+
+  // Max resident plans in the LRU plan cache (>= 1).
+  size_t plan_cache_capacity = 64;
+
+  // Optional engine-lifetime metrics (not owned): plan_cache/hit,
+  // plan_cache/miss, plan_cache/eviction counters; engine/prepare_ns
+  // and engine/session_latency_ns histograms; engine/sessions counter.
+  // Independent of any per-session SessionOptions::metrics registry.
+  MetricsRegistry* metrics = nullptr;
+
+  Status Validate() const;
+};
+
+// An EDB the engine treats as immutable. All plan-time mutation
+// (validation-created relations, index builds) is serialized under the
+// snapshot mutex and refused or degraded while sessions are running;
+// run-time access is lock-free shared reads.
+class DatabaseSnapshot {
+ public:
+  const Database& db() const { return db_; }
+  // Distinguishes snapshots in plan-cache keys (plans bind to the
+  // symbol table and catalog of one snapshot).
+  uint64_t uid() const { return uid_; }
+  const std::string& name() const { return name_; }
+
+  /// Sessions currently executing against this snapshot.
+  int running_sessions() const;
+
+ private:
+  friend class Engine;
+  friend class QuerySession;
+
+  DatabaseSnapshot(Database db, std::string name, uint64_t uid)
+      : db_(std::move(db)), name_(std::move(name)), uid_(uid) {}
+
+  /// Validates `program` against the snapshot catalog. With no session
+  /// running this is Program::Validate(&db) (which may create missing
+  /// EDB relations, empty). With sessions in flight the catalog is
+  /// frozen: validation is read-only and a missing EDB relation is a
+  /// FailedPrecondition instead of an implicit create.
+  Status ValidateProgram(const Program& program);
+
+  /// Builds the hash indexes in `specs` that do not exist yet. Builds
+  /// happen only while no session is running (BeginSession shares this
+  /// mutex, so there is no window); otherwise the missing ones are
+  /// skipped and the plan's EDB leaves degrade to scans. Returns the
+  /// number skipped.
+  size_t EnsureIndexes(const std::vector<EdbIndexSpec>& specs);
+
+  /// Registers a session start. Non-exclusive sessions admit any
+  /// number of peers but no exclusive one; an exclusive session
+  /// (lineage) requires the snapshot to itself.
+  Status BeginSession(bool exclusive);
+  void EndSession(bool exclusive);
+
+  Database db_;
+  std::string name_;
+  uint64_t uid_;
+  mutable std::mutex mutex_;
+  int running_ = 0;
+  bool exclusive_running_ = false;
+};
+
+// An immutable compiled plan. Produced by Engine::Prepare, shared (via
+// shared_ptr) between the plan cache and any number of sessions.
+class PreparedQuery {
+ public:
+  const Program& program() const { return *program_; }
+  const RuleGoalGraph& graph() const { return *graph_; }
+  const PlanOptions& plan_options() const { return plan_options_; }
+  const std::shared_ptr<DatabaseSnapshot>& snapshot() const {
+    return snapshot_;
+  }
+
+  /// The canonicalized program text this plan was keyed on.
+  const std::string& canonical_text() const { return canonical_text_; }
+
+  /// The (relation, key columns) hash indexes the plan's EDB leaves
+  /// probe, pre-built on the snapshot at prepare time.
+  const std::vector<EdbIndexSpec>& index_specs() const {
+    return index_specs_;
+  }
+
+  /// §4.3 cost-model parameters sized from the snapshot's actual EDB
+  /// cardinalities (what EXPLAIN and the profiler use).
+  const CostModelParams& cost_params() const { return cost_params_; }
+
+  GraphStats graph_stats() const { return graph_->Stats(); }
+
+  /// Wall time of the cold compile that built this plan (a cache hit
+  /// returns the same object, so this does not change on hits —
+  /// per-call timing lives in Engine::plan_cache_stats()).
+  uint64_t prepare_ns() const { return prepare_ns_; }
+
+  /// One-line human summary: nodes/edges/SCCs, strategy, indexes.
+  std::string Describe() const;
+
+ private:
+  friend class Engine;
+  PreparedQuery() = default;
+
+  std::shared_ptr<DatabaseSnapshot> snapshot_;
+  std::unique_ptr<Program> program_;  // graph_ points into this copy
+  std::unique_ptr<RuleGoalGraph> graph_;
+  PlanOptions plan_options_;
+  std::string canonical_text_;
+  std::vector<EdbIndexSpec> index_specs_;
+  CostModelParams cost_params_;
+  uint64_t prepare_ns_ = 0;
+};
+
+// One execution of a compiled plan. Single-use: Run() evaluates once
+// (on the calling thread — use Engine::RunAsync or Engine::Submit for
+// the worker pool) and stores the result.
+class QuerySession {
+ public:
+  const SessionOptions& options() const { return options_; }
+  const std::shared_ptr<const PreparedQuery>& plan() const { return plan_; }
+
+  /// Evaluates the plan. Acquires the snapshot (shared, or exclusive
+  /// when options().lineage is set), runs the process network, and
+  /// releases it. Calling Run twice returns FailedPrecondition.
+  StatusOr<EvaluationResult> Run();
+
+  /// Wall time of the completed Run (0 before).
+  uint64_t latency_ns() const { return latency_ns_; }
+
+ private:
+  friend class Engine;
+  QuerySession(Engine* engine, std::shared_ptr<const PreparedQuery> plan,
+               SessionOptions options)
+      : engine_(engine), plan_(std::move(plan)), options_(std::move(options)) {}
+
+  Engine* engine_;
+  std::shared_ptr<const PreparedQuery> plan_;
+  SessionOptions options_;
+  std::atomic<bool> ran_{false};
+  uint64_t latency_ns_ = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();  // drains the queue and joins the workers
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Takes ownership of `db` as an immutable snapshot.
+  std::shared_ptr<DatabaseSnapshot> Attach(Database db,
+                                           std::string name = "");
+
+  /// Compiles `program_text` (rules and queries only — facts belong in
+  /// the snapshot) against `snapshot`, or returns the cached plan. The
+  /// raw text is an alias key: a repeat Prepare with byte-identical
+  /// text skips the parser entirely.
+  StatusOr<std::shared_ptr<const PreparedQuery>> Prepare(
+      const std::shared_ptr<DatabaseSnapshot>& snapshot,
+      std::string_view program_text, const PlanOptions& options = {});
+
+  /// As above for an already-parsed Program (constants must be
+  /// interned in the snapshot's symbol table). Keyed on the
+  /// canonicalized text.
+  StatusOr<std::shared_ptr<const PreparedQuery>> Prepare(
+      const std::shared_ptr<DatabaseSnapshot>& snapshot,
+      const Program& program, const PlanOptions& options = {});
+
+  /// Builds a session over `plan` after validating `options`
+  /// (InvalidArgument naming the offending field on misconfiguration).
+  StatusOr<std::unique_ptr<QuerySession>> CreateSession(
+      std::shared_ptr<const PreparedQuery> plan,
+      const SessionOptions& options = {});
+
+  /// Creates a session and runs it on the worker pool.
+  std::future<StatusOr<EvaluationResult>> RunAsync(
+      std::shared_ptr<const PreparedQuery> plan,
+      const SessionOptions& options = {});
+
+  /// Runs `fn` on the worker pool.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Cache counters plus the duration of the most recent Prepare call
+  /// (hit or cold) in last_prepare_ns.
+  PlanCacheStats plan_cache_stats() const;
+
+  int workers() const { return static_cast<int>(workers_.size()); }
+  MetricsRegistry* metrics() const { return options_.metrics; }
+
+ private:
+  friend class QuerySession;
+
+  StatusOr<std::shared_ptr<const PreparedQuery>> PrepareImpl(
+      const std::shared_ptr<DatabaseSnapshot>& snapshot,
+      const Program* program, std::string_view program_text,
+      const PlanOptions& options);
+
+  /// Compiles a plan (cold path; no cache involvement).
+  StatusOr<std::shared_ptr<const PreparedQuery>> Compile(
+      const std::shared_ptr<DatabaseSnapshot>& snapshot,
+      const Program& program, std::string canonical_text,
+      const PlanOptions& options);
+
+  void WorkerLoop();
+  void RecordSessionLatency(uint64_t ns);
+
+  EngineOptions options_;
+  PlanCache plan_cache_;
+  std::atomic<uint64_t> last_prepare_ns_{0};
+  std::atomic<uint64_t> next_snapshot_uid_{1};
+
+  std::mutex pool_mutex_;
+  std::condition_variable pool_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mpqe
+
+#endif  // MPQE_ENGINE_ENGINE_H_

@@ -10,28 +10,22 @@
 
 namespace mpqe {
 
-const char* SchedulerKindToName(SchedulerKind kind) {
-  switch (kind) {
-    case SchedulerKind::kDeterministic:
-      return "deterministic";
-    case SchedulerKind::kRandom:
-      return "random";
-    case SchedulerKind::kThreaded:
-      return "threaded";
+Status PlanOptions::Validate() const {
+  StatusOr<std::unique_ptr<SipsStrategy>> made =
+      MakeStrategyByName(strategy);
+  if (!made.ok()) {
+    return InvalidArgumentError(
+        StrCat("strategy: ", made.status().message()));
   }
-  return "?";
+  if (graph_options.max_nodes < 1) {
+    return InvalidArgumentError(
+        StrCat("graph_options.max_nodes: must be >= 1, got ",
+               graph_options.max_nodes));
+  }
+  return Status::Ok();
 }
 
-StatusOr<SchedulerKind> SchedulerKindFromName(const std::string& name) {
-  if (name == "deterministic") return SchedulerKind::kDeterministic;
-  if (name == "random") return SchedulerKind::kRandom;
-  if (name == "threaded") return SchedulerKind::kThreaded;
-  return InvalidArgumentError(
-      StrCat("unknown scheduler \"", name,
-             "\" (expected deterministic, random, or threaded)"));
-}
-
-Status EvaluationOptions::Validate() const {
+Status SessionOptions::Validate() const {
   switch (scheduler) {
     case SchedulerKind::kDeterministic:
     case SchedulerKind::kRandom:
@@ -39,30 +33,36 @@ Status EvaluationOptions::Validate() const {
       break;
     default:
       return InvalidArgumentError(
-          StrCat("invalid scheduler value ", static_cast<int>(scheduler)));
+          StrCat("scheduler: invalid value ", static_cast<int>(scheduler)));
   }
   // `workers` only drives the threaded scheduler, but a non-positive
   // count is nonsense under every configuration — reject it early so
   // a later scheduler switch does not start failing mysteriously.
   if (workers < 1) {
     return InvalidArgumentError(
-        StrCat("workers must be >= 1, got ", workers));
+        StrCat("workers: must be >= 1, got ", workers));
   }
   if (segment_messages && segment_max_rows < 1) {
-    return InvalidArgumentError("segment_max_rows must be >= 1");
+    return InvalidArgumentError("segment_max_rows: must be >= 1");
   }
-  StatusOr<std::unique_ptr<SipsStrategy>> strategy =
-      MakeStrategyByName(this->strategy);
-  if (!strategy.ok()) return strategy.status();
   // Empty log_level is fine (defers to MPQE_LOG_LEVEL); an explicit
   // but unknown name is a configuration error.
   StatusOr<std::optional<LogLevel>> level = EngineLogLevelFromName(log_level);
-  if (!level.ok()) return level.status();
+  if (!level.ok()) {
+    return InvalidArgumentError(
+        StrCat("log_level: ", level.status().message()));
+  }
   if (progress_interval_ms < 0) {
-    return InvalidArgumentError(StrCat("progress_interval_ms must be >= 0, got ",
-                                       progress_interval_ms));
+    return InvalidArgumentError(
+        StrCat("progress_interval_ms: must be >= 0, got ",
+               progress_interval_ms));
   }
   return Status::Ok();
+}
+
+Status EvaluationOptions::Validate() const {
+  MPQE_RETURN_IF_ERROR(PlanOptions::Validate());
+  return SessionOptions::Validate();
 }
 
 namespace {
@@ -78,7 +78,7 @@ struct ScopedObservers {
   std::optional<LineageObserver> lineage;
   std::optional<LoggingObserver> logger;
 
-  explicit ScopedObservers(const EvaluationOptions& options) {
+  explicit ScopedObservers(const SessionOptions& options) {
     for (ExecutionObserver* o : options.observers) list.Add(o);
     if (options.metrics != nullptr) {
       MetricsObserver::Options metrics_options;
@@ -130,7 +130,7 @@ PredicateId NodePredicate(const GraphNode& node) {
                                       : node.atom.predicate;
 }
 
-void DumpMetrics(const EvaluationOptions& options, const RuleGoalGraph& graph,
+void DumpMetrics(const SessionOptions& options, const RuleGoalGraph& graph,
                  const std::vector<NodeProcessBase*>& node_processes,
                  const EvaluationResult& result) {
   MetricsRegistry& registry = *options.metrics;
@@ -211,9 +211,9 @@ void LogStall(const RuleGoalGraph& graph, const StallInfo& info) {
 
 }  // namespace
 
-StatusOr<EvaluationResult> EvaluateWithGraph(const RuleGoalGraph& graph,
-                                             Database& db,
-                                             const EvaluationOptions& options) {
+StatusOr<EvaluationResult> RunSession(const RuleGoalGraph& graph, Database& db,
+                                      const SessionOptions& options,
+                                      EdbIndexMode edb_index_mode) {
   MPQE_RETURN_IF_ERROR(options.Validate());
   ScopedObservers scoped(options);
   if (scoped.profiler.has_value()) {
@@ -232,6 +232,7 @@ StatusOr<EvaluationResult> EvaluateWithGraph(const RuleGoalGraph& graph,
   shared.segment_messages = options.segment_messages;
   shared.segment_max_rows = options.segment_max_rows;
   shared.use_edb_indexes = options.use_edb_indexes;
+  shared.edb_index_mode = edb_index_mode;
   if (scoped.lineage.has_value()) {
     // Ids must be flowing before any process stores or serves a tuple:
     // number the EDB rows first (they are the smallest ids — leaves),
@@ -297,17 +298,11 @@ StatusOr<EvaluationResult> EvaluateWithGraph(const RuleGoalGraph& graph,
   StatusOr<RunResult> run = InternalError("scheduler did not run");
   {
     ScopedPhase phase(scoped.list, Phase::kRun);
-    switch (options.scheduler) {
-      case SchedulerKind::kDeterministic:
-        run = network.RunDeterministic(options.max_messages);
-        break;
-      case SchedulerKind::kRandom:
-        run = network.RunRandom(options.seed, options.max_messages);
-        break;
-      case SchedulerKind::kThreaded:
-        run = network.RunThreaded(options.workers, options.max_messages);
-        break;
-    }
+    SchedulerParams params;
+    params.seed = options.seed;
+    params.workers = options.workers;
+    params.max_messages = options.max_messages;
+    run = network.Run(options.scheduler, params);
   }
   if (!run.ok()) return run.status();
 
@@ -354,6 +349,13 @@ StatusOr<EvaluationResult> EvaluateWithGraph(const RuleGoalGraph& graph,
         "evaluation stopped without protocol end or quiescence");
   }
   return result;
+}
+
+StatusOr<EvaluationResult> EvaluateWithGraph(const RuleGoalGraph& graph,
+                                             Database& db,
+                                             const EvaluationOptions& options) {
+  MPQE_RETURN_IF_ERROR(options.Validate());
+  return RunSession(graph, db, options, EdbIndexMode::kRegister);
 }
 
 StatusOr<EvaluationResult> Evaluate(const Program& program, Database& db,

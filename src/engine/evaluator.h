@@ -48,26 +48,30 @@
 
 namespace mpqe {
 
-enum class SchedulerKind {
-  kDeterministic,  // round-robin FIFO (reproducible)
-  kRandom,         // seeded random interleaving
-  kThreaded,       // actual thread pool
-};
+// The options of an evaluation split along the engine lifecycle
+// (DESIGN.md §11): PlanOptions govern query *compilation* (parse,
+// validate, adorn, sips, graph build — everything a PreparedQuery
+// caches), SessionOptions govern one *execution* of a compiled plan
+// (scheduler, wire format, observers). EvaluationOptions, the one-shot
+// Evaluate() compatibility surface, is simply both halves.
 
-/// Canonical CLI name of a scheduler ("deterministic", "random",
-/// "threaded").
-const char* SchedulerKindToName(SchedulerKind kind);
-
-/// Parses a scheduler name; InvalidArgument on unknown names (the
-/// message lists the valid ones).
-StatusOr<SchedulerKind> SchedulerKindFromName(const std::string& name);
-
-struct EvaluationOptions {
+struct PlanOptions {
   // Information passing strategy name (see MakeStrategyByName):
   // "greedy" (the paper's default), "left_to_right", "qual_tree",
   // "qual_tree_or_greedy", "no_sips" (McKay-Shapiro-style baseline).
   std::string strategy = "greedy";
 
+  GraphBuildOptions graph_options;
+
+  // Skip Program::Validate (when the caller already validated).
+  bool skip_validation = false;
+
+  /// Checks the plan options for configuration errors. The Status
+  /// message names the offending field ("strategy: ...").
+  Status Validate() const;
+};
+
+struct SessionOptions {
   SchedulerKind scheduler = SchedulerKind::kDeterministic;
   uint64_t seed = 1;    // kRandom
   int workers = 4;      // kThreaded
@@ -92,11 +96,6 @@ struct EvaluationOptions {
 
   // Safety valve against runaway computations (0 = unlimited).
   uint64_t max_messages = 0;
-
-  GraphBuildOptions graph_options;
-
-  // Skip Program::Validate (when the caller already validated).
-  bool skip_validation = false;
 
   // Fill EvaluationResult::node_counters with a per-node breakdown.
   bool collect_node_counters = false;
@@ -149,11 +148,19 @@ struct EvaluationOptions {
   // stall silently).
   int progress_interval_ms = 0;
 
-  /// Checks the options for configuration errors — unknown strategy
-  /// name, workers < 1, out-of-range scheduler — and returns a
-  /// descriptive InvalidArgument Status instead of letting the
-  /// misconfiguration surface deep inside the run. Called by
+  /// Checks the session options for configuration errors — workers <
+  /// 1, out-of-range scheduler — and returns an InvalidArgument Status
+  /// naming the offending field ("workers: ...") instead of letting
+  /// the misconfiguration surface deep inside the run. Called by the
+  /// session builder (Engine::CreateSession) and by
   /// Evaluate/EvaluateWithGraph before any work.
+  Status Validate() const;
+};
+
+// The one-shot compatibility surface: both halves in one flat struct,
+// exactly as the pre-Engine API exposed them.
+struct EvaluationOptions : public PlanOptions, public SessionOptions {
+  /// Validates both halves (PlanOptions then SessionOptions).
   Status Validate() const;
 };
 
@@ -199,6 +206,12 @@ struct EvaluationResult {
 /// Builds the rule/goal graph for `program`, wires the process
 /// network, runs it, and returns the goal relation. `db` must hold the
 /// EDB; indexes may be added to its relations.
+///
+/// This is a thin compatibility wrapper over the prepared-query
+/// lifecycle (engine/engine.h): it compiles the plan, runs one
+/// exclusive session over it, and throws the plan away. Callers that
+/// dispatch the same program repeatedly or concurrently should use
+/// Engine::Prepare + QuerySession instead.
 StatusOr<EvaluationResult> Evaluate(const Program& program, Database& db,
                                     const EvaluationOptions& options = {});
 
@@ -207,6 +220,17 @@ StatusOr<EvaluationResult> Evaluate(const Program& program, Database& db,
 StatusOr<EvaluationResult> EvaluateWithGraph(const RuleGoalGraph& graph,
                                              Database& db,
                                              const EvaluationOptions& options = {});
+
+/// The run-time half on its own: executes one query session over an
+/// already-compiled plan. `edb_index_mode` selects whether EDB leaves
+/// may register missing hash indexes on `db` (kRegister — exclusive
+/// evaluations) or must treat the database as immutable and only probe
+/// indexes pre-built at plan time (kLookupOnly — concurrent sessions
+/// over a shared DatabaseSnapshot; missing indexes degrade to scans).
+/// QuerySession::Run and EvaluateWithGraph both land here.
+StatusOr<EvaluationResult> RunSession(
+    const RuleGoalGraph& graph, Database& db, const SessionOptions& options,
+    EdbIndexMode edb_index_mode = EdbIndexMode::kRegister);
 
 }  // namespace mpqe
 

@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "engine/plan.h"
 #include "relational/operators.h"
 
 namespace mpqe {
@@ -629,37 +630,27 @@ class EdbProcess : public NodeProcessBase {
     MPQE_CHECK(relation_ != nullptr)
         << "EDB relation " << name << " missing (program not validated?)";
 
-    const Atom& atom = gnode().atom;
-    const Adornment& adornment = gnode().adornment;
-    std::vector<size_t> d_positions =
-        PositionsWithClass(adornment, BindingClass::kDynamic);
-    for (size_t i = 0; i < atom.args.size(); ++i) {
-      if (atom.args[i].is_constant()) {
-        key_positions_.push_back(i);
-        key_template_.push_back(atom.args[i].constant());
-      } else if (adornment[i] == BindingClass::kDynamic) {
-        size_t ordinal = static_cast<size_t>(
-            std::find(d_positions.begin(), d_positions.end(), i) -
-            d_positions.begin());
-        key_d_slots_.emplace_back(key_positions_.size(), ordinal);
-        key_positions_.push_back(i);
-        key_template_.push_back(Value());
-      }
-    }
-    // Repeated-variable equality filters (e.g. r(X, X)).
-    std::unordered_map<VariableId, size_t> first_seen;
-    for (size_t i = 0; i < atom.args.size(); ++i) {
-      if (!atom.args[i].is_variable()) continue;
-      auto [it, inserted] = first_seen.emplace(atom.args[i].var(), i);
-      if (!inserted) equalities_.emplace_back(it->second, i);
-    }
+    EdbAccessPlan plan = ComputeEdbAccessPlan(gnode());
+    key_positions_ = std::move(plan.key_positions);
+    key_template_ = std::move(plan.key_template);
+    key_d_slots_ = std::move(plan.key_d_slots);
+    equalities_ = std::move(plan.equalities);
     if (!key_positions_.empty() && shared_.use_edb_indexes) {
-      // Network::Start is single-threaded, and EnsureIndex deduplicates
-      // by key columns, so sharing the relation across EDB processes is
-      // safe.
-      index_handle_ = shared_.db->GetMutableRelation(name)->EnsureIndex(
-          key_positions_);
-      has_index_ = true;
+      if (shared_.edb_index_mode == EdbIndexMode::kRegister) {
+        // Network::Start is single-threaded, and EnsureIndex
+        // deduplicates by key columns, so sharing the relation across
+        // EDB processes is safe.
+        index_handle_ = shared_.db->GetMutableRelation(name)->EnsureIndex(
+            key_positions_);
+        has_index_ = true;
+      } else {
+        // Shared snapshot: the index was pre-built at prepare time
+        // (DatabaseSnapshot::EnsureIndexes over the plan's specs);
+        // fall back to scanning when it is missing — e.g. the plan was
+        // prepared while other sessions were running — rather than
+        // mutating the shared relation.
+        has_index_ = relation_->FindIndex(key_positions_, &index_handle_);
+      }
     }
   }
 

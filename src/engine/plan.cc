@@ -1,0 +1,57 @@
+#include "engine/plan.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "datalog/adornment.h"
+
+namespace mpqe {
+
+EdbAccessPlan ComputeEdbAccessPlan(const GraphNode& node) {
+  MPQE_CHECK(node.kind == NodeKind::kEdbLeaf);
+  EdbAccessPlan plan;
+  const Atom& atom = node.atom;
+  const Adornment& adornment = node.adornment;
+  std::vector<size_t> d_positions =
+      PositionsWithClass(adornment, BindingClass::kDynamic);
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (atom.args[i].is_constant()) {
+      plan.key_positions.push_back(i);
+      plan.key_template.push_back(atom.args[i].constant());
+    } else if (adornment[i] == BindingClass::kDynamic) {
+      size_t ordinal = static_cast<size_t>(
+          std::find(d_positions.begin(), d_positions.end(), i) -
+          d_positions.begin());
+      plan.key_d_slots.emplace_back(plan.key_positions.size(), ordinal);
+      plan.key_positions.push_back(i);
+      plan.key_template.push_back(Value());
+    }
+  }
+  // Repeated-variable equality filters (e.g. r(X, X)).
+  std::unordered_map<VariableId, size_t> first_seen;
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (!atom.args[i].is_variable()) continue;
+    auto [it, inserted] = first_seen.emplace(atom.args[i].var(), i);
+    if (!inserted) plan.equalities.emplace_back(it->second, i);
+  }
+  return plan;
+}
+
+std::vector<EdbIndexSpec> ComputeEdbIndexSpecs(const RuleGoalGraph& graph) {
+  const PredicatePool& predicates = graph.program().predicates();
+  std::vector<EdbIndexSpec> specs;
+  for (const GraphNode& node : graph.nodes()) {
+    if (node.kind != NodeKind::kEdbLeaf) continue;
+    EdbAccessPlan plan = ComputeEdbAccessPlan(node);
+    if (plan.key_positions.empty()) continue;  // full scan, no index
+    EdbIndexSpec spec{predicates.Name(node.atom.predicate),
+                      std::move(plan.key_positions)};
+    if (std::find(specs.begin(), specs.end(), spec) == specs.end()) {
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+}  // namespace mpqe

@@ -1,0 +1,66 @@
+// Plan-time analysis shared between query compilation and execution.
+//
+// The engine lifecycle splits into two halves (see DESIGN.md §11):
+// plan time — parse, validate, adorn, run sips, build the rule/goal
+// graph, and decide physical access paths — and run time — wire a
+// process network over the plan and move messages. Everything here is
+// computed once per PreparedQuery and read (never written) by every
+// QuerySession that executes the plan, which is what lets sessions
+// share one immutable plan + database snapshot with no locking.
+
+#ifndef MPQE_ENGINE_PLAN_H_
+#define MPQE_ENGINE_PLAN_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/rule_goal_graph.h"
+#include "relational/tuple.h"
+
+namespace mpqe {
+
+// How an EDB leaf answers tuple requests: the selection key it probes
+// or filters with, derived from the node's atom constants and dynamic
+// (d-class) argument positions. Pure plan-time data — computing it
+// requires only the adorned graph, not the database.
+struct EdbAccessPlan {
+  // Arena columns forming the selection key: constant positions plus
+  // d-class positions, in argument order. Empty = full relation scan
+  // (a fully-free request).
+  std::vector<size_t> key_positions;
+  // Per-key-slot values: atom constants filled in, d-class slots
+  // defaulted (patched per request from the binding tuple).
+  Tuple key_template;
+  // (key slot, binding ordinal) pairs: which binding value fills which
+  // key slot at request time.
+  std::vector<std::pair<size_t, size_t>> key_d_slots;
+  // Repeated-variable equality filters, e.g. r(X, X): (first, later)
+  // argument positions that must be equal.
+  std::vector<std::pair<size_t, size_t>> equalities;
+};
+
+/// Access plan for an EDB-leaf graph node (node.kind must be
+/// kEdbLeaf).
+EdbAccessPlan ComputeEdbAccessPlan(const GraphNode& node);
+
+// One hash index a plan wants on a base relation.
+struct EdbIndexSpec {
+  std::string relation;
+  std::vector<size_t> key_columns;
+
+  friend bool operator==(const EdbIndexSpec& a, const EdbIndexSpec& b) {
+    return a.relation == b.relation && a.key_columns == b.key_columns;
+  }
+};
+
+/// The distinct (relation, key columns) index registrations the
+/// plan's EDB leaves will probe. DatabaseSnapshot::EnsureIndexes
+/// builds these once at prepare time so concurrent sessions never
+/// mutate the shared database.
+std::vector<EdbIndexSpec> ComputeEdbIndexSpecs(const RuleGoalGraph& graph);
+
+}  // namespace mpqe
+
+#endif  // MPQE_ENGINE_PLAN_H_

@@ -1,0 +1,117 @@
+#include "engine/plan_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace mpqe {
+
+std::string PlanCacheStats::ToString() const {
+  return StrCat("plan cache: size=", size, "/", capacity, " hits=", hits,
+                " misses=", misses, " insertions=", insertions,
+                " evictions=", evictions, " last_prepare_ns=",
+                last_prepare_ns);
+}
+
+PlanCache::PlanCache(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+std::shared_ptr<const PreparedQuery> PlanCache::Lookup(
+    const std::string& key, bool count_miss) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string* canonical = &key;
+  auto alias_it = aliases_.find(key);
+  if (alias_it != aliases_.end()) canonical = &alias_it->second;
+  auto it = entries_.find(*canonical);
+  if (it == entries_.end()) {
+    if (count_miss) ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.plan;
+}
+
+std::shared_ptr<const PreparedQuery> PlanCache::Peek(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string* canonical = &key;
+  auto alias_it = aliases_.find(key);
+  if (alias_it != aliases_.end()) canonical = &alias_it->second;
+  auto it = entries_.find(*canonical);
+  return it == entries_.end() ? nullptr : it->second.plan;
+}
+
+void PlanCache::Insert(const std::string& canonical_key,
+                       std::shared_ptr<const PreparedQuery> plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(canonical_key);
+  if (it != entries_.end()) {
+    it->second.plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    ++insertions_;
+    return;
+  }
+  while (entries_.size() >= capacity_) EvictOne();
+  lru_.push_front(canonical_key);
+  Entry entry;
+  entry.plan = std::move(plan);
+  entry.lru_it = lru_.begin();
+  entries_.emplace(canonical_key, std::move(entry));
+  ++insertions_;
+}
+
+void PlanCache::AddAlias(const std::string& alias_key,
+                         const std::string& canonical_key) {
+  if (alias_key == canonical_key) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(canonical_key);
+  if (it == entries_.end()) return;
+  auto [alias_it, inserted] = aliases_.emplace(alias_key, canonical_key);
+  if (!inserted) {
+    // Re-point a stale alias (its old target may have been evicted).
+    auto old = entries_.find(alias_it->second);
+    if (old != entries_.end()) {
+      auto& v = old->second.aliases;
+      v.erase(std::remove(v.begin(), v.end(), alias_key), v.end());
+    }
+    alias_it->second = canonical_key;
+  }
+  it->second.aliases.push_back(alias_key);
+}
+
+void PlanCache::EvictOne() {
+  const std::string& victim_key = lru_.back();
+  auto it = entries_.find(victim_key);
+  for (const std::string& alias : it->second.aliases) aliases_.erase(alias);
+  entries_.erase(it);
+  lru_.pop_back();
+  ++evictions_;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PlanCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.size = entries_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  aliases_.clear();
+  lru_.clear();
+}
+
+}  // namespace mpqe

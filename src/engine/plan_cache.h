@@ -1,0 +1,105 @@
+// An LRU cache of compiled query plans (PreparedQuery), keyed on the
+// canonicalized program text plus the plan options and the database
+// snapshot it was compiled against (see Engine::Prepare for the exact
+// key recipe). Each entry may carry *alias* keys — the raw, pre-parse
+// program text — so a repeated Prepare(text) hits without even
+// tokenizing the input; that is what makes the hit path's prepare_ns
+// collapse to a hash lookup.
+//
+// Thread safe: every operation takes the cache mutex. Values are
+// shared_ptr<const PreparedQuery>, so an eviction never invalidates a
+// plan that sessions still hold.
+
+#ifndef MPQE_ENGINE_PLAN_CACHE_H_
+#define MPQE_ENGINE_PLAN_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mpqe {
+
+class PreparedQuery;
+
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  size_t size = 0;      // resident plans (aliases not counted)
+  size_t capacity = 0;
+  // Duration of the most recent Prepare call, hit or cold (filled by
+  // Engine::plan_cache_stats, not by the cache itself — the cache has
+  // no notion of compile time).
+  uint64_t last_prepare_ns = 0;
+
+  std::string ToString() const;
+};
+
+class PlanCache {
+ public:
+  /// `capacity` = max resident plans; at least 1.
+  explicit PlanCache(size_t capacity);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached plan for `key` (canonical or alias) and marks
+  /// it most-recently used, or nullptr. Counts a hit, or — unless
+  /// `count_miss` is false — a miss. Callers probing a fast-path alias
+  /// before the authoritative canonical key pass count_miss=false so
+  /// one logical lookup never counts two misses.
+  std::shared_ptr<const PreparedQuery> Lookup(const std::string& key,
+                                              bool count_miss = true);
+
+  /// As Lookup but without touching the hit/miss counters or the LRU
+  /// order (for introspection).
+  std::shared_ptr<const PreparedQuery> Peek(const std::string& key) const;
+
+  /// Inserts `plan` under `canonical_key`, evicting the least-recently
+  /// used plan (and its aliases) if the cache is full. Overwrites any
+  /// existing entry with the same key.
+  void Insert(const std::string& canonical_key,
+              std::shared_ptr<const PreparedQuery> plan);
+
+  /// Registers `alias_key` as another name for the plan stored under
+  /// `canonical_key`. No-op if the canonical entry is absent (e.g.
+  /// already evicted). Aliases die with their entry.
+  void AddAlias(const std::string& alias_key,
+                const std::string& canonical_key);
+
+  PlanCacheStats stats() const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const PreparedQuery> plan;
+    // Most-recently used at the front; the iterator points at this
+    // entry's canonical key inside lru_.
+    std::list<std::string>::iterator lru_it;
+    std::vector<std::string> aliases;
+  };
+
+  // Requires mutex_ held.
+  void EvictOne();
+
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  std::list<std::string> lru_;  // canonical keys, MRU first
+  std::unordered_map<std::string, Entry> entries_;      // canonical -> entry
+  std::unordered_map<std::string, std::string> aliases_;  // alias -> canonical
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace mpqe
+
+#endif  // MPQE_ENGINE_PLAN_CACHE_H_

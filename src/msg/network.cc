@@ -9,6 +9,41 @@
 
 namespace mpqe {
 
+const char* SchedulerKindToName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kDeterministic:
+      return "deterministic";
+    case SchedulerKind::kRandom:
+      return "random";
+    case SchedulerKind::kThreaded:
+      return "threaded";
+  }
+  return "?";
+}
+
+StatusOr<SchedulerKind> SchedulerKindFromName(const std::string& name) {
+  if (name == "deterministic") return SchedulerKind::kDeterministic;
+  if (name == "random") return SchedulerKind::kRandom;
+  if (name == "threaded") return SchedulerKind::kThreaded;
+  return InvalidArgumentError(
+      StrCat("unknown scheduler \"", name,
+             "\" (expected deterministic, random, or threaded)"));
+}
+
+StatusOr<RunResult> Network::Run(SchedulerKind kind,
+                                 const SchedulerParams& params) {
+  switch (kind) {
+    case SchedulerKind::kDeterministic:
+      return RunDeterministic(params.max_messages);
+    case SchedulerKind::kRandom:
+      return RunRandom(params.seed, params.max_messages);
+    case SchedulerKind::kThreaded:
+      return RunThreaded(params.workers, params.max_messages);
+  }
+  return InvalidArgumentError(
+      StrCat("invalid scheduler value ", static_cast<int>(kind)));
+}
+
 void Process::Send(ProcessId to, Message message) {
   network_->Send(id_, to, std::move(message));
 }

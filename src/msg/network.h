@@ -39,6 +39,30 @@ namespace mpqe {
 
 class Network;
 
+// Which run loop drives message delivery. A run-time concern: the
+// choice never affects the computed answers, only the interleaving.
+enum class SchedulerKind {
+  kDeterministic,  // round-robin FIFO (reproducible)
+  kRandom,         // seeded random interleaving
+  kThreaded,       // actual thread pool
+};
+
+/// Canonical CLI name of a scheduler ("deterministic", "random",
+/// "threaded").
+const char* SchedulerKindToName(SchedulerKind kind);
+
+/// Parses a scheduler name; InvalidArgument on unknown names (the
+/// message lists the valid ones).
+StatusOr<SchedulerKind> SchedulerKindFromName(const std::string& name);
+
+// Run-time parameters of one scheduler run (the per-session knobs;
+// everything plan-shaped lives above the msg layer).
+struct SchedulerParams {
+  uint64_t seed = 1;          // kRandom only
+  int workers = 4;            // kThreaded only
+  uint64_t max_messages = 0;  // livelock guard; 0 = unlimited
+};
+
 // A node process. OnMessage is invoked with one message at a time;
 // the Network guarantees per-process serialization in every scheduler,
 // so implementations need no internal locking.
@@ -176,6 +200,10 @@ class Network {
   StatusOr<RunResult> RunDeterministic(uint64_t max_messages = 0);
   StatusOr<RunResult> RunRandom(uint64_t seed, uint64_t max_messages = 0);
   StatusOr<RunResult> RunThreaded(int workers, uint64_t max_messages = 0);
+
+  /// Dispatches to the scheduler named by `kind` with the relevant
+  /// `params` fields. The one entry point session runners need.
+  StatusOr<RunResult> Run(SchedulerKind kind, const SchedulerParams& params);
 
   MessageStats stats() const;
 

@@ -189,6 +189,17 @@ size_t Relation::EnsureIndex(const std::vector<size_t>& key_columns) {
   return indexes_.size() - 1;
 }
 
+bool Relation::FindIndex(const std::vector<size_t>& key_columns,
+                         size_t* handle) const {
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    if (indexes_[i].key_columns() == key_columns) {
+      *handle = i;
+      return true;
+    }
+  }
+  return false;
+}
+
 const std::vector<size_t>* Relation::Probe(size_t index_handle,
                                            TupleRef key) const {
   return indexes_[index_handle].Lookup(*this, key);

@@ -180,6 +180,13 @@ class Relation {
   /// `key_columns` and returns its handle for Probe().
   size_t EnsureIndex(const std::vector<size_t>& key_columns);
 
+  /// Handle of an existing index on `key_columns`, or false. Never
+  /// mutates the relation — the probe path for shared, immutable
+  /// database snapshots whose indexes were registered at plan time
+  /// (missing indexes degrade to scans instead of racing a build).
+  bool FindIndex(const std::vector<size_t>& key_columns,
+                 size_t* handle) const;
+
   /// Positions of tuples matching `key` on the index's key columns.
   const std::vector<size_t>* Probe(size_t index_handle, TupleRef key) const;
 

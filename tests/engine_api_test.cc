@@ -1,0 +1,428 @@
+// Tests of the prepared-query engine lifecycle (engine/engine.h):
+// Engine / PreparedQuery / QuerySession, the LRU plan cache with its
+// keying and eviction rules, concurrent sessions over one shared
+// snapshot, and the Evaluate() compatibility wrapper staying
+// result-identical to prepare + run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "datalog/parser.h"
+#include "engine/engine.h"
+#include "engine/evaluator.h"
+#include "obs/metrics.h"
+#include "workload/generators.h"
+
+namespace mpqe {
+namespace {
+
+constexpr const char* kTcFacts = R"(
+    edge(1, 2). edge(2, 3). edge(3, 4). edge(4, 2). edge(2, 5).
+)";
+
+constexpr const char* kTcRules = R"(
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Y) :- edge(X, Z), tc(Z, Y).
+    ?- tc(1, W).
+)";
+
+// The facts + rules in one text (for the Evaluate() baseline).
+std::string TcProgramText() { return StrCat(kTcFacts, kTcRules); }
+
+std::vector<Tuple> SortedAnswers(const EvaluationResult& result) {
+  return result.answers.SortedTuples();
+}
+
+TEST(EngineApiTest, PrepareRunMatchesEvaluate) {
+  // Baseline: the one-shot compatibility wrapper.
+  auto unit = Parse(TcProgramText());
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto baseline = Evaluate(unit->program, unit->database);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  // Same computation through the prepared-query lifecycle.
+  auto facts = Parse(kTcFacts);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  Engine engine;
+  auto snapshot = engine.Attach(std::move(facts->database));
+  auto plan = engine.Prepare(snapshot, kTcRules);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  auto session = engine.CreateSession(*plan);
+  ASSERT_TRUE(session.ok()) << session.status();
+  auto result = (*session)->Run();
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // Pinned: identical answers, message traffic, and engine counters —
+  // the wrapper and the lifecycle run the same network the same way.
+  EXPECT_EQ(SortedAnswers(*result), SortedAnswers(*baseline));
+  EXPECT_EQ(result->message_stats.ToString(),
+            baseline->message_stats.ToString());
+  EXPECT_EQ(result->counters.ToString(), baseline->counters.ToString());
+  EXPECT_EQ(result->ended_by_protocol, baseline->ended_by_protocol);
+  EXPECT_EQ(result->delivered, baseline->delivered);
+}
+
+TEST(EngineApiTest, EvaluateWrapperIsPreparePlusSession) {
+  // EvaluateWithGraph (the wrapper's run half) equals RunSession over
+  // the same graph with the flat options split into halves.
+  auto unit = Parse(TcProgramText());
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  EvaluationOptions options;
+  auto via_wrapper = Evaluate(unit->program, unit->database, options);
+  ASSERT_TRUE(via_wrapper.ok()) << via_wrapper.status();
+
+  auto unit2 = Parse(TcProgramText());
+  ASSERT_TRUE(unit2.ok()) << unit2.status();
+  ASSERT_TRUE(unit2->program.Validate(&unit2->database).ok());
+  auto strategy = MakeStrategyByName(options.strategy);
+  ASSERT_TRUE(strategy.ok());
+  auto graph = RuleGoalGraph::Build(unit2->program, **strategy,
+                                    options.graph_options);
+  ASSERT_TRUE(graph.ok());
+  auto via_session = RunSession(**graph, unit2->database, options);
+  ASSERT_TRUE(via_session.ok()) << via_session.status();
+  EXPECT_EQ(SortedAnswers(*via_session), SortedAnswers(*via_wrapper));
+  EXPECT_EQ(via_session->message_stats.ToString(),
+            via_wrapper->message_stats.ToString());
+}
+
+TEST(EngineApiTest, ConcurrentSessionsShareOnePlan) {
+  // N sessions race over one PreparedQuery + snapshot on the worker
+  // pool; every one must reproduce the sequential answers. Run under
+  // TSan this is the no-shared-mutable-state check for the whole
+  // run-time half.
+  auto unit = Parse(TcProgramText());
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto baseline = Evaluate(unit->program, unit->database);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  const std::vector<Tuple> expected = SortedAnswers(*baseline);
+
+  auto facts = Parse(kTcFacts);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  EngineOptions engine_options;
+  engine_options.workers = 4;
+  Engine engine(engine_options);
+  auto snapshot = engine.Attach(std::move(facts->database));
+  auto plan = engine.Prepare(snapshot, kTcRules);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  constexpr int kSessions = 16;
+  std::vector<std::future<StatusOr<EvaluationResult>>> futures;
+  for (int i = 0; i < kSessions; ++i) {
+    SessionOptions options;
+    // Mix schedulers: even sessions deterministic, odd ones random
+    // with distinct seeds — answers must not depend on either.
+    if (i % 2 == 1) {
+      options.scheduler = SchedulerKind::kRandom;
+      options.seed = static_cast<uint64_t>(i);
+    }
+    futures.push_back(engine.RunAsync(*plan, options));
+  }
+  for (auto& future : futures) {
+    auto result = future.get();
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(SortedAnswers(*result), expected);
+    EXPECT_TRUE(result->ended_by_protocol);
+  }
+  EXPECT_EQ(snapshot->running_sessions(), 0);
+}
+
+TEST(EngineApiTest, ConcurrentPrepareAndRun) {
+  // Prepares of *different* programs race sessions of another plan on
+  // the same snapshot: index builds must degrade, not crash or race.
+  auto facts = Parse(kTcFacts);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  EngineOptions engine_options;
+  engine_options.workers = 4;
+  Engine engine(engine_options);
+  auto snapshot = engine.Attach(std::move(facts->database));
+  auto plan = engine.Prepare(snapshot, kTcRules);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  std::vector<std::future<StatusOr<EvaluationResult>>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(engine.RunAsync(*plan, SessionOptions()));
+  }
+  // Concurrent compiles keyed differently (distinct query constants).
+  for (int from = 1; from <= 4; ++from) {
+    auto other = engine.Prepare(
+        snapshot, StrCat("tc(X, Y) :- edge(X, Y).\n"
+                         "tc(X, Y) :- edge(X, Z), tc(Z, Y).\n?- tc(",
+                         from, ", W)."));
+    ASSERT_TRUE(other.ok()) << other.status();
+  }
+  for (auto& future : futures) {
+    auto result = future.get();
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+}
+
+TEST(EngineApiTest, PlanCacheHitReturnsSamePlanWithoutCompile) {
+  auto facts = Parse(kTcFacts);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  MetricsRegistry metrics;
+  EngineOptions engine_options;
+  engine_options.workers = 2;
+  engine_options.metrics = &metrics;
+  Engine engine(engine_options);
+  auto snapshot = engine.Attach(std::move(facts->database));
+
+  auto cold = engine.Prepare(snapshot, kTcRules);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  const uint64_t cold_ns = engine.plan_cache_stats().last_prepare_ns;
+  EXPECT_GT(cold_ns, 0u);
+
+  auto hit = engine.Prepare(snapshot, kTcRules);
+  ASSERT_TRUE(hit.ok()) << hit.status();
+  // Same immutable plan object — nothing was recompiled.
+  EXPECT_EQ(cold->get(), hit->get());
+
+  PlanCacheStats stats = engine.plan_cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_EQ(metrics.GetCounter("plan_cache/hit").value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("plan_cache/miss").value(), 1u);
+  // The raw-text alias makes the hit a pure hash lookup; it must not
+  // cost more than the cold compile (parse + adorn + sips + build).
+  EXPECT_LE(stats.last_prepare_ns, cold_ns);
+}
+
+TEST(EngineApiTest, PlanCacheKeysOnGoalAdornment) {
+  // Same rule text, different goal binding pattern => different
+  // adorned graphs => distinct cache entries.
+  auto facts = Parse(kTcFacts);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  Engine engine(EngineOptions{.workers = 2});
+  auto snapshot = engine.Attach(std::move(facts->database));
+
+  const char* rules = "tc(X, Y) :- edge(X, Y).\n"
+                      "tc(X, Y) :- edge(X, Z), tc(Z, Y).\n";
+  auto bound = engine.Prepare(snapshot, StrCat(rules, "?- tc(1, W)."));
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  auto free_goal = engine.Prepare(snapshot, StrCat(rules, "?- tc(V, W)."));
+  ASSERT_TRUE(free_goal.ok()) << free_goal.status();
+
+  EXPECT_NE(bound->get(), free_goal->get());
+  PlanCacheStats stats = engine.plan_cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.size, 2u);
+}
+
+TEST(EngineApiTest, PlanCacheKeysOnPlanOptions) {
+  auto facts = Parse(kTcFacts);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  Engine engine(EngineOptions{.workers = 2});
+  auto snapshot = engine.Attach(std::move(facts->database));
+
+  auto greedy = engine.Prepare(snapshot, kTcRules);
+  ASSERT_TRUE(greedy.ok());
+  PlanOptions ltr;
+  ltr.strategy = "left_to_right";
+  auto left_to_right = engine.Prepare(snapshot, kTcRules, ltr);
+  ASSERT_TRUE(left_to_right.ok());
+  EXPECT_NE(greedy->get(), left_to_right->get());
+  EXPECT_EQ(engine.plan_cache_stats().size, 2u);
+}
+
+TEST(EngineApiTest, PlanCacheEvictsLeastRecentlyUsed) {
+  auto facts = Parse(kTcFacts);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  EngineOptions engine_options;
+  engine_options.workers = 2;
+  engine_options.plan_cache_capacity = 2;
+  Engine engine(engine_options);
+  auto snapshot = engine.Attach(std::move(facts->database));
+
+  const char* rules = "tc(X, Y) :- edge(X, Y).\n"
+                      "tc(X, Y) :- edge(X, Z), tc(Z, Y).\n";
+  auto p1 = engine.Prepare(snapshot, StrCat(rules, "?- tc(1, W)."));
+  auto p2 = engine.Prepare(snapshot, StrCat(rules, "?- tc(2, W)."));
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  // Touch p1 so p2 is the LRU victim when p3 arrives.
+  ASSERT_TRUE(engine.Prepare(snapshot, StrCat(rules, "?- tc(1, W).")).ok());
+  auto p3 = engine.Prepare(snapshot, StrCat(rules, "?- tc(3, W)."));
+  ASSERT_TRUE(p3.ok());
+
+  PlanCacheStats stats = engine.plan_cache_stats();
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  // p1 is still resident (hit); p2 was evicted (miss, recompile).
+  ASSERT_TRUE(engine.Prepare(snapshot, StrCat(rules, "?- tc(1, W).")).ok());
+  EXPECT_EQ(engine.plan_cache_stats().misses, stats.misses);
+  auto p2_again = engine.Prepare(snapshot, StrCat(rules, "?- tc(2, W)."));
+  ASSERT_TRUE(p2_again.ok());
+  EXPECT_EQ(engine.plan_cache_stats().misses, stats.misses + 1);
+  // The evicted plan object itself stayed valid for holders.
+  EXPECT_NE(p2->get(), nullptr);
+}
+
+TEST(EngineApiTest, PrepareRejectsFactsInQueryText) {
+  auto facts = Parse(kTcFacts);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  Engine engine(EngineOptions{.workers = 2});
+  auto snapshot = engine.Attach(std::move(facts->database));
+  auto plan = engine.Prepare(snapshot, StrCat("edge(9, 10).\n", kTcRules));
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(plan.status().message().find("snapshot"), std::string::npos)
+      << plan.status();
+}
+
+TEST(EngineApiTest, SessionBuilderValidatesNamingField) {
+  auto facts = Parse(kTcFacts);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  Engine engine(EngineOptions{.workers = 2});
+  auto snapshot = engine.Attach(std::move(facts->database));
+  auto plan = engine.Prepare(snapshot, kTcRules);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  SessionOptions bad_workers;
+  bad_workers.scheduler = SchedulerKind::kThreaded;
+  bad_workers.workers = 0;
+  auto session = engine.CreateSession(*plan, bad_workers);
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(session.status().message().find("workers"), std::string::npos)
+      << session.status();
+
+  SessionOptions bad_segment;
+  bad_segment.segment_max_rows = 0;
+  session = engine.CreateSession(*plan, bad_segment);
+  ASSERT_FALSE(session.ok());
+  EXPECT_NE(session.status().message().find("segment_max_rows"),
+            std::string::npos)
+      << session.status();
+
+  SessionOptions bad_log;
+  bad_log.log_level = "chatty";
+  session = engine.CreateSession(*plan, bad_log);
+  ASSERT_FALSE(session.ok());
+  EXPECT_NE(session.status().message().find("log_level"), std::string::npos)
+      << session.status();
+}
+
+TEST(EngineApiTest, PlanOptionsValidateNamesStrategy) {
+  PlanOptions options;
+  options.strategy = "bogus";
+  Status status = options.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("strategy"), std::string::npos) << status;
+
+  // The flat compatibility struct validates both halves.
+  EvaluationOptions flat;
+  flat.strategy = "bogus";
+  EXPECT_FALSE(flat.Validate().ok());
+  flat.strategy = "greedy";
+  flat.workers = -1;
+  Status session_status = flat.Validate();
+  ASSERT_FALSE(session_status.ok());
+  EXPECT_NE(session_status.message().find("workers"), std::string::npos);
+}
+
+TEST(EngineApiTest, SessionsAreSingleUse) {
+  auto facts = Parse(kTcFacts);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  Engine engine(EngineOptions{.workers = 2});
+  auto snapshot = engine.Attach(std::move(facts->database));
+  auto plan = engine.Prepare(snapshot, kTcRules);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  auto session = engine.CreateSession(*plan);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->Run().ok());
+  auto again = (*session)->Run();
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineApiTest, LineageSessionIsExclusiveAndWorks) {
+  auto facts = Parse(kTcFacts);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  Engine engine(EngineOptions{.workers = 2});
+  auto snapshot = engine.Attach(std::move(facts->database));
+  auto plan = engine.Prepare(snapshot, kTcRules);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  SessionOptions lineage_options;
+  lineage_options.lineage = true;
+  auto session = engine.CreateSession(*plan, lineage_options);
+  ASSERT_TRUE(session.ok());
+  auto result = (*session)->Run();
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_NE(result->lineage, nullptr);
+  EXPECT_GT(result->lineage->derived, 0u);
+  EXPECT_EQ(snapshot->running_sessions(), 0);
+}
+
+TEST(EngineApiTest, SingleSessionLatencyHistogramRenders) {
+  // One query must already yield sensible percentile renders (the
+  // log2-bucket histogram resolves p50/p95/p99 to the sample's bucket
+  // upper bound — never NaN or zero-on-nonzero-sample).
+  auto facts = Parse(kTcFacts);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  MetricsRegistry metrics;
+  EngineOptions engine_options;
+  engine_options.workers = 2;
+  engine_options.metrics = &metrics;
+  Engine engine(engine_options);
+  auto snapshot = engine.Attach(std::move(facts->database));
+  auto plan = engine.Prepare(snapshot, kTcRules);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  auto session = engine.CreateSession(*plan);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->Run().ok());
+
+  Histogram& latency = metrics.GetHistogram("engine/session_latency_ns");
+  EXPECT_EQ(latency.count(), 1u);
+  EXPECT_GT(latency.Percentile(50), 0u);
+  EXPECT_GT(latency.Percentile(95), 0u);
+  EXPECT_GT(latency.Percentile(99), 0u);
+  EXPECT_GE(latency.Percentile(99), latency.max());
+  std::string rendered = latency.ToString();
+  EXPECT_NE(rendered.find("p95<="), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("p99<="), std::string::npos) << rendered;
+  EXPECT_EQ(rendered.find("nan"), std::string::npos) << rendered;
+  // The JSON dump renders too (no empty-histogram regression).
+  std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("engine/session_latency_ns"), std::string::npos);
+}
+
+TEST(EngineApiTest, PreparedQueryExposesPlanArtifacts) {
+  auto facts = Parse(kTcFacts);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  Engine engine(EngineOptions{.workers = 2});
+  auto snapshot = engine.Attach(std::move(facts->database), "tc");
+  auto plan = engine.Prepare(snapshot, kTcRules);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  EXPECT_GT((*plan)->graph_stats().node_count, 0u);
+  EXPECT_FALSE((*plan)->canonical_text().empty());
+  EXPECT_GT((*plan)->prepare_ns(), 0u);
+  // The recursive tc plan probes edge on its bound first column.
+  ASSERT_FALSE((*plan)->index_specs().empty());
+  EXPECT_EQ((*plan)->index_specs()[0].relation, "edge");
+  // Index specs were materialized on the snapshot at prepare time.
+  size_t handle = 0;
+  EXPECT_TRUE(snapshot->db()
+                  .GetRelation("edge")
+                  ->FindIndex((*plan)->index_specs()[0].key_columns, &handle));
+  EXPECT_NE((*plan)->Describe().find("strategy=greedy"), std::string::npos);
+  EXPECT_EQ(snapshot->name(), "tc");
+}
+
+TEST(EngineApiTest, EngineOptionsValidate) {
+  EngineOptions options;
+  options.workers = -1;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.workers = 0;
+  options.plan_cache_capacity = 0;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mpqe
