@@ -14,21 +14,38 @@
 //   --workers=<n>    engine worker-pool size             (default = sessions)
 //   --repeats=<r>    hit-path Prepare calls to sample    (default 64)
 //   --json=<file>    write the machine-readable summary  (default stdout only)
+//   --telemetry=<on|off>  engine-wide telemetry + stats endpoint
+//                    (default on; `off` is the A/B baseline for the
+//                    overhead guard — bench_guard.py --qps compares the
+//                    two JSON summaries and asserts on/off >= 0.95)
+//   --scrape-out=<f> serve GET /metrics on an ephemeral loopback port,
+//                    scrape it REPEATEDLY WHILE THE LOAD RUNS, and
+//                    write the final post-load scrape to <f> (validate
+//                    with scripts/check_trace.py --prometheus)
+//   --queries-out=<f> write the engine query log (GET /queries JSON)
+//                    captured after the load to <f>
 //
 // The prepare_hit_ns figure is the MEDIAN of `repeats` cache-hit
 // Prepare calls with byte-identical text (the raw-text alias path: no
 // parse, no adornment, no sips, no graph build). bench_guard.py
 // --prepare asserts prepare_cold_ns / prepare_hit_ns >= 10.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <future>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/string_util.h"
@@ -50,6 +67,48 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+// One blocking HTTP/1.0 GET against the engine's loopback stats
+// endpoint. Returns the response body, or empty on any failure — the
+// in-flight scraper treats a miss as "try again next tick".
+std::string HttpGet(int port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\nHost: bench\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (response.rfind("HTTP/", 0) != 0) return "";
+  size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) return "";
+  if (response.find(" 200 ") == std::string::npos ||
+      response.find(" 200 ") > response.find("\r\n")) {
+    return "";
+  }
+  return response.substr(head_end + 4);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -59,6 +118,9 @@ int main(int argc, char** argv) {
   int workers = 0;
   int repeats = 64;
   std::string json_path;
+  bool telemetry = true;
+  std::string scrape_path;
+  std::string queries_path;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -77,12 +139,24 @@ int main(int argc, char** argv) {
       repeats = std::stoi(value("--repeats="));
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = value("--json=");
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      const std::string v = value("--telemetry=");
+      if (v != "on" && v != "off") return Fail("--telemetry expects on|off");
+      telemetry = v == "on";
+    } else if (arg.rfind("--scrape-out=", 0) == 0) {
+      scrape_path = value("--scrape-out=");
+    } else if (arg.rfind("--queries-out=", 0) == 0) {
+      queries_path = value("--queries-out=");
     } else {
       return Fail("unknown option: " + arg);
     }
   }
   if (sessions < 1 || queries < 1 || scale < 2 || repeats < 1) {
     return Fail("sessions/queries/repeats must be >= 1 and scale >= 2");
+  }
+  const bool scraping = !scrape_path.empty() || !queries_path.empty();
+  if (scraping && !telemetry) {
+    return Fail("--scrape-out/--queries-out require --telemetry=on");
   }
 
   // The TC-over-a-chain example: one plan, shared by every stream.
@@ -96,7 +170,15 @@ int main(int argc, char** argv) {
   mpqe::EngineOptions engine_options;
   engine_options.workers = workers > 0 ? workers : sessions;
   engine_options.metrics = &metrics;
+  engine_options.telemetry = telemetry;
+  if (scraping) engine_options.stats_port = 0;  // ephemeral loopback port
   mpqe::Engine engine(engine_options);
+  if (scraping) {
+    if (!engine.stats_server_status().ok()) {
+      return Fail("stats server: " + engine.stats_server_status().ToString());
+    }
+    std::cerr << "stats endpoint on 127.0.0.1:" << engine.stats_port() << "\n";
+  }
   auto snapshot = engine.Attach(std::move(db), "chain");
 
   // Cold compile.
@@ -122,6 +204,24 @@ int main(int argc, char** argv) {
   std::atomic<uint64_t> failures{0};
   const size_t expected_answers =
       static_cast<size_t>(scale) - 1;  // tc(0, W) reaches 1..scale-1
+
+  // Scrape /metrics WHILE the load runs: the point is that the
+  // exposition path is safe against concurrent sessions, not just
+  // quiescent engines. Every successful in-flight scrape is counted.
+  std::atomic<bool> stop_scraper{false};
+  std::atomic<uint64_t> scrapes{0};
+  std::thread scraper;
+  if (scraping) {
+    scraper = std::thread([&] {
+      while (!stop_scraper.load(std::memory_order_relaxed)) {
+        if (!HttpGet(engine.stats_port(), "/metrics").empty()) {
+          scrapes.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+  }
+
   const uint64_t wall_start = NowNs();
   std::vector<std::future<void>> streams;
   streams.reserve(static_cast<size_t>(sessions));
@@ -145,6 +245,27 @@ int main(int argc, char** argv) {
   for (auto& stream : streams) stream.get();
   const uint64_t wall_ns = NowNs() - wall_start;
 
+  if (scraper.joinable()) {
+    stop_scraper.store(true);
+    scraper.join();
+  }
+  if (!scrape_path.empty()) {
+    const std::string body = HttpGet(engine.stats_port(), "/metrics");
+    if (body.empty()) return Fail("final /metrics scrape failed");
+    std::ofstream out(scrape_path);
+    if (!out) return Fail("cannot write " + scrape_path);
+    out << body;
+    std::cerr << "wrote " << scrape_path << "\n";
+  }
+  if (!queries_path.empty()) {
+    const std::string body = HttpGet(engine.stats_port(), "/queries");
+    if (body.empty()) return Fail("/queries fetch failed");
+    std::ofstream out(queries_path);
+    if (!out) return Fail("cannot write " + queries_path);
+    out << body;
+    std::cerr << "wrote " << queries_path << "\n";
+  }
+
   if (failures.load() != 0) {
     return Fail(mpqe::StrCat(failures.load(), " of ", sessions * queries,
                              " queries failed or returned wrong answers"));
@@ -166,6 +287,8 @@ int main(int argc, char** argv) {
        << "  \"queries_per_session\": " << queries << ",\n"
        << "  \"total_queries\": " << total_queries << ",\n"
        << "  \"engine_workers\": " << engine.workers() << ",\n"
+       << "  \"telemetry\": " << (telemetry ? "true" : "false") << ",\n"
+       << "  \"scrapes\": " << scrapes.load() << ",\n"
        << "  \"wall_ns\": " << wall_ns << ",\n"
        << "  \"qps\": " << qps << ",\n"
        << "  \"latency_ns\": {\n"

@@ -25,7 +25,15 @@
 //   --graph            print the rule/goal graph before evaluating
 //   --dot              print the graph in Graphviz DOT and exit
 //   --stats            print message/engine statistics, the plan-cache
-//                      counters, and the session latency histogram
+//                      counters, the session latency histogram, and the
+//                      engine query log (one JSON entry per run:
+//                      query id, text hash, plan reuse, rows, timings)
+//   --metrics-out=<f>  write the engine-wide telemetry registry as
+//                      Prometheus text exposition 0.0.4 to <f>
+//                      (validate with scripts/check_trace.py
+//                      --prometheus)
+//   --slow-query-ms=<n>  flag runs over n ms as slow in the query log
+//                      (default 100)
 //   --explain          print the adorned plan with §4.3 cost estimates
 //                      (sized from the EDB) and exit without running
 //   --explain=analyze  run with the profiler, then print the plan with
@@ -61,6 +69,8 @@
 #include "engine/evaluator.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/telemetry.h"
 #include "relational/io.h"
 #include "graph/rule_goal_graph.h"
 
@@ -85,6 +95,8 @@ int main(int argc, char** argv) {
   bool batch = false;
   bool explain = false, analyze = false;
   double deviation_factor = 10.0;
+  std::string metrics_out;
+  int slow_query_ms = 100;
   std::string profile_out;
   std::string why;
   std::string lineage_out;
@@ -129,6 +141,11 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (arg == "--explain=analyze") {
       explain = analyze = true;
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = value("--metrics-out=");
+    } else if (arg.rfind("--slow-query-ms=", 0) == 0) {
+      slow_query_ms = std::stoi(value("--slow-query-ms="));
+      if (slow_query_ms < 0) return Fail("--slow-query-ms must be >= 0");
     } else if (arg.rfind("--profile-out=", 0) == 0) {
       profile_out = value("--profile-out=");
     } else if (arg.rfind("--deviation-factor=", 0) == 0) {
@@ -185,6 +202,8 @@ int main(int argc, char** argv) {
   mpqe::MetricsRegistry engine_metrics;
   mpqe::EngineOptions engine_options;
   engine_options.metrics = &engine_metrics;
+  engine_options.telemetry_options.slow_query_ns =
+      static_cast<uint64_t>(slow_query_ms) * 1'000'000;
   mpqe::Engine engine(engine_options);
   auto snapshot = engine.Attach(std::move(unit->database), path);
   const mpqe::SymbolTable& symbols = snapshot->db().symbols();
@@ -297,6 +316,19 @@ int main(int argc, char** argv) {
               << " cycle_edges=" << result->graph_stats.cycle_refs << "\n"
               << "ended_by_protocol: "
               << (result->ended_by_protocol ? "yes" : "no") << "\n";
+    if (engine.telemetry() != nullptr) {
+      std::cerr << "query log: " << engine.telemetry()->QueryLogJson();
+    }
+  }
+  if (!metrics_out.empty()) {
+    if (engine.telemetry() == nullptr) {
+      return Fail("--metrics-out requires engine telemetry");
+    }
+    engine.telemetry()->SampleNow();
+    std::ofstream out(metrics_out);
+    if (!out) return Fail("cannot write " + metrics_out);
+    out << mpqe::ToPrometheusText(engine.telemetry()->registry());
+    std::cerr << "metrics written to " << metrics_out << "\n";
   }
   return 0;
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Fail if a recorded performance guard regresses.
 
-Two modes:
+Four modes:
 
 Lineage overhead (default):
 
@@ -10,6 +10,27 @@ Lineage overhead (default):
 Plan-cache prepare speedup:
 
     bench_guard.py --prepare BENCH_engine.json [min_speedup]
+
+Telemetry hop overhead:
+
+    bench_guard.py --telemetry fresh_micro.json [max_ratio]
+
+Telemetry end-to-end qps:
+
+    bench_guard.py --qps BENCH_on.json BENCH_off.json [min_ratio]
+
+The --telemetry mode reads fresh google-benchmark output containing
+the segment-hop pair BM_SegmentHopDedup (no observers — the
+zero-observer fast path) and BM_SegmentHopTelemetry (a MetricsObserver
+attached, exactly what a telemetry-on engine session runs) and fails
+if telemetry_on / telemetry_off exceeds max_ratio (default 1.05):
+metrics collection must cost at most 5% per hop.
+
+The --qps mode compares two mpqe_bench_concurrent summaries — one run
+with --telemetry=on, one with --telemetry=off — and fails unless
+qps_on / qps_off >= min_ratio (default 0.95): the telemetry layer
+(query ids, session aggregation, gauge sampling, stats endpoint) may
+cost at most 5% of end-to-end throughput.
 
 The --prepare mode reads the summary written by mpqe_bench_concurrent
 (scripts/bench.sh records it as BENCH_engine.json) and fails unless
@@ -80,6 +101,58 @@ def check_prepare(engine_path, min_speedup):
     sys.exit(0)
 
 
+def micro_rows(fresh_path):
+    """name -> real_time from raw google-benchmark output, preferring
+    the median of repeated runs when --benchmark_repetitions was used
+    (a lone sample sits too close to the ceiling to trust)."""
+    fresh = load(fresh_path)
+    rows, medians = {}, {}
+    for b in fresh.get("benchmarks", []):
+        if b.get("aggregate_name") == "median":
+            medians[b["run_name"]] = b["real_time"]
+        elif b.get("run_type") != "aggregate":
+            rows[b["name"]] = b["real_time"]
+    return medians if medians else rows
+
+
+def check_telemetry(fresh_path, max_ratio):
+    rows = micro_rows(fresh_path)
+    off = rows.get("BM_SegmentHopDedup")
+    on = rows.get("BM_SegmentHopTelemetry")
+    if not off or not on:
+        fail(f"{fresh_path} lacks BM_SegmentHopDedup/BM_SegmentHopTelemetry "
+             f"rows (got {sorted(rows)})")
+    ratio = on / off
+    if ratio > max_ratio:
+        fail(f"telemetry hop overhead ratio {ratio:.3f} exceeds guard "
+             f"{max_ratio} (off={off:.0f} ns, on={on:.0f} ns)")
+    print(f"bench_guard: OK: telemetry hop overhead ratio {ratio:.3f} "
+          f"<= guard {max_ratio}")
+    sys.exit(0)
+
+
+def check_qps(on_path, off_path, min_ratio):
+    docs = {}
+    for path, want in ((on_path, True), (off_path, False)):
+        doc = load(path)
+        if doc.get("telemetry") is not want:
+            fail(f"{path} records telemetry={doc.get('telemetry')!r}, "
+                 f"expected a --telemetry={'on' if want else 'off'} run")
+        qps = doc.get("qps")
+        if not isinstance(qps, (int, float)) or qps <= 0:
+            fail(f"{path} qps is {qps!r}")
+        docs[want] = qps
+    ratio = docs[True] / docs[False]
+    if ratio < min_ratio:
+        fail(f"telemetry-on qps is {ratio:.3f}x the telemetry-off run "
+             f"(on={docs[True]:.0f}, off={docs[False]:.0f}), "
+             f"expected >= {min_ratio}")
+    print(f"bench_guard: OK: telemetry-on qps {ratio:.3f}x of off "
+          f"(on={docs[True]:.0f}, off={docs[False]:.0f}, guard "
+          f">= {min_ratio})")
+    sys.exit(0)
+
+
 def main():
     if len(sys.argv) >= 2 and sys.argv[1] == "--prepare":
         if len(sys.argv) not in (3, 4):
@@ -87,6 +160,20 @@ def main():
             sys.exit(2)
         min_speedup = float(sys.argv[3]) if len(sys.argv) == 4 else 10.0
         check_prepare(sys.argv[2], min_speedup)
+        return
+    if len(sys.argv) >= 2 and sys.argv[1] == "--telemetry":
+        if len(sys.argv) not in (3, 4):
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        max_ratio = float(sys.argv[3]) if len(sys.argv) == 4 else 1.05
+        check_telemetry(sys.argv[2], max_ratio)
+        return
+    if len(sys.argv) >= 2 and sys.argv[1] == "--qps":
+        if len(sys.argv) not in (4, 5):
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        min_ratio = float(sys.argv[4]) if len(sys.argv) == 5 else 0.95
+        check_qps(sys.argv[2], sys.argv[3], min_ratio)
         return
     if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)
@@ -100,18 +187,7 @@ def main():
              f"expected a number > 1")
     recorded = obs.get("lineage_overhead_ratio")
 
-    fresh = load(fresh_path)
-    rows, medians = {}, {}
-    for b in fresh.get("benchmarks", []):
-        if b.get("aggregate_name") == "median":
-            medians[b["run_name"]] = b["real_time"]
-        elif b.get("run_type") != "aggregate":
-            rows[b["name"]] = b["real_time"]
-    # Prefer the median of repeated runs when the caller passed
-    # --benchmark_repetitions; a lone sample sits too close to the
-    # ceiling to trust.
-    if medians:
-        rows = medians
+    rows = micro_rows(fresh_path)
     off = rows.get("BM_SegmentHopDedup")
     on = rows.get("BM_SegmentHopLineage")
     if not off or not on:

@@ -4,6 +4,8 @@
 Usage: check_trace.py trace.json            # Chrome trace (TraceExporter)
        check_trace.py --profile profile.json  # mpqe-profile-v1 (profiler)
        check_trace.py --lineage lineage.json  # mpqe-lineage-v1 (provenance)
+       check_trace.py --prometheus scrape.txt [--queries querylog.json]
+                                              # /metrics exposition + query log
 
 Trace checks (stdlib only, exit 0 = valid, 1 = invalid):
   * the file parses as JSON and has a non-empty "traceEvents" list;
@@ -42,9 +44,30 @@ Lineage checks (--lineage, schema "mpqe-lineage-v1"):
   * rule records carry an integer rule index;
   * depth == 1 + max(depth of inputs) for derived records, and the
     stats block's edb_facts/derived/max_depth match the records.
+
+Prometheus checks (--prometheus, text exposition format 0.0.4 as
+served by the engine's GET /metrics and mpqe_query --metrics-out):
+  * every sample line parses (name, optional {labels}, numeric value)
+    and belongs to a family declared by a preceding # TYPE line with
+    type counter, gauge or histogram;
+  * no series (name + label set) appears twice;
+  * counter and histogram samples are non-negative;
+  * per histogram series: bucket counts are cumulative (non-decreasing
+    in le order), the last bucket is le="+Inf" and equals _count, and
+    _sum/_count are present;
+  * the engine's core families are all present: plan-cache
+    (mpqe_plan_cache_hit, mpqe_plan_cache_size), session latency
+    (mpqe_engine_session_latency_ns), queue depth
+    (mpqe_engine_pool_queue_depth), and message/segment traffic
+    (mpqe_msg_sent, mpqe_msg_segment_rows);
+  * with --queries, the mpqe-querylog-v1 document correlates with the
+    scrape: query ids are unique and >= 1, and the log's completed
+    total equals the scrape's mpqe_engine_session_latency_ns_count —
+    every completed session shows up in both surfaces.
 """
 
 import json
+import re
 import sys
 from collections import Counter
 
@@ -252,6 +275,170 @@ def check_lineage(path):
     sys.exit(0)
 
 
+REQUIRED_FAMILIES = [
+    "mpqe_plan_cache_hit",
+    "mpqe_plan_cache_size",
+    "mpqe_engine_session_latency_ns",
+    "mpqe_engine_pool_queue_depth",
+    "mpqe_msg_sent",
+    "mpqe_msg_segment_rows",
+]
+
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$')
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_labels(raw, lineno):
+    labels = {}
+    for m in LABEL_RE.finditer(raw or ""):
+        labels[m.group(1)] = m.group(2)
+    # Reject garbage the label regex silently skipped.
+    stripped = LABEL_RE.sub("", raw or "").replace(",", "").strip()
+    if stripped:
+        fail(f"line {lineno}: unparseable label text {raw!r}")
+    return labels
+
+
+def histogram_base(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)], suffix
+    return name, ""
+
+
+def check_prometheus(scrape_path, queries_path):
+    try:
+        with open(scrape_path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        fail(f"cannot load {scrape_path}: {e}")
+
+    types = {}          # family -> counter|gauge|histogram
+    seen_series = set()
+    samples = 0
+    # (histogram family, frozenset(labels minus le)) -> list of
+    # (le, count) in file order, plus seen _sum/_count markers.
+    hist_buckets = {}
+    hist_parts = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                family, mtype = parts[2], parts[3] if len(parts) > 3 else ""
+                if mtype not in ("counter", "gauge", "histogram"):
+                    fail(f"line {lineno}: family {family} has bad type "
+                         f"{mtype!r}")
+                if family in types:
+                    fail(f"line {lineno}: duplicate TYPE for {family}")
+                types[family] = mtype
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"line {lineno}: unparseable sample {line!r}")
+        name, raw_labels, raw_value = m.groups()
+        labels = parse_labels(raw_labels, lineno)
+        try:
+            value = float(raw_value)
+        except ValueError:
+            fail(f"line {lineno}: {name} has non-numeric value "
+                 f"{raw_value!r}")
+        base, suffix = histogram_base(name)
+        if base in types and types[base] == "histogram" and suffix:
+            family, mtype = base, "histogram"
+        elif name in types:
+            family, mtype = name, types[name]
+            suffix = ""
+        else:
+            fail(f"line {lineno}: sample {name} has no preceding TYPE")
+        series = (name, frozenset(labels.items()))
+        if series in seen_series:
+            fail(f"line {lineno}: duplicate series {name}{labels!r}")
+        seen_series.add(series)
+        if mtype in ("counter", "histogram") and value < 0:
+            fail(f"line {lineno}: {mtype} {name} is negative ({value})")
+        samples += 1
+
+        if mtype == "histogram":
+            key = (family,
+                   frozenset(kv for kv in labels.items() if kv[0] != "le"))
+            if suffix == "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    fail(f"line {lineno}: {name} bucket lacks an le label")
+                hist_buckets.setdefault(key, []).append((lineno, le, value))
+            else:
+                hist_parts.setdefault(key, set()).add(suffix)
+
+    for (family, labelset), buckets in hist_buckets.items():
+        prev = -1.0
+        for lineno, le, value in buckets:
+            if value < prev:
+                fail(f"line {lineno}: {family} bucket le={le} count {value} "
+                     f"below preceding bucket ({prev}) — not cumulative")
+            prev = value
+        last_le = buckets[-1][1]
+        if last_le != "+Inf":
+            fail(f"{family}{dict(labelset)!r} last bucket is le={last_le}, "
+                 f"expected +Inf")
+        parts = hist_parts.get((family, labelset), set())
+        for suffix in ("_sum", "_count"):
+            if suffix not in parts:
+                fail(f"{family}{dict(labelset)!r} lacks {family}{suffix}")
+
+    missing = [f for f in REQUIRED_FAMILIES if f not in types]
+    if missing:
+        fail(f"required families missing from scrape: {missing} "
+             f"(got {sorted(types)})")
+
+    latency_count = None
+    for line in text.splitlines():
+        if line.startswith("mpqe_engine_session_latency_ns_count "):
+            latency_count = float(line.split()[1])
+
+    if queries_path is not None:
+        log = load(queries_path)
+        if log.get("schema") != "mpqe-querylog-v1":
+            fail(f'query log schema is {log.get("schema")!r}, expected '
+                 f'"mpqe-querylog-v1"')
+        entries = log.get("queries")
+        if not isinstance(entries, list):
+            fail('query log lacks a "queries" list')
+        ids = set()
+        for i, q in enumerate(entries):
+            qid = q.get("query_id")
+            if not isinstance(qid, int) or qid < 1:
+                fail(f"query log entry {i} has bad query_id {qid!r} "
+                     f"(engine ids start at 1)")
+            if qid in ids:
+                fail(f"duplicate query_id {qid} in query log")
+            ids.add(qid)
+            if not q.get("text_hash"):
+                fail(f"query {qid} lacks a text_hash")
+            if "status" not in q:
+                fail(f"query {qid} lacks a status")
+        completed = log.get("completed")
+        if not isinstance(completed, int) or completed < len(entries):
+            fail(f"query log completed={completed!r} is less than the "
+                 f"{len(entries)} retained entries")
+        if latency_count is None:
+            fail("scrape lacks mpqe_engine_session_latency_ns_count, "
+                 "cannot correlate with the query log")
+        if completed != int(latency_count):
+            fail(f"query log says {completed} completed sessions but the "
+                 f"scrape recorded {int(latency_count)} session latencies")
+
+    correlated = (f", correlated with query log ({queries_path})"
+                  if queries_path else "")
+    print(f"check_trace: OK: prometheus scrape with {len(types)} families, "
+          f"{samples} samples, {len(hist_buckets)} histogram series"
+          f"{correlated}")
+    sys.exit(0)
+
+
 def main():
     args = sys.argv[1:]
     if args and args[0] == "--profile":
@@ -265,6 +452,15 @@ def main():
             print(__doc__, file=sys.stderr)
             sys.exit(2)
         check_lineage(args[1])
+        return
+    if args and args[0] == "--prometheus":
+        queries_path = None
+        if len(args) == 4 and args[2] == "--queries":
+            queries_path = args[3]
+        elif len(args) != 2:
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        check_prometheus(args[1], queries_path)
         return
     if len(args) != 1:
         print(__doc__, file=sys.stderr)

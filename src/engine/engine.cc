@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "datalog/parser.h"
+#include "obs/prometheus.h"
 #include "sips/strategy.h"
 
 namespace mpqe {
@@ -41,6 +42,16 @@ Status EngineOptions::Validate() const {
   }
   if (plan_cache_capacity < 1) {
     return InvalidArgumentError("plan_cache_capacity: must be >= 1");
+  }
+  MPQE_RETURN_IF_ERROR(telemetry_options.Validate());
+  if (stats_port > 65535) {
+    return InvalidArgumentError(
+        StrCat("stats_port: must be <= 65535, got ", stats_port));
+  }
+  if (stats_port >= 0 && !telemetry) {
+    return InvalidArgumentError(
+        "stats_port: the stats endpoint serves telemetry; enable "
+        "EngineOptions::telemetry");
   }
   return Status::Ok();
 }
@@ -156,14 +167,47 @@ StatusOr<EvaluationResult> QuerySession::Run() {
   // shared ones must not (kLookupOnly).
   const bool exclusive = options_.lineage;
   MPQE_RETURN_IF_ERROR(snapshot.BeginSession(exclusive));
+
+  EngineTelemetry* telemetry = options_.telemetry;
+  // With telemetry on, a SAMPLE of sessions (every Nth —
+  // TelemetryOptions::session_metrics_every) collects deep metrics:
+  // the session registry is merged into the engine-lifetime one on
+  // completion. Observation forfeits the network's zero-observer fast
+  // path, so doing this for every session would cost far more than the
+  // 5% telemetry budget on message-heavy queries. When the caller
+  // brought their own registry it is used as-is but NOT merged (they
+  // own those numbers, and a caller registry spans sessions — merging
+  // would double-count) — the query-log entry is still recorded, just
+  // without the fire_ns breakdown.
+  MetricsRegistry session_metrics;
+  SessionOptions run_options = options_;
+  const bool own_metrics = telemetry != nullptr &&
+                           run_options.metrics == nullptr &&
+                           telemetry->ShouldSampleSessionMetrics();
+  if (own_metrics) run_options.metrics = &session_metrics;
+  if (telemetry != nullptr) telemetry->OnSessionStart();
+
   const uint64_t start = NowNs();
   StatusOr<EvaluationResult> result =
-      RunSession(plan_->graph(), snapshot.db_, options_,
+      RunSession(plan_->graph(), snapshot.db_, run_options,
                  exclusive ? EdbIndexMode::kRegister
                            : EdbIndexMode::kLookupOnly);
   latency_ns_ = NowNs() - start;
   snapshot.EndSession(exclusive);
   engine_->RecordSessionLatency(latency_ns_);
+
+  if (telemetry != nullptr) {
+    QueryLogEntry entry;
+    entry.query_id = options_.query_id;
+    entry.text_hash = HashQueryText(plan_->canonical_text());
+    entry.plan_reused = plan_reused_;
+    entry.rows_out = result.ok() ? result.value().answers.size() : 0;
+    entry.wall_ns = latency_ns_;
+    entry.status =
+        result.ok() ? "ok" : StatusCodeToString(result.status().code());
+    telemetry->OnSessionComplete(std::move(entry),
+                                 own_metrics ? &session_metrics : nullptr);
+  }
   return result;
 }
 
@@ -182,15 +226,91 @@ Engine::Engine(EngineOptions options)
   for (int i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+
+  if (options_.telemetry) {
+    telemetry_ = std::make_unique<EngineTelemetry>(options_.telemetry_options);
+    // Pre-register the cumulative families so a scrape sees them (at
+    // zero) before the first Prepare/Run.
+    MetricsRegistry& registry = telemetry_->registry();
+    registry.GetCounter("plan_cache/hit");
+    registry.GetCounter("plan_cache/miss");
+    registry.GetCounter("plan_cache/evictions");
+    registry.GetHistogram("engine/prepare_ns");
+    registry.GetHistogram("engine/session_latency_ns");
+    // The message-layer families too: session registries only merge
+    // non-zero counters, so without these a workload that (say) never
+    // ships a multi-row segment would drop the whole family from the
+    // exposition instead of reporting 0 — and Prometheus rate() needs
+    // the zero sample to exist.
+    registry.GetCounter("msg/sent/tuple");
+    registry.GetCounter("msg/sent/tuple_segment");
+    registry.GetCounter("msg/delivered");
+    registry.GetCounter("msg/segment_rows");
+    registry.GetCounter("node/fires");
+    registry.GetCounter("dedup/hits");
+    telemetry_->StartSampling(
+        [this](MetricsRegistry& r) { SampleEngineGauges(r); });
+
+    if (options_.stats_port >= 0) {
+      StatsServerOptions server_options;
+      server_options.port = options_.stats_port;
+      server_options.bind_address = options_.stats_bind_address;
+      stats_server_ = std::make_unique<StatsServer>(server_options);
+      EngineTelemetry* telemetry = telemetry_.get();
+      stats_server_->AddRoute("/metrics", PrometheusContentType(),
+                              [telemetry] {
+                                telemetry->SampleNow();
+                                return ToPrometheusText(telemetry->registry());
+                              });
+      stats_server_->AddRoute("/queries", "application/json", [telemetry] {
+        return telemetry->QueryLogJson();
+      });
+      stats_server_->AddRoute("/healthz", "text/plain",
+                              [] { return std::string("ok\n"); });
+      stats_server_status_ = stats_server_->Start();
+      if (!stats_server_status_.ok()) stats_server_.reset();
+    }
+  }
 }
 
 Engine::~Engine() {
+  // The stats server's handlers read the telemetry registry and its
+  // sampler reads the pool state: tear both down before the pool.
+  stats_server_.reset();
+  telemetry_.reset();
   {
     std::lock_guard<std::mutex> lock(pool_mutex_);
     stopping_ = true;
   }
   pool_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+}
+
+void Engine::SampleEngineGauges(MetricsRegistry& registry) {
+  const PlanCacheStats cache = plan_cache_.stats();
+  registry.GetGauge("plan_cache/size").Set(static_cast<double>(cache.size));
+  registry.GetGauge("plan_cache/capacity")
+      .Set(static_cast<double>(cache.capacity));
+  const uint64_t lookups = cache.hits + cache.misses;
+  registry.GetGauge("plan_cache/hit_rate")
+      .Set(lookups == 0 ? 0.0
+                        : static_cast<double>(cache.hits) /
+                              static_cast<double>(lookups));
+  size_t queue_depth;
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    queue_depth = queue_.size();
+  }
+  registry.GetGauge("engine/pool_queue_depth")
+      .Set(static_cast<double>(queue_depth));
+  const int workers = static_cast<int>(workers_.size());
+  registry.GetGauge("engine/workers").Set(static_cast<double>(workers));
+  registry.GetGauge("engine/pool_utilization")
+      .Set(workers == 0
+               ? 0.0
+               : static_cast<double>(
+                     busy_workers_.load(std::memory_order_relaxed)) /
+                     static_cast<double>(workers));
 }
 
 void Engine::WorkerLoop() {
@@ -205,7 +325,9 @@ void Engine::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    busy_workers_.fetch_add(1, std::memory_order_relaxed);
     task();
+    busy_workers_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
@@ -248,12 +370,22 @@ StatusOr<std::shared_ptr<const PreparedQuery>> Engine::PrepareImpl(
   }
   MPQE_RETURN_IF_ERROR(options.Validate());
   const uint64_t start = NowNs();
-  Counter* hit_counter =
-      options_.metrics ? &options_.metrics->GetCounter("plan_cache/hit")
-                       : nullptr;
-  Counter* miss_counter =
-      options_.metrics ? &options_.metrics->GetCounter("plan_cache/miss")
-                       : nullptr;
+  // Counters land in the caller's engine registry (EngineOptions::
+  // metrics) and in the built-in telemetry; either may be absent.
+  auto count = [this](const char* name, uint64_t delta = 1) {
+    if (options_.metrics) options_.metrics->GetCounter(name).Increment(delta);
+    if (telemetry_) telemetry_->registry().GetCounter(name).Increment(delta);
+  };
+  auto record_prepare_ns = [this, start] {
+    const uint64_t ns = NowNs() - start;
+    last_prepare_ns_.store(ns, std::memory_order_relaxed);
+    if (options_.metrics) {
+      options_.metrics->GetHistogram("engine/prepare_ns").Record(ns);
+    }
+    if (telemetry_) {
+      telemetry_->registry().GetHistogram("engine/prepare_ns").Record(ns);
+    }
+  };
 
   const std::string prefix = KeyPrefix(*snapshot, options);
 
@@ -263,12 +395,8 @@ StatusOr<std::shared_ptr<const PreparedQuery>> Engine::PrepareImpl(
     raw_key = StrCat("raw;", prefix, program_text);
     if (std::shared_ptr<const PreparedQuery> plan =
             plan_cache_.Lookup(raw_key, /*count_miss=*/false)) {
-      last_prepare_ns_.store(NowNs() - start, std::memory_order_relaxed);
-      if (hit_counter) hit_counter->Increment();
-      if (options_.metrics) {
-        options_.metrics->GetHistogram("engine/prepare_ns")
-            .Record(last_prepare_ns_.load(std::memory_order_relaxed));
-      }
+      record_prepare_ns();
+      count("plan_cache/hit");
       return plan;
     }
   }
@@ -279,7 +407,7 @@ StatusOr<std::shared_ptr<const PreparedQuery>> Engine::PrepareImpl(
     Status parse_status =
         ParseRulesInto(program_text, parsed, snapshot->db_.symbols());
     if (!parse_status.ok()) {
-      if (miss_counter) miss_counter->Increment();
+      count("plan_cache/miss");
       return parse_status;
     }
     program = &parsed;
@@ -293,17 +421,13 @@ StatusOr<std::shared_ptr<const PreparedQuery>> Engine::PrepareImpl(
   if (!hit) {
     MPQE_ASSIGN_OR_RETURN(
         plan, Compile(snapshot, *program, std::move(canonical_text), options));
-    plan_cache_.Insert(canonical_key, plan);
+    size_t evicted = plan_cache_.Insert(canonical_key, plan);
+    if (evicted > 0) count("plan_cache/evictions", evicted);
   }
   if (!raw_key.empty()) plan_cache_.AddAlias(raw_key, canonical_key);
 
-  last_prepare_ns_.store(NowNs() - start, std::memory_order_relaxed);
-  if (hit && hit_counter) hit_counter->Increment();
-  if (!hit && miss_counter) miss_counter->Increment();
-  if (options_.metrics) {
-    options_.metrics->GetHistogram("engine/prepare_ns")
-        .Record(last_prepare_ns_.load(std::memory_order_relaxed));
-  }
+  record_prepare_ns();
+  count(hit ? "plan_cache/hit" : "plan_cache/miss");
   return plan;
 }
 
@@ -350,8 +474,20 @@ StatusOr<std::unique_ptr<QuerySession>> Engine::CreateSession(
   if (options_.metrics) {
     options_.metrics->GetCounter("engine/sessions").Increment();
   }
-  return std::unique_ptr<QuerySession>(
-      new QuerySession(this, std::move(plan), options));
+  SessionOptions session_options = options;
+  bool plan_reused = false;
+  if (telemetry_) {
+    // Mint the stable query id here — it identifies the session from
+    // birth, whether or not Run is ever called.
+    session_options.query_id = telemetry_->MintQueryId();
+    session_options.telemetry = telemetry_.get();
+    plan_reused =
+        plan->sessions_created_.fetch_add(1, std::memory_order_relaxed) > 0;
+  }
+  auto session = std::unique_ptr<QuerySession>(
+      new QuerySession(this, std::move(plan), std::move(session_options)));
+  session->plan_reused_ = plan_reused;
+  return session;
 }
 
 std::future<StatusOr<EvaluationResult>> Engine::RunAsync(
@@ -376,6 +512,10 @@ std::future<StatusOr<EvaluationResult>> Engine::RunAsync(
 void Engine::RecordSessionLatency(uint64_t ns) {
   if (options_.metrics) {
     options_.metrics->GetHistogram("engine/session_latency_ns").Record(ns);
+  }
+  if (telemetry_) {
+    telemetry_->registry().GetHistogram("engine/session_latency_ns")
+        .Record(ns);
   }
 }
 

@@ -58,8 +58,10 @@
 #include "engine/evaluator.h"
 #include "engine/plan.h"
 #include "engine/plan_cache.h"
+#include "engine/stats_server.h"
 #include "graph/rule_goal_graph.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "relational/database.h"
 #include "sips/cost_model.h"
 
@@ -78,10 +80,33 @@ struct EngineOptions {
   size_t plan_cache_capacity = 64;
 
   // Optional engine-lifetime metrics (not owned): plan_cache/hit,
-  // plan_cache/miss, plan_cache/eviction counters; engine/prepare_ns
+  // plan_cache/miss, plan_cache/evictions counters; engine/prepare_ns
   // and engine/session_latency_ns histograms; engine/sessions counter.
-  // Independent of any per-session SessionOptions::metrics registry.
+  // Independent of any per-session SessionOptions::metrics registry
+  // and of the built-in telemetry below.
   MetricsRegistry* metrics = nullptr;
+
+  // Engine-wide telemetry (DESIGN.md §12): cross-session metric
+  // aggregation, the structured query log, query-id minting, live
+  // gauges. On by default; the switch exists for overhead A/B runs
+  // (bench/bench_concurrent --telemetry=off) — with it off sessions
+  // skip the built-in metrics collection entirely, no query ids are
+  // minted and the stats server cannot start.
+  bool telemetry = true;
+
+  // Query-log capacity / slow-query threshold / background gauge
+  // sampling interval (see obs/telemetry.h).
+  TelemetryOptions telemetry_options = {};
+
+  // TCP port of the built-in stats endpoint (GET /metrics, /queries,
+  // /healthz on loopback; engine/stats_server.h). -1 = off (default);
+  // 0 = ephemeral port (tests: read it back from stats_port());
+  // >0 = that port. Requires `telemetry`.
+  int stats_port = -1;
+
+  // Bind address of the stats endpoint. Loopback unless explicitly
+  // widened.
+  std::string stats_bind_address = "127.0.0.1";
 
   Status Validate() const;
 };
@@ -182,6 +207,10 @@ class PreparedQuery {
   std::vector<EdbIndexSpec> index_specs_;
   CostModelParams cost_params_;
   uint64_t prepare_ns_ = 0;
+  // Sessions created over this plan so far — mutable bookkeeping on an
+  // otherwise-immutable object; feeds QueryLogEntry::plan_reused
+  // (every session after the first ran on a reused plan).
+  mutable std::atomic<uint64_t> sessions_created_{0};
 };
 
 // One execution of a compiled plan. Single-use: Run() evaluates once
@@ -200,6 +229,11 @@ class QuerySession {
   /// Wall time of the completed Run (0 before).
   uint64_t latency_ns() const { return latency_ns_; }
 
+  /// The engine-minted stable query id correlating this session across
+  /// trace spans, log lines, lineage dumps and the query log (0 when
+  /// the engine runs with telemetry off).
+  uint64_t query_id() const { return options_.query_id; }
+
  private:
   friend class Engine;
   QuerySession(Engine* engine, std::shared_ptr<const PreparedQuery> plan,
@@ -209,6 +243,9 @@ class QuerySession {
   Engine* engine_;
   std::shared_ptr<const PreparedQuery> plan_;
   SessionOptions options_;
+  // Whether this session reuses a plan another session already ran
+  // (stamped at CreateSession; reported in the query log).
+  bool plan_reused_ = false;
   std::atomic<bool> ran_{false};
   uint64_t latency_ns_ = 0;
 };
@@ -261,6 +298,21 @@ class Engine {
   int workers() const { return static_cast<int>(workers_.size()); }
   MetricsRegistry* metrics() const { return options_.metrics; }
 
+  /// The engine-wide telemetry (nullptr iff EngineOptions::telemetry
+  /// is off): the cross-session registry, the query log, the /metrics
+  /// payload source.
+  EngineTelemetry* telemetry() const { return telemetry_.get(); }
+
+  /// The bound port of the stats endpoint, or -1 when it is not
+  /// running (off, or the bind failed — see stats_server_status()).
+  int stats_port() const {
+    return stats_server_ != nullptr ? stats_server_->port() : -1;
+  }
+
+  /// OK when the stats endpoint was not requested or is serving; the
+  /// bind/listen error otherwise (the engine itself still works).
+  const Status& stats_server_status() const { return stats_server_status_; }
+
  private:
   friend class QuerySession;
 
@@ -277,6 +329,9 @@ class Engine {
 
   void WorkerLoop();
   void RecordSessionLatency(uint64_t ns);
+  /// The gauge-refresh hook telemetry samples: plan-cache size /
+  /// capacity / hit-rate, pool queue depth, worker count/utilization.
+  void SampleEngineGauges(MetricsRegistry& registry);
 
   EngineOptions options_;
   PlanCache plan_cache_;
@@ -287,7 +342,15 @@ class Engine {
   std::condition_variable pool_cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+  std::atomic<int> busy_workers_{0};
   std::vector<std::thread> workers_;
+
+  // Declared after the pool so they are destroyed first; ~Engine also
+  // tears them down explicitly (server before telemetry — its handlers
+  // read the telemetry registry).
+  std::unique_ptr<EngineTelemetry> telemetry_;
+  std::unique_ptr<StatsServer> stats_server_;
+  Status stats_server_status_;
 };
 
 }  // namespace mpqe

@@ -216,6 +216,12 @@ StatusOr<EvaluationResult> RunSession(const RuleGoalGraph& graph, Database& db,
                                       EdbIndexMode edb_index_mode) {
   MPQE_RETURN_IF_ERROR(options.Validate());
   ScopedObservers scoped(options);
+  // Identify the session before any other event so every observer can
+  // stamp its output with the engine-minted query id. 0 means "no
+  // engine" (one-shot Evaluate): no event, outputs stay id-free.
+  if (options.query_id != 0 && !scoped.list.empty()) {
+    scoped.list.NotifySessionStart(SessionStartEvent{options.query_id});
+  }
   if (scoped.profiler.has_value()) {
     scoped.profiler->AttachGraph(&graph, &db.symbols());
   }
@@ -250,9 +256,25 @@ StatusOr<EvaluationResult> RunSession(const RuleGoalGraph& graph, Database& db,
   }
   if (options.scheduler == SchedulerKind::kThreaded &&
       options.progress_interval_ms > 0) {
+    EngineTelemetry* telemetry = options.telemetry;
     network.ConfigureStallMonitor(
         options.progress_interval_ms,
-        [&graph](const StallInfo& info) { LogStall(graph, info); });
+        [&graph, telemetry](const StallInfo& info) {
+          LogStall(graph, info);
+          if (telemetry == nullptr) return;
+          // Fold the nonempty mailboxes into per-SCC totals (the sink
+          // pseudo-process has no SCC and is covered by in_flight).
+          std::map<int64_t, uint64_t> by_scc;
+          for (const auto& [pid, depth] : info.queue_depths) {
+            if (pid < static_cast<ProcessId>(graph.size())) {
+              by_scc[graph.node(pid).scc_id] += depth;
+            }
+          }
+          telemetry->ReportQueueDepths(
+              std::vector<std::pair<int64_t, uint64_t>>(by_scc.begin(),
+                                                        by_scc.end()),
+              info.in_flight);
+        });
   }
 
   std::vector<NodeProcessBase*> node_processes;

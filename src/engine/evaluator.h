@@ -43,6 +43,7 @@
 #include "obs/metrics.h"
 #include "obs/observer.h"
 #include "obs/profiler.h"
+#include "obs/telemetry.h"
 #include "relational/database.h"
 #include "sips/strategy.h"
 
@@ -147,6 +148,19 @@ struct SessionOptions {
   // interval). 0 disables; other schedulers ignore it (they cannot
   // stall silently).
   int progress_interval_ms = 0;
+
+  // Engine-minted stable query id (DESIGN.md §12). Nonzero iff the
+  // session came from Engine::CreateSession; published to every
+  // observer as a SessionStartEvent before any other event, so trace
+  // spans, log lines, lineage dumps and the engine query log all carry
+  // the same id. The one-shot Evaluate path leaves it 0 and its
+  // outputs stay id-free.
+  uint64_t query_id = 0;
+
+  // Engine telemetry sink (not owned; set by Engine::CreateSession,
+  // never by callers). When set, the stall heartbeat additionally
+  // publishes per-SCC queue depths as live gauges.
+  EngineTelemetry* telemetry = nullptr;
 
   /// Checks the session options for configuration errors — workers <
   /// 1, out-of-range scheduler — and returns an InvalidArgument Status

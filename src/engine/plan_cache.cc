@@ -43,23 +43,28 @@ std::shared_ptr<const PreparedQuery> PlanCache::Peek(
   return it == entries_.end() ? nullptr : it->second.plan;
 }
 
-void PlanCache::Insert(const std::string& canonical_key,
-                       std::shared_ptr<const PreparedQuery> plan) {
+size_t PlanCache::Insert(const std::string& canonical_key,
+                         std::shared_ptr<const PreparedQuery> plan) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(canonical_key);
   if (it != entries_.end()) {
     it->second.plan = std::move(plan);
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     ++insertions_;
-    return;
+    return 0;
   }
-  while (entries_.size() >= capacity_) EvictOne();
+  size_t evicted = 0;
+  while (entries_.size() >= capacity_) {
+    EvictOne();
+    ++evicted;
+  }
   lru_.push_front(canonical_key);
   Entry entry;
   entry.plan = std::move(plan);
   entry.lru_it = lru_.begin();
   entries_.emplace(canonical_key, std::move(entry));
   ++insertions_;
+  return evicted;
 }
 
 void PlanCache::AddAlias(const std::string& alias_key,

@@ -63,9 +63,11 @@ class PlanCache {
 
   /// Inserts `plan` under `canonical_key`, evicting the least-recently
   /// used plan (and its aliases) if the cache is full. Overwrites any
-  /// existing entry with the same key.
-  void Insert(const std::string& canonical_key,
-              std::shared_ptr<const PreparedQuery> plan);
+  /// existing entry with the same key. Returns how many plans were
+  /// evicted by this insert (so the engine can surface the
+  /// plan_cache/evictions counter without diffing stats snapshots).
+  size_t Insert(const std::string& canonical_key,
+                std::shared_ptr<const PreparedQuery> plan);
 
   /// Registers `alias_key` as another name for the plan stored under
   /// `canonical_key`. No-op if the canonical entry is absent (e.g.

@@ -1,0 +1,176 @@
+#include "engine/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace mpqe {
+namespace {
+
+// Reads until the end of the request head (blank line) or the buffer
+// cap; returns what was read. HTTP/1.0 GETs have no body, so this is
+// the whole request.
+std::string ReadRequestHead(int fd) {
+  std::string head;
+  char buf[1024];
+  while (head.size() < 16 * 1024) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos) {
+      break;
+    }
+  }
+  return head;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::string HttpResponse(int code, const std::string& reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  return StrCat("HTTP/1.0 ", code, " ", reason,
+                "\r\nContent-Type: ", content_type,
+                "\r\nContent-Length: ", body.size(),
+                "\r\nConnection: close\r\n\r\n", body);
+}
+
+}  // namespace
+
+StatsServer::StatsServer(StatsServerOptions options)
+    : options_(std::move(options)) {}
+
+StatsServer::~StatsServer() { Stop(); }
+
+void StatsServer::AddRoute(const std::string& path,
+                           const std::string& content_type, Handler handler) {
+  routes_[path] = Route{content_type, std::move(handler)};
+}
+
+Status StatsServer::Start() {
+  if (listen_fd_ >= 0) {
+    return FailedPreconditionError("stats server already started");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ResourceExhaustedError(
+        StrCat("stats server: socket(): ", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return InvalidArgumentError(
+        StrCat("stats server: bad bind address '", options_.bind_address,
+               "'"));
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = ResourceExhaustedError(
+        StrCat("stats server: cannot bind ", options_.bind_address, ":",
+               options_.port, ": ", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 16) != 0) {
+    Status status = ResourceExhaustedError(
+        StrCat("stats server: listen(): ", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  } else {
+    bound_port_ = options_.port;
+  }
+  listen_fd_ = fd;
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void StatsServer::Stop() {
+  if (listen_fd_ < 0) return;
+  // shutdown() wakes the blocking accept(); the loop then sees the
+  // error and exits. close() alone does not reliably interrupt accept.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void StatsServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // shutdown() or hard error: stop serving
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void StatsServer::ServeConnection(int fd) {
+  const std::string head = ReadRequestHead(fd);
+  // Request line: METHOD SP PATH SP VERSION.
+  const size_t line_end = head.find_first_of("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos) {
+    WriteAll(fd, HttpResponse(400, "Bad Request", "text/plain",
+                              "bad request\n"));
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = sp2 == std::string::npos
+                         ? line.substr(sp1 + 1)
+                         : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (method != "GET" && method != "HEAD") {
+    WriteAll(fd, HttpResponse(405, "Method Not Allowed", "text/plain",
+                              "only GET is served here\n"));
+    return;
+  }
+  auto it = routes_.find(path);
+  if (it == routes_.end()) {
+    std::string body = "not found; routes:\n";
+    for (const auto& [route, unused] : routes_) body += route + "\n";
+    WriteAll(fd, HttpResponse(404, "Not Found", "text/plain", body));
+    return;
+  }
+  const std::string body = it->second.handler();
+  std::string response =
+      HttpResponse(200, "OK", it->second.content_type, body);
+  if (method == "HEAD") {
+    response.resize(response.size() - body.size());
+  }
+  WriteAll(fd, response);
+}
+
+}  // namespace mpqe

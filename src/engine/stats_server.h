@@ -1,0 +1,90 @@
+// A minimal blocking HTTP/1.0 stats listener (DESIGN.md §12). Off by
+// default; the Engine starts one when EngineOptions::stats_port >= 0
+// and registers three routes:
+//
+//   GET /metrics  Prometheus text exposition of the engine telemetry
+//   GET /queries  the structured query log as JSON
+//   GET /healthz  "ok" (liveness)
+//
+// Deliberately tiny: one acceptor thread, one connection served at a
+// time, request fully parsed from the first line only (method + path),
+// response written with Content-Length and the connection closed. That
+// is all a scrape loop or `curl` needs, and it keeps the engine free
+// of any HTTP library dependency. Not a general web server: no
+// keep-alive, no TLS, no request bodies — and it binds loopback by
+// default on purpose.
+//
+// The class itself is route-agnostic (handlers are plain callables
+// returning the body), so tests can serve canned payloads without an
+// Engine.
+
+#ifndef MPQE_ENGINE_STATS_SERVER_H_
+#define MPQE_ENGINE_STATS_SERVER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace mpqe {
+
+struct StatsServerOptions {
+  // TCP port to listen on. 0 asks the OS for an ephemeral port (read
+  // it back from port() after Start — what tests use).
+  int port = 0;
+
+  // Loopback by default: the stats surface is an operator tool, not a
+  // public API; exposing it wider is an explicit opt-in.
+  std::string bind_address = "127.0.0.1";
+};
+
+class StatsServer {
+ public:
+  // Produces a response body for one GET. Called on the acceptor
+  // thread; must be thread-safe against the engine it reads.
+  using Handler = std::function<std::string()>;
+
+  explicit StatsServer(StatsServerOptions options = {});
+  ~StatsServer();  // stops the acceptor if still running
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Registers `handler` for exact-match GET `path` (e.g. "/metrics"),
+  /// serving `content_type`. Call before Start.
+  void AddRoute(const std::string& path, const std::string& content_type,
+                Handler handler);
+
+  /// Binds, listens and spawns the acceptor thread. Fails with
+  /// kResourceExhausted when the address cannot be bound.
+  Status Start();
+
+  /// Stops accepting and joins the acceptor thread. Idempotent.
+  void Stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+
+  /// The actually bound port (resolves port 0 after Start).
+  int port() const { return bound_port_; }
+
+ private:
+  struct Route {
+    std::string content_type;
+    Handler handler;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  StatsServerOptions options_;
+  std::map<std::string, Route> routes_;
+  int listen_fd_ = -1;
+  int bound_port_ = -1;
+  std::thread acceptor_;
+};
+
+}  // namespace mpqe
+
+#endif  // MPQE_ENGINE_STATS_SERVER_H_

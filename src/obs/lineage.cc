@@ -202,6 +202,7 @@ std::string LineageReport::FormatProof(uint64_t id,
 
 std::string LineageReport::ToJson() const {
   std::string out = "{\n  \"schema\": \"mpqe-lineage-v1\",\n";
+  if (query_id != 0) out += StrCat("  \"query_id\": ", query_id, ",\n");
   out += StrCat("  \"root_node\": ", root_node, ",\n");
   out += StrCat("  \"stats\": {\"edb_facts\": ", edb_facts,
                 ", \"derived\": ", derived, ", \"max_depth\": ", max_depth,
@@ -298,8 +299,13 @@ size_t LineageObserver::record_count() const {
   return records_.size() + batch_rows_;
 }
 
+void LineageObserver::OnSessionStart(const SessionStartEvent& event) {
+  query_id_ = event.query_id;
+}
+
 LineageReport LineageObserver::Finalize() const {
   LineageReport report;
+  report.query_id = query_id_;
   std::vector<EdbRange> edb;
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -101,6 +101,10 @@ struct LineageReport {
   size_t edb_facts = 0;
   size_t derived = 0;
   int64_t max_depth = 0;
+  // The engine-minted query id of the session that produced this
+  // report (0 for the one-shot Evaluate path; then omitted from the
+  // JSON dump, keeping pinned goldens id-free).
+  uint64_t query_id = 0;
 
   /// The record for `id`, or nullptr (binary search; records are
   /// sorted by id).
@@ -155,6 +159,9 @@ class LineageObserver : public ExecutionObserver {
   /// and EngineShared::lineage_ids.
   TupleIdAllocator* ids() { return &ids_; }
 
+  /// Captures the session's query id for the report.
+  void OnSessionStart(const SessionStartEvent& event) override;
+
   void OnDerive(const DeriveEvent& event) override;
 
   /// One entry per absorbed segment instead of one record per row:
@@ -191,6 +198,7 @@ class LineageObserver : public ExecutionObserver {
   };
 
   TupleIdAllocator ids_;
+  uint64_t query_id_ = 0;  // set before any derivation event
   mutable std::mutex mutex_;
   std::vector<LineageRecord> records_;  // raw: display fields unset
   std::vector<BatchEntry> batches_;     // raw: expanded by Finalize

@@ -13,11 +13,17 @@ LoggingObserver::LoggingObserver(LogLevel level, std::ostream* out)
 void LoggingObserver::Line(LogLevel level, const std::string& text) {
   if (level < level_) return;
   std::string line =
-      StrCat("[", LogLevelName(level), " ", ThreadTag(), " engine] ", text,
-             "\n");
+      StrCat("[", LogLevelName(level), " ", ThreadTag(), " engine] ",
+             query_id_ != 0 ? StrCat("q", query_id_, " ") : std::string(),
+             text, "\n");
   std::lock_guard<std::mutex> lock(mutex_);
   (*out_) << line;
   out_->flush();
+}
+
+void LoggingObserver::OnSessionStart(const SessionStartEvent& event) {
+  query_id_ = event.query_id;
+  Line(LogLevel::kInfo, "session start");
 }
 
 void LoggingObserver::OnPhase(const PhaseEvent& event) {

@@ -34,6 +34,7 @@ class LoggingObserver : public ExecutionObserver {
   /// Logs to `out`, or std::cerr when null.
   explicit LoggingObserver(LogLevel level, std::ostream* out = nullptr);
 
+  void OnSessionStart(const SessionStartEvent& event) override;
   void OnPhase(const PhaseEvent& event) override;
   void OnTermination(const TerminationEvent& event) override;
 
@@ -42,6 +43,10 @@ class LoggingObserver : public ExecutionObserver {
 
   LogLevel level_;
   std::ostream* out_;
+  // Engine query id prefixed to every line ("q17 ...") once a
+  // SessionStartEvent arrives — 0 (one-shot Evaluate) keeps lines
+  // exactly as before. Set before any other event is published.
+  uint64_t query_id_ = 0;
   std::mutex mutex_;
 };
 

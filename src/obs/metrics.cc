@@ -71,6 +71,25 @@ uint64_t Histogram::Percentile(double p) const {
   return max();
 }
 
+void Histogram::MergeFrom(const Histogram& other) {
+  for (size_t b = 0; b < kBuckets; ++b) {
+    uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  uint64_t other_min = other.min_.load(std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (other_min < seen && !min_.compare_exchange_weak(
+                                 seen, other_min, std::memory_order_relaxed)) {
+  }
+  uint64_t other_max = other.max();
+  seen = max_.load(std::memory_order_relaxed);
+  while (other_max > seen && !max_.compare_exchange_weak(
+                                 seen, other_max, std::memory_order_relaxed)) {
+  }
+}
+
 std::vector<uint64_t> Histogram::BucketCounts() const {
   std::vector<uint64_t> out(kBuckets);
   for (size_t b = 0; b < kBuckets; ++b) {
@@ -96,6 +115,13 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
   return *it->second;
 }
 
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = gauges_.emplace(name, nullptr);
+  if (inserted) it->second = std::make_unique<Gauge>();
+  return *it->second;
+}
+
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = histograms_.emplace(name, nullptr);
@@ -103,49 +129,129 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
   return *it->second;
 }
 
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::pair<std::string, Counter*>>
+MetricsRegistry::SortedCounters() const {
+  std::vector<std::pair<std::string, Counter*>> rows;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rows.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+      rows.emplace_back(name, counter.get());
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::vector<std::pair<std::string, Gauge*>> MetricsRegistry::SortedGauges()
+    const {
+  std::vector<std::pair<std::string, Gauge*>> rows;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rows.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_) {
+      rows.emplace_back(name, gauge.get());
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::vector<std::pair<std::string, Histogram*>>
+MetricsRegistry::SortedHistograms() const {
+  std::vector<std::pair<std::string, Histogram*>> rows;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rows.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+      rows.emplace_back(name, histogram.get());
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
 std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterRows()
     const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::pair<std::string, uint64_t>> rows;
-  rows.reserve(counters_.size());
-  for (const auto& [name, counter] : counters_) {
+  for (const auto& [name, counter] : SortedCounters()) {
     rows.emplace_back(name, counter->value());
   }
   return rows;
 }
 
+std::vector<std::pair<std::string, double>> MetricsRegistry::GaugeRows()
+    const {
+  std::vector<std::pair<std::string, double>> rows;
+  for (const auto& [name, gauge] : SortedGauges()) {
+    rows.emplace_back(name, gauge->value());
+  }
+  return rows;
+}
+
 std::vector<std::string> MetricsRegistry::HistogramNames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> names;
-  names.reserve(histograms_.size());
-  for (const auto& [name, histogram] : histograms_) names.push_back(name);
+  for (const auto& [name, histogram] : SortedHistograms()) {
+    (void)histogram;
+    names.push_back(name);
+  }
   return names;
 }
 
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  // Snapshot `other` first: GetCounter/GetHistogram below take our own
+  // mutex, and self-merge (or two registries merging into each other)
+  // must not deadlock on lock order.
+  for (const auto& [name, counter] : other.SortedCounters()) {
+    uint64_t v = counter->value();
+    if (v != 0) GetCounter(name).Increment(v);
+  }
+  for (const auto& [name, histogram] : other.SortedHistograms()) {
+    if (histogram->count() != 0) GetHistogram(name).MergeFrom(*histogram);
+  }
+  // Gauges are levels, not deltas: summing per-session gauge values
+  // into an engine gauge would be meaningless. Engine-wide gauges are
+  // sampled by EngineTelemetry instead.
+}
+
 std::string MetricsRegistry::ToString() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
-  for (const auto& [name, counter] : counters_) {
+  for (const auto& [name, counter] : SortedCounters()) {
     out += StrCat(name, "=", counter->value(), "\n");
   }
-  for (const auto& [name, histogram] : histograms_) {
+  for (const auto& [name, gauge] : SortedGauges()) {
+    out += StrCat(name, "=", gauge->value(), "\n");
+  }
+  for (const auto& [name, histogram] : SortedHistograms()) {
     out += StrCat(name, "=", histogram->ToString(), "\n");
   }
   return out;
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\n  \"counters\": {";
   bool first = true;
-  for (const auto& [name, counter] : counters_) {
+  for (const auto& [name, counter] : SortedCounters()) {
     out += StrCat(first ? "" : ",", "\n    \"", name,
                   "\": ", counter->value());
     first = false;
   }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : SortedGauges()) {
+    out += StrCat(first ? "" : ",", "\n    \"", name, "\": ", gauge->value());
+    first = false;
+  }
   out += "\n  },\n  \"histograms\": {";
   first = true;
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [name, h] : SortedHistograms()) {
     out += StrCat(first ? "" : ",", "\n    \"", name, "\": {\"count\": ",
                   h->count(), ", \"sum\": ", h->sum(), ", \"min\": ", h->min(),
                   ", \"max\": ", h->max(), ", \"p50\": ", h->Percentile(50),
@@ -160,6 +266,7 @@ std::string MetricsRegistry::ToJson() const {
 void MetricsRegistry::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   counters_.clear();
+  gauges_.clear();
   histograms_.clear();
 }
 

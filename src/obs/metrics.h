@@ -1,18 +1,27 @@
-// Named metrics for evaluations: monotonic counters and log2-bucketed
-// histograms, grouped in a MetricsRegistry. The registry subsumes the
-// ad-hoc EngineCounters / NodeCounters plumbing: the evaluator (when
-// EvaluationOptions::metrics is set) installs a MetricsObserver that
-// counts live events and, after the run, dumps the per-node /
-// per-predicate / per-kind breakdowns into the same registry.
+// Named metrics for evaluations: monotonic counters, level gauges and
+// log2-bucketed histograms, grouped in a MetricsRegistry. The registry
+// subsumes the ad-hoc EngineCounters / NodeCounters plumbing: the
+// evaluator (when EvaluationOptions::metrics is set) installs a
+// MetricsObserver that counts live events and, after the run, dumps
+// the per-node / per-predicate / per-kind breakdowns into the same
+// registry.
 //
 // Naming convention: '/'-separated paths, lowest-cardinality prefix
 // first — e.g. "msg/sent/tuple", "node/7/fires",
-// "predicate/path/stored_tuples", "phase/run/ns".
+// "predicate/path/stored_tuples", "phase/run/ns". The Prometheus
+// serializer (obs/prometheus.h) maps these paths onto metric families
+// `mpqe_<subsystem>_<name>{label="..."}` (DESIGN.md §12).
 //
-// Thread safety: Counter::Increment and Histogram::Record are
-// lock-free (relaxed atomics); Get*() takes a registry mutex, so
-// callers on hot paths should resolve references once and cache them
-// (MetricsObserver does).
+// Thread safety: Counter::Increment, Gauge::Set/Add and
+// Histogram::Record are lock-free (relaxed atomics); Get*() takes a
+// registry mutex, so callers on hot paths should resolve references
+// once and cache them (MetricsObserver does).
+//
+// Dump determinism: every dump (ToString, ToJson, CounterRows,
+// GaugeRows, HistogramNames — and the Prometheus exposition built on
+// them) is sorted by metric name, independent of registration order
+// and of the underlying container, so golden tests and scrape diffs
+// are stable across runs and schedulers.
 
 #ifndef MPQE_OBS_METRICS_H_
 #define MPQE_OBS_METRICS_H_
@@ -24,6 +33,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/observer.h"
@@ -42,6 +52,25 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+// A level that can go up and down (active sessions, queue depths,
+// cache occupancy, hit rates). Doubles, because Prometheus gauges are
+// floats and ratios (plan-cache hit rate, worker utilization) are the
+// main consumers. Set/Add are lock-free.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double seen = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(seen, seen + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
 // A histogram over uint64 samples with power-of-two buckets: bucket b
 // counts samples whose bit width is b (bucket 0 holds sample 0).
 class Histogram {
@@ -55,6 +84,11 @@ class Histogram {
   uint64_t min() const;  // 0 when empty
   uint64_t max() const { return max_.load(std::memory_order_relaxed); }
   double mean() const;
+
+  /// Adds every sample of `other` into this histogram (bucket-wise;
+  /// min/max/sum/count folded in). The engine-wide aggregation path:
+  /// session histograms merge into the engine registry on completion.
+  void MergeFrom(const Histogram& other);
 
   /// Upper-bound estimate of the p-th percentile (p in [0, 100]),
   /// resolved to bucket boundaries.
@@ -81,28 +115,51 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
   Histogram& GetHistogram(const std::string& name);
 
   /// Snapshot of all counters (sorted by name). Zero-valued counters
   /// are included — existence means the metric was registered.
   std::vector<std::pair<std::string, uint64_t>> CounterRows() const;
+  /// Snapshot of all gauges (sorted by name).
+  std::vector<std::pair<std::string, double>> GaugeRows() const;
   std::vector<std::string> HistogramNames() const;
 
-  /// "name=value" per line for counters, then one summary line per
-  /// histogram.
+  /// The named histogram, or nullptr if never registered (read-only
+  /// companion to GetHistogram for serializers that must not create).
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  /// Folds `other` into this registry: counters add, histograms merge
+  /// sample-by-bucket. Gauges are *levels*, not deltas — they are
+  /// skipped (an engine-wide gauge is sampled, never summed from
+  /// per-session values). This is how EngineTelemetry aggregates a
+  /// completed session's registry into the engine-lifetime one.
+  void MergeFrom(const MetricsRegistry& other);
+
+  /// "name=value" per line for counters, then gauges, then one summary
+  /// line per histogram — each section sorted by name.
   std::string ToString() const;
-  /// {"counters": {...}, "histograms": {name: {count, sum, min, max,
-  /// p50, p95, p99}}} — machine-readable companion to the trace
-  /// export. Keys come out in sorted (map) order, so dumps diff
-  /// cleanly across runs.
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  /// sum, min, max, p50, p95, p99}}} — machine-readable companion to
+  /// the trace export. Keys come out sorted, so dumps diff cleanly
+  /// across runs regardless of registration order.
   std::string ToJson() const;
 
   void Clear();
 
  private:
+  // Sorted (name, entry) snapshots; callers hold no lock afterwards
+  // because entry pointers are stable for the registry's lifetime.
+  std::vector<std::pair<std::string, Counter*>> SortedCounters() const;
+  std::vector<std::pair<std::string, Gauge*>> SortedGauges() const;
+  std::vector<std::pair<std::string, Histogram*>> SortedHistograms() const;
+
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Unordered on purpose: Get*() is the hot path (plan-cache counters
+  // on every Prepare); dump order is imposed by the Sorted* helpers.
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 // An ExecutionObserver that feeds a MetricsRegistry from live events:

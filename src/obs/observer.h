@@ -150,6 +150,17 @@ struct DeriveBatchEvent {
   const uint64_t* inputs = nullptr;  // one id per segment row
 };
 
+// Session identification, published once at the top of RunSession
+// before any other event (engine/evaluator.cc). `query_id` is the
+// engine-minted stable id correlating this execution across every
+// artifact — trace spans, log lines, lineage dumps, profiler reports,
+// the engine query log and the /queries endpoint (DESIGN.md §12).
+// 0 means "no engine involved" (the one-shot Evaluate path), in which
+// case no event is published and all outputs stay id-free.
+struct SessionStartEvent {
+  uint64_t query_id = 0;
+};
+
 // A phase boundary (engine/evaluator.cc). Phases nest at most one
 // level deep and begin/end events alternate per phase.
 struct PhaseEvent {
@@ -183,6 +194,7 @@ class ExecutionObserver {
  public:
   virtual ~ExecutionObserver() = default;
 
+  virtual void OnSessionStart(const SessionStartEvent& event) { (void)event; }
   virtual void OnSend(const SendEvent& event) { (void)event; }
   virtual void OnDeliver(const DeliverEvent& event) { (void)event; }
   virtual void OnNodeFire(const NodeFireEvent& event) { (void)event; }
@@ -209,6 +221,9 @@ class ObserverList {
   size_t size() const { return observers_.size(); }
   const std::vector<ExecutionObserver*>& items() const { return observers_; }
 
+  void NotifySessionStart(const SessionStartEvent& event) const {
+    for (ExecutionObserver* o : observers_) o->OnSessionStart(event);
+  }
   void NotifySend(const SendEvent& event) const {
     for (ExecutionObserver* o : observers_) o->OnSend(event);
   }

@@ -104,7 +104,9 @@ std::vector<int32_t> ProfileReport::DeviatingNodes(
 }
 
 std::string ProfileReport::ToJson() const {
-  std::string out = "{\n  \"schema\": \"mpqe-profile-v1\",\n  \"totals\": {";
+  std::string out = "{\n  \"schema\": \"mpqe-profile-v1\",\n";
+  if (query_id != 0) out += StrCat("  \"query_id\": ", query_id, ",\n");
+  out += "  \"totals\": {";
   out += StrCat("\"fires\": ", total_fires,
                 ", \"tuples_in\": ", total_tuples_in,
                 ", \"tuples_out\": ", total_tuples_out,
@@ -190,6 +192,10 @@ ProfilingObserver::PidStats& ProfilingObserver::Stats(ProcessId pid) {
   size_t index = static_cast<size_t>(pid);
   if (by_pid_.size() <= index) by_pid_.resize(index + 1);
   return by_pid_[index];
+}
+
+void ProfilingObserver::OnSessionStart(const SessionStartEvent& event) {
+  query_id_ = event.query_id;
 }
 
 void ProfilingObserver::OnSend(const SendEvent& event) {
@@ -290,6 +296,7 @@ void ProfilingObserver::OnTermination(const TerminationEvent& event) {
 ProfileReport ProfilingObserver::Finalize() const {
   std::lock_guard<std::mutex> lock(mutex_);
   ProfileReport report;
+  report.query_id = query_id_;
   report.phase_ns = phase_ns_;
   report.phase_ns.resize(static_cast<size_t>(Phase::kPhaseCount), 0);
   report.total_msgs_sent = total_sends_;

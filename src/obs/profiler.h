@@ -110,6 +110,9 @@ struct SccProfile {
 struct ProfileReport {
   std::vector<NodeProfile> nodes;
   std::vector<SccProfile> sccs;
+  // The engine-minted query id of the profiled session (0 = one-shot
+  // Evaluate path; then omitted from ToJson).
+  uint64_t query_id = 0;
   // Wall time per evaluator phase, in Phase order (0 if unobserved).
   std::vector<uint64_t> phase_ns;
 
@@ -147,6 +150,7 @@ class ProfilingObserver : public ExecutionObserver {
   void AttachGraph(const RuleGoalGraph* graph, const SymbolTable* symbols);
 
   // ExecutionObserver:
+  void OnSessionStart(const SessionStartEvent& event) override;
   void OnSend(const SendEvent& event) override;
   void OnDeliver(const DeliverEvent& event) override;
   void OnNodeFire(const NodeFireEvent& event) override;
@@ -191,6 +195,7 @@ class ProfilingObserver : public ExecutionObserver {
 
   PidStats& Stats(ProcessId pid);  // requires mutex_ held; grows store
 
+  uint64_t query_id_ = 0;  // set before any other event
   mutable std::mutex mutex_;
   std::vector<PidStats> by_pid_;
   // Send timestamps per (from, to) channel; channels are FIFO, so the

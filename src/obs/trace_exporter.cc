@@ -149,6 +149,11 @@ void TraceExporter::OnNodeFire(const NodeFireEvent& event) {
   Push(std::move(dedup));
 }
 
+void TraceExporter::OnSessionStart(const SessionStartEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  query_id_ = event.query_id;
+}
+
 void TraceExporter::OnPhase(const PhaseEvent& event) {
   double ts = NowUs();
   std::lock_guard<std::mutex> lock(mutex_);
@@ -189,9 +194,16 @@ std::string TraceExporter::ToJson() const {
     out += StrCat(first ? "" : ",\n", line);
     first = false;
   };
-  // Metadata: process and track names.
+  // Metadata: process and track names, plus the engine query id when
+  // the trace came out of a QuerySession (correlates the file with log
+  // lines, lineage dumps and the engine query log — DESIGN.md §12).
   emit("{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 0, \"tid\": 0, "
        "\"args\": {\"name\": \"mpqe\"}}");
+  if (query_id_ != 0) {
+    emit(StrCat("{\"ph\": \"M\", \"name\": \"query_id\", \"pid\": 0, "
+                "\"tid\": 0, \"args\": {\"query_id\": ",
+                query_id_, "}}"));
+  }
   for (int32_t tid : tids_) {
     std::string label;
     if (tid == 0) {
@@ -257,6 +269,11 @@ size_t TraceExporter::event_count() const {
 size_t TraceExporter::dropped_events() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return dropped_;
+}
+
+uint64_t TraceExporter::query_id() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return query_id_;
 }
 
 std::string TraceExporter::NormalizedSummary() const {

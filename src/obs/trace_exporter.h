@@ -57,6 +57,7 @@ class TraceExporter : public ExecutionObserver {
   void AttachGraph(const RuleGoalGraph* graph, const SymbolTable* symbols);
 
   // ExecutionObserver:
+  void OnSessionStart(const SessionStartEvent& event) override;
   void OnSend(const SendEvent& event) override;
   void OnDeliver(const DeliverEvent& event) override;
   void OnNodeFire(const NodeFireEvent& event) override;
@@ -72,6 +73,10 @@ class TraceExporter : public ExecutionObserver {
 
   size_t event_count() const;
   size_t dropped_events() const;
+
+  /// The engine-minted query id of the traced session (0 = one-shot
+  /// Evaluate path; then absent from the JSON metadata too).
+  uint64_t query_id() const;
 
   /// Timestamp-free rendering ("ph name tid ..." per line, in record
   /// order) — stable for a fixed query under the deterministic
@@ -99,6 +104,7 @@ class TraceExporter : public ExecutionObserver {
   uint64_t origin_ns_ = 0;
 
   mutable std::mutex mutex_;
+  uint64_t query_id_ = 0;
   std::vector<Event> events_;
   size_t dropped_ = 0;
   std::set<int32_t> tids_;

@@ -422,6 +422,40 @@ TEST(EngineApiTest, EngineOptionsValidate) {
   options.workers = 0;
   options.plan_cache_capacity = 0;
   EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.plan_cache_capacity = 8;
+  options.stats_port = 70000;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.stats_port = 0;
+  options.telemetry = false;  // the endpoint reads the telemetry registry
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineApiTest, SessionsCarrySequentialQueryIds) {
+  // Every CreateSession mints a stable engine-wide id (1, 2, 3, ...)
+  // that the query log, trace spans and lineage output key on; the
+  // session exposes it before and after Run.
+  auto facts = Parse(kTcFacts);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  Engine engine(EngineOptions{.workers = 2});
+  auto snapshot = engine.Attach(std::move(facts->database));
+  auto plan = engine.Prepare(snapshot, kTcRules);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  auto first = engine.CreateSession(*plan);
+  auto second = engine.CreateSession(*plan);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ((*first)->query_id(), 1u);
+  EXPECT_EQ((*second)->query_id(), 2u);
+  ASSERT_TRUE((*second)->Run().ok());
+  EXPECT_EQ((*second)->query_id(), 2u);
+
+  // The ids key the query log: the one completed session is logged
+  // under its id, with the pre-Run session absent.
+  ASSERT_NE(engine.telemetry(), nullptr);
+  auto log = engine.telemetry()->QueryLog();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].query_id, 2u);
+  EXPECT_TRUE(log[0].plan_reused);  // `first` was created earlier
 }
 
 }  // namespace
