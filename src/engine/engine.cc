@@ -274,16 +274,20 @@ Engine::Engine(EngineOptions options)
 }
 
 Engine::~Engine() {
-  // The stats server's handlers read the telemetry registry and its
-  // sampler reads the pool state: tear both down before the pool.
+  // The stats server's handlers read the telemetry registry, so it
+  // goes first. Then drain and join the pool BEFORE destroying
+  // telemetry_: WorkerLoop runs every queued task during shutdown, and
+  // pending RunAsync sessions hold the raw EngineTelemetry* stamped at
+  // CreateSession — freeing it earlier is a use-after-free. The
+  // sampler reading pool state is safe until members destruct.
   stats_server_.reset();
-  telemetry_.reset();
   {
     std::lock_guard<std::mutex> lock(pool_mutex_);
     stopping_ = true;
   }
   pool_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  telemetry_.reset();
 }
 
 void Engine::SampleEngineGauges(MetricsRegistry& registry) {

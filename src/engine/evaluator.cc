@@ -257,9 +257,10 @@ StatusOr<EvaluationResult> RunSession(const RuleGoalGraph& graph, Database& db,
   if (options.scheduler == SchedulerKind::kThreaded &&
       options.progress_interval_ms > 0) {
     EngineTelemetry* telemetry = options.telemetry;
+    const uint64_t query_id = options.query_id;
     network.ConfigureStallMonitor(
         options.progress_interval_ms,
-        [&graph, telemetry](const StallInfo& info) {
+        [&graph, telemetry, query_id](const StallInfo& info) {
           LogStall(graph, info);
           if (telemetry == nullptr) return;
           // Fold the nonempty mailboxes into per-SCC totals (the sink
@@ -271,6 +272,7 @@ StatusOr<EvaluationResult> RunSession(const RuleGoalGraph& graph, Database& db,
             }
           }
           telemetry->ReportQueueDepths(
+              query_id,
               std::vector<std::pair<int64_t, uint64_t>>(by_scc.begin(),
                                                         by_scc.end()),
               info.in_flight);

@@ -127,6 +127,17 @@ void StatsServer::AcceptLoop() {
       if (errno == EINTR) continue;
       return;  // shutdown() or hard error: stop serving
     }
+    if (options_.io_timeout_ms > 0) {
+      // A silent or trickling client must not hold the single-threaded
+      // loop (or engine shutdown, which joins it) hostage: bound every
+      // recv/send, after which ReadRequestHead/WriteAll see the error
+      // and drop the connection.
+      timeval tv{};
+      tv.tv_sec = options_.io_timeout_ms / 1000;
+      tv.tv_usec = (options_.io_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
     ServeConnection(fd);
     ::close(fd);
   }

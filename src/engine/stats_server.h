@@ -38,6 +38,13 @@ struct StatsServerOptions {
   // Loopback by default: the stats surface is an operator tool, not a
   // public API; exposing it wider is an explicit opt-in.
   std::string bind_address = "127.0.0.1";
+
+  // Per-connection recv/send timeout. The acceptor serves one
+  // connection at a time, so without a deadline a client that connects
+  // and goes silent would starve every later scrape AND wedge Stop()
+  // (which only interrupts the listen fd, not a blocked recv).
+  // 0 disables (tests only).
+  int io_timeout_ms = 5000;
 };
 
 class StatsServer {

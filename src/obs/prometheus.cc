@@ -163,26 +163,32 @@ void AppendHistogram(std::string& out, const std::string& family_name,
   const Histogram& h = *series.histogram;
   const std::vector<uint64_t> buckets = h.BucketCounts();
   size_t last_nonzero = 0;
+  uint64_t total = 0;
   for (size_t b = 0; b < buckets.size(); ++b) {
     if (buckets[b] != 0) last_nonzero = b;
+    total += buckets[b];
   }
   const std::string sep = series.labels.empty() ? "" : ",";
   uint64_t cumulative = 0;
   // Empty histograms emit only +Inf: scrape stays small, count 0 says
   // the rest.
-  if (h.count() > 0) {
+  if (total > 0) {
     for (size_t b = 0; b <= last_nonzero; ++b) {
       cumulative += buckets[b];
       out += StrCat(family_name, "_bucket{", series.labels, sep,
                     "le=\"", BucketBound(b), "\"} ", cumulative, "\n");
     }
   }
+  // +Inf and _count derive from the SAME bucket snapshot as the
+  // cumulative rows above — a concurrent Record between BucketCounts()
+  // and a separate h.count() read could otherwise make +Inf smaller
+  // than a preceding bucket, i.e. a non-monotonic histogram.
   out += StrCat(family_name, "_bucket{", series.labels, sep,
-                "le=\"+Inf\"} ", h.count(), "\n");
+                "le=\"+Inf\"} ", total, "\n");
   const std::string braces =
       series.labels.empty() ? "" : StrCat("{", series.labels, "}");
   out += StrCat(family_name, "_sum", braces, " ", h.sum(), "\n");
-  out += StrCat(family_name, "_count", braces, " ", h.count(), "\n");
+  out += StrCat(family_name, "_count", braces, " ", total, "\n");
 }
 
 }  // namespace

@@ -104,9 +104,19 @@ void EngineTelemetry::OnSessionComplete(
   if (session_metrics != nullptr) {
     // Pull the query-log timing breakdown out of the session registry
     // before it is folded in: fire time is the sum of per-message
-    // handling, queue wait only exists when the session profiled.
+    // handling, queue wait only exists when the session profiled
+    // (aggregated/node/<id>/queue_wait_ns counters).
     if (const Histogram* h = session_metrics->FindHistogram("msg/handle_ns")) {
       entry.fire_ns = h->sum();
+    }
+    constexpr char kQueueWaitSuffix[] = "/queue_wait_ns";
+    constexpr size_t kSuffixLen = sizeof(kQueueWaitSuffix) - 1;
+    for (const auto& [name, value] : session_metrics->CounterRows()) {
+      if (name.size() >= kSuffixLen &&
+          name.compare(name.size() - kSuffixLen, kSuffixLen,
+                       kQueueWaitSuffix) == 0) {
+        entry.queue_wait_ns += value;
+      }
     }
     registry_.MergeFrom(*session_metrics);
   }
@@ -125,31 +135,51 @@ void EngineTelemetry::OnSessionComplete(
   registry_.GetHistogram("engine/query_wall_ns").Record(entry.wall_ns);
   registry_.GetHistogram("engine/query_rows_out").Record(entry.rows_out);
 
+  const uint64_t completed_query = entry.query_id;
   std::lock_guard<std::mutex> lock(mutex_);
   ring_.push_back(std::move(entry));
   while (ring_.size() > options_.query_log_capacity) ring_.pop_front();
-  // A completed session means its stall (if any) resolved; drop the
-  // per-SCC depth gauges back to zero so the scrape does not pin a
-  // stale snapshot forever.
-  for (int64_t scc : stalled_sccs_) {
-    registry_.GetGauge(StrCat("scc/", scc, "/queue_depth")).Set(0.0);
+  // A completed session means ITS stall (if any) resolved; other
+  // sessions may still be stalled, so drop only this query's
+  // contribution and re-derive the gauges from what remains.
+  if (stalls_by_query_.erase(completed_query) > 0) {
+    RepublishStallGaugesLocked();
   }
-  stalled_sccs_.clear();
-  registry_.GetGauge("engine/in_flight_messages").Set(0.0);
 }
 
 void EngineTelemetry::ReportQueueDepths(
+    uint64_t query_id,
     const std::vector<std::pair<int64_t, uint64_t>>& scc_depths,
     uint64_t in_flight) {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (int64_t scc : stalled_sccs_) {
-    registry_.GetGauge(StrCat("scc/", scc, "/queue_depth")).Set(0.0);
+  if (scc_depths.empty() && in_flight == 0) {
+    stalls_by_query_.erase(query_id);
+  } else {
+    stalls_by_query_[query_id] = StallState{scc_depths, in_flight};
   }
-  stalled_sccs_.clear();
-  for (const auto& [scc, depth] : scc_depths) {
+  RepublishStallGaugesLocked();
+}
+
+void EngineTelemetry::RepublishStallGaugesLocked() {
+  std::map<int64_t, uint64_t> by_scc;
+  uint64_t in_flight = 0;
+  for (const auto& [unused_query, stall] : stalls_by_query_) {
+    for (const auto& [scc, depth] : stall.scc_depths) by_scc[scc] += depth;
+    in_flight += stall.in_flight;
+  }
+  // Zero the gauges of SCCs that were published before but have no
+  // stalled session anymore, so a recovered stall does not pin a stale
+  // snapshot forever.
+  for (int64_t scc : published_sccs_) {
+    if (by_scc.find(scc) == by_scc.end()) {
+      registry_.GetGauge(StrCat("scc/", scc, "/queue_depth")).Set(0.0);
+    }
+  }
+  published_sccs_.clear();
+  for (const auto& [scc, depth] : by_scc) {
     registry_.GetGauge(StrCat("scc/", scc, "/queue_depth"))
         .Set(static_cast<double>(depth));
-    stalled_sccs_.push_back(scc);
+    published_sccs_.push_back(scc);
   }
   registry_.GetGauge("engine/in_flight_messages")
       .Set(static_cast<double>(in_flight));

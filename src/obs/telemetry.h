@@ -39,9 +39,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -154,9 +156,12 @@ class EngineTelemetry {
 
   /// Stall-heartbeat sink: publishes per-SCC queue depths and the
   /// total in-flight count as gauges (scc/<id>/queue_depth,
-  /// engine/in_flight_messages). Cleared back to zero when a session
-  /// completes without a live stall.
+  /// engine/in_flight_messages). Stall state is tracked per query so
+  /// concurrent sessions compose: each gauge is the sum over the live
+  /// stalled sessions, and a session completing clears only its own
+  /// contribution (OnSessionComplete matches on query_id).
   void ReportQueueDepths(
+      uint64_t query_id,
       const std::vector<std::pair<int64_t, uint64_t>>& scc_depths,
       uint64_t in_flight);
 
@@ -174,7 +179,18 @@ class EngineTelemetry {
   }
 
  private:
+  // One session's latest stall heartbeat.
+  struct StallState {
+    std::vector<std::pair<int64_t, uint64_t>> scc_depths;
+    uint64_t in_flight = 0;
+  };
+
   void SamplerLoop();
+
+  // Re-derives the stall gauges from stalls_by_query_: per-SCC depth
+  // summed across sessions, SCCs that dropped out zeroed. Caller holds
+  // mutex_.
+  void RepublishStallGaugesLocked();
 
   TelemetryOptions options_;
   MetricsRegistry registry_;
@@ -183,12 +199,16 @@ class EngineTelemetry {
   std::atomic<uint64_t> slow_{0};
   std::atomic<uint64_t> sampled_sessions_{0};
 
-  mutable std::mutex mutex_;  // ring + sampler hook
+  mutable std::mutex mutex_;  // ring + sampler hook + stall state
   std::deque<QueryLogEntry> ring_;
   std::function<void(MetricsRegistry&)> sampler_;
-  // SCC ids whose queue-depth gauge is currently nonzero (so a
-  // recovered stall resets its gauges instead of pinning them).
-  std::vector<int64_t> stalled_sccs_;
+  // Live stall heartbeat per query id, so one session completing (or
+  // recovering) cannot clobber the gauges of another still-stalled
+  // session. published_sccs_ is the set of SCC ids whose gauge is
+  // currently nonzero, so a recovered stall resets its gauges instead
+  // of pinning them.
+  std::map<uint64_t, StallState> stalls_by_query_;
+  std::vector<int64_t> published_sccs_;
 
   std::mutex sampler_mutex_;
   std::condition_variable sampler_cv_;

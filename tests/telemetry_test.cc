@@ -289,12 +289,13 @@ TEST(TelemetryTest, ConcurrentSessionCompletionsAndGaugeSampling) {
       for (int i = 0; i < kPerThread; ++i) {
         telemetry.OnSessionStart();
         telemetry.SampleNow();
-        telemetry.ReportQueueDepths({{0, static_cast<uint64_t>(i)}},
+        const uint64_t query_id = telemetry.MintQueryId();
+        telemetry.ReportQueueDepths(query_id, {{0, static_cast<uint64_t>(i)}},
                                     static_cast<uint64_t>(i));
         MetricsRegistry session;
         session.GetCounter("msg/delivered").Increment(1);
         QueryLogEntry entry;
-        entry.query_id = telemetry.MintQueryId();
+        entry.query_id = query_id;
         entry.wall_ns = static_cast<uint64_t>(t * 1000 + i);
         telemetry.OnSessionComplete(std::move(entry), &session);
       }
@@ -307,6 +308,57 @@ TEST(TelemetryTest, ConcurrentSessionCompletionsAndGaugeSampling) {
             static_cast<uint64_t>(kThreads) * kPerThread);
   EXPECT_DOUBLE_EQ(
       telemetry.registry().GetGauge("engine/active_sessions").value(), 0.0);
+  // Every stalled session completed, so no stall contribution remains.
+  EXPECT_DOUBLE_EQ(
+      telemetry.registry().GetGauge("engine/in_flight_messages").value(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      telemetry.registry().GetGauge("scc/0/queue_depth").value(), 0.0);
+}
+
+TEST(TelemetryTest, ConcurrentStallsComposeAndClearPerQuery) {
+  // Two sessions stalled at once: gauges are the sum of both, and a
+  // fast session completing clears only ITS contribution instead of
+  // clobbering the other session's live heartbeat.
+  EngineTelemetry telemetry;
+  MetricsRegistry& registry = telemetry.registry();
+  telemetry.ReportQueueDepths(1, {{7, 10}}, 10);
+  telemetry.ReportQueueDepths(2, {{7, 5}, {9, 3}}, 8);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("scc/7/queue_depth").value(), 15.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("scc/9/queue_depth").value(), 3.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("engine/in_flight_messages").value(),
+                   18.0);
+
+  QueryLogEntry done;
+  done.query_id = 1;
+  telemetry.OnSessionComplete(std::move(done), nullptr);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("scc/7/queue_depth").value(), 5.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("scc/9/queue_depth").value(), 3.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("engine/in_flight_messages").value(),
+                   8.0);
+
+  // Query 2 recovering (empty heartbeat) zeroes what it published
+  // rather than pinning a stale snapshot.
+  telemetry.ReportQueueDepths(2, {}, 0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("scc/7/queue_depth").value(), 0.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("scc/9/queue_depth").value(), 0.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("engine/in_flight_messages").value(),
+                   0.0);
+}
+
+TEST(TelemetryTest, QueueWaitAggregatesFromSessionRegistry) {
+  // The query-log queue_wait_ns breakdown sums the profiler's per-node
+  // aggregated counters when the session collected them.
+  EngineTelemetry telemetry;
+  MetricsRegistry session;
+  session.GetCounter("aggregated/node/0/queue_wait_ns").Increment(100);
+  session.GetCounter("aggregated/node/3/queue_wait_ns").Increment(250);
+  session.GetCounter("aggregated/node/0/fire_ns").Increment(999);  // ignored
+  QueryLogEntry entry;
+  entry.query_id = 1;
+  telemetry.OnSessionComplete(std::move(entry), &session);
+  auto log = telemetry.QueryLog();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].queue_wait_ns, 350u);
 }
 
 // ---------------------------------------------------------------------------
@@ -361,6 +413,31 @@ TEST(TelemetryTest, SessionsAggregateIntoEngineRegistryAndQueryLog) {
   std::sort(ids.begin(), ids.end());
   EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
   EXPECT_EQ(reused, kSessions - 1);  // every session after the plan's first
+}
+
+TEST(TelemetryTest, EngineDestructionWithPendingAsyncSessions) {
+  // ~Engine must drain and join the pool BEFORE destroying telemetry:
+  // queued RunAsync sessions hold the raw EngineTelemetry* stamped at
+  // CreateSession and report into it when they (still) run during
+  // shutdown. ASan/TSan turn a wrong teardown order into a failure.
+  auto facts = Parse(kTcFacts);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  std::vector<std::future<StatusOr<EvaluationResult>>> futures;
+  {
+    EngineOptions engine_options;
+    engine_options.workers = 2;
+    engine_options.telemetry_options.session_metrics_every = 1;
+    Engine engine(engine_options);
+    auto snapshot = engine.Attach(std::move(facts->database));
+    auto plan = engine.Prepare(snapshot, kTcRules);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    for (int i = 0; i < 16; ++i) futures.push_back(engine.RunAsync(*plan));
+    // Engine destroyed here with most sessions still queued.
+  }
+  for (auto& future : futures) {
+    auto result = future.get();
+    EXPECT_TRUE(result.ok()) << result.status();
+  }
 }
 
 TEST(TelemetryTest, SamplingEveryZeroSkipsDeepMetricsButLogsQueries) {
@@ -496,6 +573,34 @@ TEST(TelemetryTest, ScrapesConcurrentWithSessions) {
   stop.store(true);
   scraper.join();
   EXPECT_EQ(engine.telemetry()->completed_queries(), 12u);
+}
+
+TEST(TelemetryTest, SilentClientDoesNotWedgeServerOrStop) {
+  StatsServerOptions options;
+  options.io_timeout_ms = 100;
+  StatsServer server{options};
+  server.AddRoute("/x", "text/plain", [] { return std::string("x"); });
+  ASSERT_TRUE(server.Start().ok());
+
+  // Connect and send nothing: the recv timeout must release the
+  // single-threaded acceptor so the next scrape still gets served and
+  // Stop() does not hang joining a recv-blocked acceptor.
+  int idle = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(idle, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(idle, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  std::string response = HttpGet(server.port(), "/x");
+  EXPECT_NE(response.find("200"), std::string::npos);
+  EXPECT_EQ(Body(response), "x");
+
+  ::close(idle);
+  server.Stop();
+  EXPECT_FALSE(server.running());
 }
 
 TEST(TelemetryTest, StatsServerRejectsBadPortAndStops) {
