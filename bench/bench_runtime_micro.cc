@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+#include <unordered_set>
+
 #include "common/logging.h"
 #include "common/random.h"
 #include "msg/network.h"
@@ -344,6 +347,227 @@ void BM_SegmentHopLineage(benchmark::State& state) {
                           static_cast<int64_t>(kSegmentRows));
 }
 BENCHMARK(BM_SegmentHopLineage);
+
+// ---------------------------------------------------------------------------
+// Vectorized segment kernels (PR 9): row-at-a-time vs. batch absorption
+// and probing. Arg(0) = the pre-vectorization per-row path, Arg(1) =
+// the batch kernels; items = rows/s. bench_guard.py --absorb enforces
+// the Arg(1)/Arg(0) speedup floor recorded in BENCH_relational.json.
+
+// The absorb workload models a goal node over a full query lifetime:
+// the relation starts empty and absorbs a stream of fat segments
+// (adaptive sizing: steady-state recursion ships segments near
+// segment_max_rows_limit, not the 128-row default). The goal has a
+// free head variable in its d-projection, so a segment's rows split
+// across kAbsorbGroups distinct output bindings — the multi-group
+// case whose O(groups)-per-row linear scan the vectorized path
+// replaces with one hash-map lookup per surviving row. Every eighth
+// segment is a wholesale re-derivation of an earlier one (the
+// duplicate traffic §1.2's elimination exists for).
+constexpr size_t kAbsorbSegmentRows = 4096;
+constexpr size_t kAbsorbStreamSegments = 64;
+constexpr int64_t kAbsorbGroups = 256;
+
+std::shared_ptr<TupleSegment> MakeAbsorbSegment(int64_t first) {
+  auto seg = std::make_shared<TupleSegment>();
+  seg->arity = 2;
+  seg->values.reserve(kAbsorbSegmentRows * 2);
+  for (size_t r = 0; r < kAbsorbSegmentRows; ++r) {
+    int64_t v = first + static_cast<int64_t>(r);
+    // Column 0 is the d-projected head variable (kAbsorbGroups
+    // distinct values interleaved); column 1 keeps the row globally
+    // unique.
+    seg->values.push_back(Value::Int(v % kAbsorbGroups));
+    seg->values.push_back(Value::Int(v));
+    ++seg->num_rows;
+  }
+  return seg;
+}
+
+// Goal-node absorption. Arg(0) mirrors
+// GoalProcess::OnTupleSegmentRowAtATime — one InsertRow per row, the
+// per-row linear scan over open output groups, one AppendRow copy per
+// survivor. Arg(1) mirrors the vectorized OnTupleSegment — one
+// InsertSegment call per segment, then the grouping pass over the
+// survivor bitmap with a hash map keyed on the d-projection. Both
+// arms build and flush the same output segments, so the measured gap
+// is exactly the batch-kernel + grouping difference.
+void BM_SegmentAbsorb(benchmark::State& state) {
+  const bool batch = state.range(0) != 0;
+  std::vector<std::shared_ptr<TupleSegment>> stream;
+  Rng rng(11);
+  int64_t next = 0;
+  size_t fresh_rows = 0;
+  for (size_t s = 0; s < kAbsorbStreamSegments; ++s) {
+    if (s % 8 == 7) {
+      // Wholesale re-derivation of an earlier stream segment.
+      stream.push_back(stream[rng.Below(s)]);
+    } else {
+      stream.push_back(MakeAbsorbSegment(next));
+      next += static_cast<int64_t>(kAbsorbSegmentRows);
+      fresh_rows += kAbsorbSegmentRows;
+    }
+  }
+  const size_t stream_rows = kAbsorbStreamSegments * kAbsorbSegmentRows;
+
+  struct OutGroup {
+    std::shared_ptr<TupleSegment> segment;
+  };
+  for (auto _ : state) {
+    Relation answers(2);
+    size_t forwarded = 0;
+    size_t drops = 0;
+    Tuple dproj(1, Value());
+    for (const auto& seg : stream) {
+      if (batch) {
+        const BatchInsertResult& ins = answers.InsertSegment(*seg);
+        drops += seg->num_rows - ins.num_inserted;
+        if (ins.num_inserted == 0) continue;
+        std::unordered_map<Tuple, OutGroup, TupleHash> groups;
+        std::vector<OutGroup*> group_order;
+        for (size_t r = 0; r < seg->num_rows; ++r) {
+          if (!ins.inserted(r)) continue;
+          TupleRef row = seg->row(r);
+          dproj[0] = row[0];
+          auto [it, is_new] = groups.try_emplace(dproj);
+          OutGroup& group = it->second;
+          if (is_new) {
+            group.segment = std::make_shared<TupleSegment>();
+            group.segment->binding = dproj;
+            group.segment->arity = seg->arity;
+            group_order.push_back(&group);
+          }
+          group.segment->AppendRow(row);
+        }
+        for (OutGroup* group : group_order) {
+          group->segment->CheckConsistent();
+          forwarded += group->segment->num_rows;
+          benchmark::DoNotOptimize(group->segment);
+        }
+      } else {
+        std::vector<OutGroup> groups;
+        for (size_t r = 0; r < seg->num_rows; ++r) {
+          TupleRef row = seg->row(r);
+          Relation::InsertResult ins = answers.InsertRow(row);
+          if (!ins.inserted) {
+            ++drops;
+            continue;
+          }
+          dproj[0] = row[0];
+          OutGroup* group = nullptr;
+          for (OutGroup& g : groups) {
+            if (g.segment->binding == dproj) {
+              group = &g;
+              break;
+            }
+          }
+          if (group == nullptr) {
+            OutGroup g;
+            g.segment = std::make_shared<TupleSegment>();
+            g.segment->binding = dproj;
+            g.segment->arity = seg->arity;
+            groups.push_back(std::move(g));
+            group = &groups.back();
+          }
+          group->segment->AppendRow(row);
+        }
+        for (OutGroup& group : groups) {
+          group.segment->CheckConsistent();
+          forwarded += group.segment->num_rows;
+          benchmark::DoNotOptimize(group.segment);
+        }
+      }
+    }
+    MPQE_CHECK(forwarded == fresh_rows);
+    MPQE_CHECK(drops == stream_rows - fresh_rows);
+    MPQE_CHECK(answers.size() == fresh_rows);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream_rows));
+}
+BENCHMARK(BM_SegmentAbsorb)->Arg(0)->Arg(1);
+
+// The rule-node probe: dedup an inbound child-answer segment against
+// the per-request answer set before the waiter-extension join. Arg(0)
+// is the pre-vectorization RuleProcess idiom this PR replaced — copy
+// each row into a scratch Tuple, re-hash it into a
+// std::unordered_set<Tuple> (one node allocation per fresh row, a
+// pointer-chasing probe per duplicate), and keep a parallel
+// std::vector<Tuple> of accepted answers for later waiters. Arg(1) is
+// the flat-arena batch kernel: one InsertSegment per segment, rows
+// live in the arena, survivors read straight off the bitmap. Both
+// arms hand every survivor to the same consumer loop.
+void BM_SegmentJoin(benchmark::State& state) {
+  const bool batch = state.range(0) != 0;
+  constexpr size_t kJoinSegmentRows = 1024;
+  constexpr size_t kJoinStreamSegments = 256;
+  std::vector<std::shared_ptr<TupleSegment>> stream;
+  Rng rng(17);
+  int64_t next = 0;
+  size_t fresh_rows = 0;
+  for (size_t s = 0; s < kJoinStreamSegments; ++s) {
+    if (s % 4 == 3) {
+      // A re-derived child stream: the same answers arrive again via
+      // another derivation path and must all dedup away.
+      stream.push_back(stream[rng.Below(s)]);
+    } else {
+      auto seg = std::make_shared<TupleSegment>();
+      seg->arity = 2;
+      seg->values.reserve(kJoinSegmentRows * 2);
+      for (size_t r = 0; r < kJoinSegmentRows; ++r) {
+        seg->values.push_back(Value::Int(next));
+        seg->values.push_back(Value::Int(next * 3));
+        ++next;
+        ++seg->num_rows;
+      }
+      stream.push_back(std::move(seg));
+      fresh_rows += kJoinSegmentRows;
+    }
+  }
+  const size_t stream_rows = kJoinStreamSegments * kJoinSegmentRows;
+
+  uint64_t consumed = 0;
+  for (auto _ : state) {
+    size_t drops = 0;
+    consumed = 0;
+    if (batch) {
+      Relation answers(2);
+      for (const auto& seg : stream) {
+        const BatchInsertResult& ins = answers.InsertSegment(*seg);
+        drops += seg->num_rows - ins.num_inserted;
+        if (ins.num_inserted == 0) continue;
+        for (size_t r = 0; r < seg->num_rows; ++r) {
+          if (!ins.inserted(r)) continue;
+          consumed += static_cast<uint64_t>(seg->row(r)[1].payload());
+        }
+      }
+      MPQE_CHECK(answers.size() == fresh_rows);
+    } else {
+      std::vector<Tuple> answers;
+      std::unordered_set<Tuple, TupleHash> answer_set;
+      Tuple row_buf(2, Value());
+      for (const auto& seg : stream) {
+        for (size_t r = 0; r < seg->num_rows; ++r) {
+          TupleRef row = seg->row(r);
+          row_buf[0] = row[0];
+          row_buf[1] = row[1];
+          if (!answer_set.insert(row_buf).second) {
+            ++drops;
+            continue;
+          }
+          answers.push_back(row_buf);
+          consumed += static_cast<uint64_t>(row[1].payload());
+        }
+      }
+      MPQE_CHECK(answers.size() == fresh_rows);
+    }
+    MPQE_CHECK(drops == stream_rows - fresh_rows);
+    benchmark::DoNotOptimize(consumed);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream_rows));
+}
+BENCHMARK(BM_SegmentJoin)->Arg(0)->Arg(1);
 
 void BM_RelationInsert(benchmark::State& state) {
   int64_t n = state.range(0);

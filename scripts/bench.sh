@@ -65,6 +65,17 @@ pair_json="${build}/bench_segment_pair.json"
   --benchmark_out="${pair_json}" --benchmark_out_format=json \
   --benchmark_repetitions=5 >&2
 
+# The vectorized-kernel floor: medians of repeated runs of the
+# absorb/join pairs. bench_guard.py --absorb (also wired into CI)
+# fails unless both batch kernels stay >= 2x their row-at-a-time
+# baselines.
+kernel_json="${build}/bench_segment_kernels.json"
+"${build}/bench/bench_runtime_micro" \
+  --benchmark_filter='BM_Segment(Absorb|Join)/' \
+  --benchmark_out="${kernel_json}" --benchmark_out_format=json \
+  --benchmark_repetitions=3 >&2
+python3 "${repo}/scripts/bench_guard.py" --absorb "${kernel_json}"
+
 # Prepared-query engine load bench: concurrent sessions over one plan
 # plus the plan-cache cold/hit prepare costs. bench_guard.py --prepare
 # (CI) asserts the hit path stays >= 10x faster than a cold compile.
@@ -74,10 +85,10 @@ engine_json="$(dirname "$out")/BENCH_engine.json"
 python3 "${repo}/scripts/bench_guard.py" --prepare "${engine_json}"
 
 MPQE_BUILD_TYPE="${build_type}" \
-python3 - "$out" "$micro_json" "$dedup_json" "$pair_json" <<'EOF'
+python3 - "$out" "$micro_json" "$dedup_json" "$pair_json" "$kernel_json" <<'EOF'
 import json, os, sys
 
-out_path, micro_path, dedup_path, pair_path = sys.argv[1:5]
+out_path, micro_path, dedup_path, pair_path, kernel_path = sys.argv[1:6]
 
 build_type = os.environ.get("MPQE_BUILD_TYPE", "").lower()
 if build_type != "release":
@@ -136,6 +147,42 @@ def attach_baseline(section, env):
 
 attach_baseline("bench_runtime_micro", "MPQE_BASELINE_MICRO")
 attach_baseline("bench_duplicate_elimination", "MPQE_BASELINE_DEDUP")
+
+# The vectorized segment kernels, recorded as medians of the repeated
+# absorb/join pair runs. Arg(0) is the row-at-a-time baseline each
+# batch kernel replaced (goal node: InsertRow + linear group scan;
+# rule node: scratch-Tuple copy into an unordered_set); Arg(1) is the
+# vectorized path. bench_guard.py --absorb holds the floor at 2x.
+def load_kernel_medians(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("aggregate_name") != "median":
+            continue
+        rows[b["run_name"]] = {
+            "real_time_ns": b["real_time"],
+            "items_per_second": b.get("items_per_second"),
+            "aggregate": "median_of_3",
+        }
+    return rows
+
+kernels = load_kernel_medians(kernel_path)
+vk = {"vectorized_speedup_guard": 2.0}
+for bench, label in (("BM_SegmentAbsorb", "goal_node_absorb"),
+                     ("BM_SegmentJoin", "rule_node_probe")):
+    row = kernels.get(f"{bench}/0")
+    batch = kernels.get(f"{bench}/1")
+    if not (row and batch):
+        sys.exit(f"missing {bench} pair in {kernel_path}")
+    vk[label] = {
+        "benchmark": bench,
+        "row_at_a_time": row,
+        "vectorized": batch,
+        "vectorized_speedup": round(
+            row["real_time_ns"] / batch["real_time_ns"], 2),
+    }
+result["vectorized_segment_kernels"] = vk
 
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2, sort_keys=True)

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Fail if a recorded performance guard regresses.
 
-Four modes:
+Five modes:
 
 Lineage overhead (default):
 
@@ -18,6 +18,23 @@ Telemetry hop overhead:
 Telemetry end-to-end qps:
 
     bench_guard.py --qps BENCH_on.json BENCH_off.json [min_ratio]
+
+Vectorized segment kernel speedup:
+
+    bench_guard.py --absorb fresh_micro.json [min_speedup]
+
+The --absorb mode reads fresh google-benchmark output containing the
+vectorized-kernel pairs BM_SegmentAbsorb/{0,1} and BM_SegmentJoin/{0,1}
+and fails unless BOTH batch variants (/1) are at least min_speedup
+(default 2) times faster than their row-at-a-time baselines (/0). Each
+/0 arm reproduces the engine code the batch kernel replaced:
+BM_SegmentAbsorb/0 is the goal node's per-row InsertRow plus a linear
+scan over output groups (vs. /1: InsertSegment plus hash-map grouping
+over 4096-row segments); BM_SegmentJoin/0 is the rule node's
+scratch-Tuple copy into a std::unordered_set answer table (vs. /1: the
+flat-arena InsertSegment kernel). Both benches count items = rows, so
+the real_time ratio is the rows/s speedup. Medians are preferred when
+the run carries repetitions.
 
 The --telemetry mode reads fresh google-benchmark output containing
 the segment-hop pair BM_SegmentHopDedup (no observers — the
@@ -153,6 +170,26 @@ def check_qps(on_path, off_path, min_ratio):
     sys.exit(0)
 
 
+def check_absorb(fresh_path, min_speedup):
+    rows = micro_rows(fresh_path)
+    pairs = (("BM_SegmentAbsorb", "segment absorb (goal-node dedup)"),
+             ("BM_SegmentJoin", "segment join (rule-node probe)"))
+    for bench, what in pairs:
+        row = rows.get(f"{bench}/0")
+        batch = rows.get(f"{bench}/1")
+        if not row or not batch:
+            fail(f"{fresh_path} lacks {bench}/0 and {bench}/1 rows "
+                 f"(got {sorted(rows)})")
+        speedup = row / batch
+        if speedup < min_speedup:
+            fail(f"{what} batch kernel is only {speedup:.2f}x the "
+                 f"row-at-a-time path (row={row:.0f} ns, "
+                 f"batch={batch:.0f} ns), expected >= {min_speedup}x")
+        print(f"bench_guard: OK: {what} batch kernel {speedup:.2f}x "
+              f"row-at-a-time (guard >= {min_speedup}x)")
+    sys.exit(0)
+
+
 def main():
     if len(sys.argv) >= 2 and sys.argv[1] == "--prepare":
         if len(sys.argv) not in (3, 4):
@@ -167,6 +204,13 @@ def main():
             sys.exit(2)
         max_ratio = float(sys.argv[3]) if len(sys.argv) == 4 else 1.05
         check_telemetry(sys.argv[2], max_ratio)
+        return
+    if len(sys.argv) >= 2 and sys.argv[1] == "--absorb":
+        if len(sys.argv) not in (3, 4):
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        min_speedup = float(sys.argv[3]) if len(sys.argv) == 4 else 2.0
+        check_absorb(sys.argv[2], min_speedup)
         return
     if len(sys.argv) >= 2 and sys.argv[1] == "--qps":
         if len(sys.argv) not in (4, 5):

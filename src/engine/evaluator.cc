@@ -45,6 +45,12 @@ Status SessionOptions::Validate() const {
   if (segment_messages && segment_max_rows < 1) {
     return InvalidArgumentError("segment_max_rows: must be >= 1");
   }
+  if (segment_max_rows_limit != 0 &&
+      segment_max_rows_limit < segment_max_rows) {
+    return InvalidArgumentError(
+        "segment_max_rows_limit: must be 0 (fixed caps) or >= "
+        "segment_max_rows");
+  }
   // Empty log_level is fine (defers to MPQE_LOG_LEVEL); an explicit
   // but unknown name is a configuration error.
   StatusOr<std::optional<LogLevel>> level = EngineLogLevelFromName(log_level);
@@ -175,6 +181,10 @@ void DumpProfileMetrics(const ProfileReport& report,
     registry.GetCounter(StrCat(prefix, "segments_out")).Increment(n.segments_out);
     registry.GetCounter(StrCat(prefix, "segment_rows_out"))
         .Increment(n.segment_rows_out);
+    registry.GetCounter(StrCat(prefix, "batch_rows_in"))
+        .Increment(n.batch_rows_in);
+    registry.GetCounter(StrCat(prefix, "batch_dedup_hits"))
+        .Increment(n.batch_dedup_hits);
     registry.GetCounter(StrCat(prefix, "fire_ns")).Increment(n.fire_ns);
     registry.GetCounter(StrCat(prefix, "queue_wait_ns"))
         .Increment(n.queue_wait_ns);
@@ -237,6 +247,8 @@ StatusOr<EvaluationResult> RunSession(const RuleGoalGraph& graph, Database& db,
   shared.batch_messages = options.batch_messages;
   shared.segment_messages = options.segment_messages;
   shared.segment_max_rows = options.segment_max_rows;
+  shared.segment_max_rows_limit = options.segment_max_rows_limit;
+  shared.vectorized_segments = options.vectorized_segments;
   shared.use_edb_indexes = options.use_edb_indexes;
   shared.edb_index_mode = edb_index_mode;
   if (scoped.lineage.has_value()) {

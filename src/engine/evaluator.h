@@ -95,6 +95,20 @@ struct SessionOptions {
   // (bounds per-handler buffering; must be >= 1).
   size_t segment_max_rows = 1024;
 
+  // Adaptive segment sizing: each (node, destination) stream starts at
+  // the segment_max_rows cap and doubles it toward this limit after
+  // consecutive full seals, so steady-state recursion ships fewer,
+  // fatter batches while bursty streams keep small segments. Must be 0
+  // (growth disabled, fixed caps) or >= segment_max_rows.
+  size_t segment_max_rows_limit = 8192;
+
+  // Absorb arriving segments through the vectorized batch kernels
+  // (Relation::InsertSegment — one hashing pass and one dedup probe
+  // per row, whole-segment forwarding on goal nodes). false restores
+  // row-at-a-time absorption; answers, duplicate drops, and proof
+  // trees are pinned identical by tests/segment_test.cc.
+  bool vectorized_segments = true;
+
   // Safety valve against runaway computations (0 = unlimited).
   uint64_t max_messages = 0;
 

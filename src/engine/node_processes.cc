@@ -130,6 +130,27 @@ void NodeProcessBase::Emit(ProcessId to, Message m) {
   outbox_.emplace_back(to, std::move(m));
 }
 
+size_t NodeProcessBase::SegmentCap(ProcessId to) {
+  size_t base = shared_.segment_max_rows;
+  if (shared_.segment_max_rows_limit <= base) return base;  // growth off
+  auto [it, inserted] = dest_sizing_.emplace(to, DestSizing{base, 0});
+  return it->second.cap;
+}
+
+void NodeProcessBase::NoteSealedSegment(ProcessId to, bool full) {
+  if (shared_.segment_max_rows_limit <= shared_.segment_max_rows) return;
+  DestSizing& sizing =
+      dest_sizing_.emplace(to, DestSizing{shared_.segment_max_rows, 0})
+          .first->second;
+  if (!full) {
+    sizing.full_streak = 0;
+    return;
+  }
+  if (++sizing.full_streak < 2) return;
+  sizing.full_streak = 0;
+  sizing.cap = std::min(sizing.cap * 2, shared_.segment_max_rows_limit);
+}
+
 void NodeProcessBase::EmitTuple(ProcessId to, const Tuple& binding,
                                 TupleRef values, uint64_t lineage_id) {
   if (!shared_.segment_messages) {
@@ -144,12 +165,14 @@ void NodeProcessBase::EmitTuple(ProcessId to, const Tuple& binding,
     if (open.to != to || !(open.segment->binding == binding)) continue;
     open.segment->AppendRow(values);
     if (lineage_id != kNoLineage) open.segment->lineage.push_back(lineage_id);
-    if (open.segment->num_rows >= shared_.segment_max_rows) {
+    if (open.segment->num_rows >= open.cap) {
       // Seal at the size cap: the handle stays at its outbox position;
       // further rows on this stream open a new (later) segment, so
       // per-stream order is preserved.
+      open.segment->CheckConsistent();
       open_segments_.erase(open_segments_.begin() +
                            static_cast<ptrdiff_t>(i));
+      NoteSealedSegment(to, /*full=*/true);
     }
     return;
   }
@@ -161,6 +184,7 @@ void NodeProcessBase::EmitTuple(ProcessId to, const Tuple& binding,
   OpenSegment open;
   open.to = to;
   open.outbox_index = outbox_.size();
+  open.cap = SegmentCap(to);
   open.segment = segment;
   outbox_.emplace_back(to, MakeTupleSegment(std::move(segment)));
   open_segments_.push_back(std::move(open));
@@ -168,6 +192,10 @@ void NodeProcessBase::EmitTuple(ProcessId to, const Tuple& binding,
 
 void NodeProcessBase::EmitSegment(ProcessId to,
                                   std::shared_ptr<const TupleSegment> segment) {
+  // Every pre-built segment passes through here: the one place to
+  // catch a values/lineage column that desynchronized from num_rows
+  // before it reaches the wire.
+  segment->CheckConsistent();
   if (observing_fire_) {
     fire_tuples_out_ += static_cast<uint32_t>(segment->num_rows);
   }
@@ -179,7 +207,14 @@ void NodeProcessBase::FlushEmits() {
   // layer's singletons-are-sent-bare rule); multi-row ones are sealed
   // simply by dropping the mutable handle.
   for (OpenSegment& open : open_segments_) {
-    if (open.segment->num_rows != 1) continue;
+    // End-of-handler seals are partial by definition (cap seals left
+    // open_segments_ in EmitTuple): they reset the destination's
+    // full-segment streak.
+    NoteSealedSegment(open.to, /*full=*/false);
+    if (open.segment->num_rows != 1) {
+      open.segment->CheckConsistent();
+      continue;
+    }
     Message demoted =
         MakeTuple(open.segment->binding, open.segment->row(0).ToTuple());
     demoted.lineage = open.segment->row_lineage(0);
@@ -375,17 +410,19 @@ class GoalProcess : public NodeProcessBase {
     const std::vector<size_t>* hits = answers_.Probe(d_index_, m.binding);
     if (hits != nullptr) {
       if (shared_.segment_messages && hits->size() > 1) {
+        size_t cap = SegmentCap(m.from);
         auto replay = std::make_shared<TupleSegment>();
         replay->binding = m.binding;
         replay->arity = out_positions_.size();
         for (size_t pos : *hits) {
           replay->AppendRow(answers_.tuple(pos));
           if (lineage_on()) replay->lineage.push_back(answers_.row_id(pos));
-          if (replay->num_rows >= shared_.segment_max_rows) {
+          if (replay->num_rows >= cap) {
             auto next = std::make_shared<TupleSegment>();
             next->binding = replay->binding;
             next->arity = replay->arity;
             EmitSegment(m.from, std::move(replay));
+            NoteSealedSegment(m.from, /*full=*/true);
             replay = std::move(next);
           }
         }
@@ -393,6 +430,7 @@ class GoalProcess : public NodeProcessBase {
           EmitTuple(m.from, m.binding, replay->row(0), replay->row_lineage(0));
         } else if (!replay->empty()) {
           EmitSegment(m.from, std::move(replay));
+          NoteSealedSegment(m.from, /*full=*/false);
         }
       } else {
         for (size_t pos : *hits) {
@@ -446,23 +484,55 @@ class GoalProcess : public NodeProcessBase {
     }
   }
 
-  // Vectorized union: absorb a whole segment, then hand each consumer
-  // one shared out-segment of the genuinely new rows. Rows are grouped
-  // by their d-projection (normally a single group — answers echo the
-  // request binding at d positions — but constants or repeated head
-  // variables can split a stream).
+  // Vectorized union: absorb the whole segment through the batch
+  // insert kernel (one hashing pass, one capacity reservation, one
+  // dedup probe per row), then hand each consumer one shared
+  // out-segment of the genuinely new rows. Rows are grouped by their
+  // d-projection (normally a single group — answers echo the request
+  // binding at d positions — but constants or repeated head variables
+  // can split a stream). In the common case — nothing deduped, every
+  // row's d-projection equal to the stream binding, lineage off — the
+  // inbound shared segment handle is forwarded wholesale: zero row
+  // copies and zero per-row work beyond the kernel.
   void OnTupleSegment(const Message& m) {
+    if (!shared_.vectorized_segments) {
+      OnTupleSegmentRowAtATime(m);
+      return;
+    }
     const TupleSegment& in = m.segment();
+    if (in.num_rows == 0) return;
+    const BatchInsertResult& ins = answers_.InsertSegment(in);
+    duplicate_drops_ += in.num_rows - ins.num_inserted;
+    if (ins.num_inserted == 0) return;
+
+    if (!lineage_on() && ins.all_inserted() && AllRowsMatchBinding(in)) {
+      for (auto& [pid, c] : consumers_) {
+        if (c.bindings.count(in.binding) != 0) {
+          EmitSegment(pid, m.segment_ptr());
+        }
+      }
+      return;
+    }
+
+    // General path: group surviving rows by d-projection. A hash map
+    // keyed on the projection replaces the old O(groups)-per-row
+    // linear scan; `group_order` keeps first-appearance emission order
+    // so the deterministic scheduler stays deterministic.
     struct OutGroup {
       std::shared_ptr<TupleSegment> segment;
       std::vector<uint64_t> inputs;  // one per row (lineage only)
     };
-    std::vector<OutGroup> groups;
+    std::unordered_map<Tuple, OutGroup, TupleHash> groups;
+    std::vector<OutGroup*> group_order;
+    // Shared fan-out segments go to several consumers; size them with
+    // the node-wide (kNoProcess) adaptive cap.
+    size_t cap = SegmentCap(kNoProcess);
     // Publishes one derive batch for the group and hands every
     // subscribed consumer the same segment object (singletons demote
     // to bare tuples). Called at the size cap and once at the end.
-    auto flush_group = [&](OutGroup& group) {
+    auto flush_group = [&](OutGroup& group, bool full) {
       if (group.segment->empty()) return;
+      group.segment->CheckConsistent();
       if (lineage_on()) {
         PublishDeriveBatch(DeriveKind::kUnion, group.segment, group.inputs);
       }
@@ -476,6 +546,81 @@ class GoalProcess : public NodeProcessBase {
           EmitSegment(pid, group.segment);
         }
       }
+      NoteSealedSegment(kNoProcess, full);
+    };
+    Tuple dproj(d_in_out_.size(), Value());
+    for (size_t r = 0; r < in.num_rows; ++r) {
+      if (!ins.inserted(r)) continue;
+      TupleRef row = in.row(r);
+      for (size_t i = 0; i < d_in_out_.size(); ++i) {
+        dproj[i] = row[d_in_out_[i]];
+      }
+      auto [it, is_new] = groups.try_emplace(dproj);
+      OutGroup& group = it->second;
+      if (is_new) {
+        group.segment = std::make_shared<TupleSegment>();
+        group.segment->binding = dproj;
+        group.segment->arity = in.arity;
+        group_order.push_back(&group);
+      }
+      group.segment->AppendRow(row);
+      if (lineage_on()) {
+        group.segment->lineage.push_back(answers_.row_id(ins.rows[r]));
+        group.inputs.push_back(in.row_lineage(r));
+      }
+      if (group.segment->num_rows >= cap) {
+        flush_group(group, /*full=*/true);
+        auto next = std::make_shared<TupleSegment>();
+        next->binding = group.segment->binding;
+        next->arity = group.segment->arity;
+        group.segment = std::move(next);
+        group.inputs.clear();
+      }
+    }
+    for (OutGroup* group : group_order) flush_group(*group, /*full=*/false);
+  }
+
+  // Every row's d-projection equals the stream binding (the wholesale
+  // forward precondition — one comparison pass over the block, far
+  // cheaper than re-grouping).
+  bool AllRowsMatchBinding(const TupleSegment& in) const {
+    if (in.binding.size() != d_in_out_.size()) return false;
+    for (size_t r = 0; r < in.num_rows; ++r) {
+      TupleRef row = in.row(r);
+      for (size_t i = 0; i < d_in_out_.size(); ++i) {
+        if (row[d_in_out_[i]] != in.binding[i]) return false;
+      }
+    }
+    return true;
+  }
+
+  // Row-at-a-time absorption (vectorized_segments=false): the PR 6
+  // baseline, kept for A/B and pinned equivalent by segment_test.
+  void OnTupleSegmentRowAtATime(const Message& m) {
+    const TupleSegment& in = m.segment();
+    struct OutGroup {
+      std::shared_ptr<TupleSegment> segment;
+      std::vector<uint64_t> inputs;  // one per row (lineage only)
+    };
+    std::vector<OutGroup> groups;
+    size_t cap = SegmentCap(kNoProcess);
+    auto flush_group = [&](OutGroup& group, bool full) {
+      if (group.segment->empty()) return;
+      group.segment->CheckConsistent();
+      if (lineage_on()) {
+        PublishDeriveBatch(DeriveKind::kUnion, group.segment, group.inputs);
+      }
+      const Tuple& binding = group.segment->binding;
+      for (auto& [pid, c] : consumers_) {
+        if (c.bindings.count(binding) == 0) continue;
+        if (group.segment->num_rows == 1) {
+          EmitTuple(pid, binding, group.segment->row(0),
+                    group.segment->row_lineage(0));
+        } else {
+          EmitSegment(pid, group.segment);
+        }
+      }
+      NoteSealedSegment(kNoProcess, full);
     };
     Tuple dproj(d_in_out_.size(), Value());
     for (size_t r = 0; r < in.num_rows; ++r) {
@@ -508,8 +653,8 @@ class GoalProcess : public NodeProcessBase {
         group->segment->lineage.push_back(answers_.row_id(ins.row));
         group->inputs.push_back(in.row_lineage(r));
       }
-      if (group->segment->num_rows >= shared_.segment_max_rows) {
-        flush_group(*group);
+      if (group->segment->num_rows >= cap) {
+        flush_group(*group, /*full=*/true);
         auto next = std::make_shared<TupleSegment>();
         next->binding = group->segment->binding;
         next->arity = group->segment->arity;
@@ -517,7 +662,7 @@ class GoalProcess : public NodeProcessBase {
         group->inputs.clear();
       }
     }
-    for (OutGroup& group : groups) flush_group(group);
+    for (OutGroup& group : groups) flush_group(group, /*full=*/false);
   }
 
   void OnEnd(const Message& m) {
@@ -621,6 +766,7 @@ class EdbProcess : public NodeProcessBase {
   EdbProcess(const EngineShared& shared, NodeId id)
       : NodeProcessBase(shared, id) {
     out_positions_ = gnode().OutputPositions();
+    sent_scratch_ = Relation(out_positions_.size());
   }
 
   void OnStart() override {
@@ -683,11 +829,17 @@ class EdbProcess : public NodeProcessBase {
   }
 
   void Answer(const Message& m) {
-    std::unordered_set<Tuple, TupleHash> sent;
+    // Per-request dedup of projected rows through a reusable scratch
+    // arena: Clear() keeps the arena/table capacity, and the projected
+    // row is built in a reusable buffer — no per-row Tuple
+    // materialization for duplicates (and none at all on the segmented
+    // path).
+    sent_scratch_.Clear();
     // Segmented path: the whole answer set for this request is known
     // within this one handler, so rows go straight into one segment
     // (EmitTuple's open-segment lookup would be per-row overhead).
     std::shared_ptr<TupleSegment> segment;
+    size_t cap = SegmentCap(m.from);
     if (shared_.segment_messages) {
       segment = std::make_shared<TupleSegment>();
       segment->binding = m.binding;
@@ -696,22 +848,24 @@ class EdbProcess : public NodeProcessBase {
     auto emit = [&](size_t pos) {
       TupleRef t = relation_->tuple(pos);
       if (!Matches(t)) return;
-      Tuple out = ProjectTuple(t, out_positions_);
-      if (sent.insert(out).second) {
+      out_buf_.clear();
+      for (size_t c : out_positions_) out_buf_.push_back(t[c]);
+      if (sent_scratch_.Insert(out_buf_)) {
         if (segment != nullptr) {
-          segment->AppendRow(out);
+          segment->AppendRow(out_buf_);
           // Base-fact provenance: the underlying row's id (assigned at
           // wiring when lineage is on).
           if (lineage_on()) segment->lineage.push_back(relation_->row_id(pos));
-          if (segment->num_rows >= shared_.segment_max_rows) {
+          if (segment->num_rows >= cap) {
             auto next = std::make_shared<TupleSegment>();
             next->binding = segment->binding;
             next->arity = segment->arity;
             EmitSegment(m.from, std::move(segment));
+            NoteSealedSegment(m.from, /*full=*/true);
             segment = std::move(next);
           }
         } else {
-          Message msg = MakeTuple(m.binding, std::move(out));
+          Message msg = MakeTuple(m.binding, Tuple(out_buf_));
           msg.lineage = relation_->row_id(pos);
           Emit(m.from, std::move(msg));
         }
@@ -748,11 +902,14 @@ class EdbProcess : public NodeProcessBase {
       } else {
         EmitSegment(m.from, std::move(segment));
       }
+      NoteSealedSegment(m.from, /*full=*/false);
     }
     Emit(m.from, MakeEnd(m.binding));
   }
 
   const Relation* relation_ = nullptr;
+  Relation sent_scratch_{0};  // per-request projected-row dedup
+  Tuple out_buf_;             // reusable projection buffer
   std::vector<size_t> out_positions_;
   std::vector<size_t> key_positions_;
   Tuple key_template_;
@@ -848,18 +1005,36 @@ class RuleProcess : public NodeProcessBase {
     // bindings (e.g. under the no-sips strategy the whole relation
     // arrives and the equi-join happens here).
     std::vector<std::pair<size_t, size_t>> checks;
+    // Arity of the child's answer tuples (its output positions).
+    size_t answer_arity = 0;
   };
 
   struct ChildReq {
+    explicit ChildReq(size_t arity) : answers(arity) {}
     bool ended = false;
-    std::vector<Tuple> answers;
-    // Lineage ids parallel to `answers` (filled only when lineage
-    // tracking is on).
+    // Arrived child tuples in one flat arena whose open-addressing
+    // table is the dedup set — one hash + probe per row, no per-row
+    // Tuple materialization for duplicates, and whole segments land
+    // through the batch insert kernel.
+    Relation answers;
+    // Lineage ids parallel to `answers` rows (filled only when lineage
+    // tracking is on; message ids, not arena row ids).
     std::vector<uint64_t> answer_ids;
-    std::unordered_set<Tuple, TupleHash> answer_set;
     // Head bindings whose completion awaits this request's end.
     std::unordered_set<Tuple, TupleHash> dependents;
   };
+
+  /// The request state for `binding` on `stage`, created with the
+  /// stage child's answer arity on first sight.
+  ChildReq& Req(size_t stage, const Tuple& binding) {
+    auto it = child_reqs_[stage].find(binding);
+    if (it == child_reqs_[stage].end()) {
+      it = child_reqs_[stage]
+               .try_emplace(binding, children_[stage - 1].answer_arity)
+               .first;
+    }
+    return it->second;
+  }
 
   void BuildPlan() {
     const Rule& rule = gnode().rule;
@@ -903,6 +1078,7 @@ class RuleProcess : public NodeProcessBase {
       // positions.
       const GraphNode& child = shared_.graph->node(child_node);
       std::vector<size_t> out_positions = child.OutputPositions();
+      plan.answer_arity = out_positions.size();
       std::unordered_set<VariableId> seen_here;
       for (size_t j = 0; j < out_positions.size(); ++j) {
         const Term& t = atom.args[out_positions[j]];
@@ -965,7 +1141,7 @@ class RuleProcess : public NodeProcessBase {
   }
 
   std::optional<Tuple> Extend(const Tuple& ctx, size_t stage,
-                              const Tuple& values) const {
+                              TupleRef values) const {
     const ChildPlan& plan = children_[stage - 1];
     for (const auto& [ordinal, slot] : plan.checks) {
       if (ctx[slot] != values[ordinal]) return std::nullopt;
@@ -989,56 +1165,79 @@ class RuleProcess : public NodeProcessBase {
 
   void OnChildTuple(const Message& m) {
     size_t stage = pid_to_stage_.at(m.from);
-    ChildReq& cr = child_reqs_[stage][m.binding];
-    if (!cr.answer_set.insert(m.values).second) {
+    ChildReq& cr = Req(stage, m.binding);
+    Relation::InsertResult ins = cr.answers.InsertRow(m.values);
+    if (!ins.inserted) {
       ++duplicate_drops_;
       return;
     }
-    cr.answers.push_back(m.values);
     if (lineage_on()) cr.answer_ids.push_back(m.lineage);
+    ExtendWaiters(waiting_[stage - 1][m.binding], stage, m.values, m.lineage);
+    FlushEnds();
+  }
+
+  // Vectorized arrival: the whole segment dedups against the request's
+  // answer arena in one batch pass (one hashing sweep over the
+  // contiguous block, capacity reserved once, one probe per row — no
+  // per-row Tuple copies for duplicates), then the waiter-extension
+  // loop runs over survivors only, reading rows in place from the
+  // segment. Join semantics per row are identical to OnChildTuple.
+  // (The waiter/request references stay valid across AddContext: the
+  // recursion only touches per-stage maps at deeper stages — see the
+  // note in AddContext — so this stage's arena and batch result are
+  // never mutated mid-loop.)
+  void OnChildSegment(const Message& m) {
+    const TupleSegment& segment = m.segment();
+    size_t stage = pid_to_stage_.at(m.from);
+    ChildReq& cr = Req(stage, m.binding);
     std::vector<Tuple>& waiters = waiting_[stage - 1][m.binding];
-    for (size_t i = 0; i < waiters.size(); ++i) {
-      std::optional<Tuple> extended = Extend(waiters[i], stage, m.values);
-      if (extended.has_value()) {
-        AddContext(stage, *std::move(extended),
-                   SourcesPlus(stage - 1, waiters[i], m.lineage));
+    if (!shared_.vectorized_segments) {
+      // Row-at-a-time baseline (A/B): per-row hash/probe/insert.
+      for (size_t r = 0; r < segment.num_rows; ++r) {
+        TupleRef row = segment.row(r);
+        if (!cr.answers.InsertRow(row).inserted) {
+          ++duplicate_drops_;
+          continue;
+        }
+        uint64_t row_id = segment.row_lineage(r);
+        trigger_lineage_ = row_id;
+        if (lineage_on()) cr.answer_ids.push_back(row_id);
+        ExtendWaiters(waiters, stage, row, row_id);
+      }
+      FlushEnds();
+      return;
+    }
+    const BatchInsertResult& ins = cr.answers.InsertSegment(segment);
+    duplicate_drops_ += segment.num_rows - ins.num_inserted;
+    if (ins.num_inserted != 0) {
+      if (lineage_on()) {
+        for (size_t r = 0; r < segment.num_rows; ++r) {
+          if (ins.inserted(r)) {
+            cr.answer_ids.push_back(segment.row_lineage(r));
+          }
+        }
+      }
+      for (size_t r = 0; r < segment.num_rows; ++r) {
+        if (!ins.inserted(r)) continue;
+        uint64_t row_id = segment.row_lineage(r);
+        trigger_lineage_ = row_id;
+        ExtendWaiters(waiters, stage, segment.row(r), row_id);
       }
     }
     FlushEnds();
   }
 
-  // Vectorized arrival: one stage/request/waiter-list lookup for the
-  // whole segment, one scratch row buffer reused across rows, one
-  // FlushEnds at the end. Join semantics per row are identical to
-  // OnChildTuple. (The waiter/request references stay valid across
-  // AddContext: the recursion only touches per-stage maps at deeper
-  // stages — see the note in AddContext.)
-  void OnChildSegment(const Message& m) {
-    const TupleSegment& segment = m.segment();
-    size_t stage = pid_to_stage_.at(m.from);
-    ChildReq& cr = child_reqs_[stage][m.binding];
-    std::vector<Tuple>& waiters = waiting_[stage - 1][m.binding];
-    Tuple row_buf;
-    for (size_t r = 0; r < segment.num_rows; ++r) {
-      TupleRef row = segment.row(r);
-      row_buf.assign(row.begin(), row.end());
-      if (!cr.answer_set.insert(row_buf).second) {
-        ++duplicate_drops_;
-        continue;
-      }
-      uint64_t row_id = segment.row_lineage(r);
-      trigger_lineage_ = row_id;
-      cr.answers.push_back(row_buf);
-      if (lineage_on()) cr.answer_ids.push_back(row_id);
-      for (size_t i = 0; i < waiters.size(); ++i) {
-        std::optional<Tuple> extended = Extend(waiters[i], stage, row_buf);
-        if (extended.has_value()) {
-          AddContext(stage, *std::move(extended),
-                     SourcesPlus(stage - 1, waiters[i], row_id));
-        }
+  /// Extends every context waiting on this (stage, binding) stream
+  /// with one child answer.
+  void ExtendWaiters(std::vector<Tuple>& waiters, size_t stage, TupleRef values,
+                     uint64_t child_id) {
+    for (size_t i = 0; i < waiters.size(); ++i) {
+      std::optional<Tuple> extended = Extend(waiters[i], stage, values);
+      if (extended.has_value()) {
+        AddContext(stage, *std::move(extended),
+                   SourcesPlus(stage - 1, waiters[i], child_id));
       }
     }
-    FlushEnds();
   }
 
   void OnChildEnd(const Message& m) {
@@ -1092,7 +1291,8 @@ class RuleProcess : public NodeProcessBase {
     Tuple hb = HeadBindingOf(ctx);
     waiting_[k][nb].push_back(ctx);
 
-    auto [it, is_new] = child_reqs_[stage].emplace(nb, ChildReq());
+    auto [it, is_new] =
+        child_reqs_[stage].try_emplace(nb, children_[k].answer_arity);
     ChildReq& cr = it->second;
     if (is_new) {
       Emit(plan.pid, MakeTupleRequest(nb));
@@ -1109,9 +1309,10 @@ class RuleProcess : public NodeProcessBase {
     }
     // Join with already-received answers for this request. (`cr` stays
     // valid across the recursion: AddContext(stage, ...) only touches
-    // per-stage maps at indexes > k.)
+    // per-stage maps at indexes > k, so the arena never grows under
+    // this loop and tuple(i) views stay stable.)
     for (size_t i = 0; i < cr.answers.size(); ++i) {
-      std::optional<Tuple> extended = Extend(ctx, stage, cr.answers[i]);
+      std::optional<Tuple> extended = Extend(ctx, stage, cr.answers.tuple(i));
       if (extended.has_value()) {
         std::vector<uint64_t> next = srcs;
         if (lineage_on()) next.push_back(cr.answer_ids[i]);

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/termination.h"
@@ -86,6 +87,16 @@ struct EngineShared {
   // Flush an accumulating segment early once it reaches this many
   // rows (bounds per-handler buffering; >= 1).
   size_t segment_max_rows = 1024;
+  // Adaptive segment sizing: each (node, destination) stream starts
+  // with a segment_max_rows cap that doubles toward this limit while
+  // consecutive full segments flow, so steady-state recursion ships
+  // fewer, fatter batches. 0 disables growth (fixed caps).
+  size_t segment_max_rows_limit = 8192;
+  // Absorb arriving kTupleSegment messages through the vectorized
+  // batch kernels (Relation::InsertSegment) in goal/rule processes;
+  // false falls back to row-at-a-time absorption (the A/B baseline,
+  // pinned equivalent by tests/segment_test.cc).
+  bool vectorized_segments = true;
   // Ablation: when false, EDB node processes answer tuple requests by
   // scanning instead of probing hash indexes.
   bool use_edb_indexes = true;
@@ -161,6 +172,21 @@ class NodeProcessBase : public Process, public TerminationOwner {
   /// pass the same handle to several consumers — no per-tuple copy.
   void EmitSegment(ProcessId to, std::shared_ptr<const TupleSegment> segment);
 
+  /// Current row cap for segments built for destination `to`. Starts
+  /// at segment_max_rows; with adaptive sizing enabled
+  /// (segment_max_rows_limit > segment_max_rows) it doubles toward the
+  /// limit as full segments flow (NoteSealedSegment). Call sites that
+  /// build shared fan-out segments for several consumers use
+  /// kNoProcess as the node-wide destination key.
+  size_t SegmentCap(ProcessId to);
+
+  /// Records that a segment headed to `to` sealed; `full` means it hit
+  /// its row cap. Two consecutive full seals double the destination's
+  /// cap (up to segment_max_rows_limit); a partial seal resets the
+  /// streak — bursty producers keep small segments, steady full
+  /// streams down rule chains grow theirs.
+  void NoteSealedSegment(ProcessId to, bool full);
+
   bool lineage_on() const { return shared_.lineage_ids != nullptr; }
 
   /// Publishes the first-derivation record for tuple `id` to the
@@ -194,11 +220,19 @@ class NodeProcessBase : public Process, public TerminationOwner {
   struct OpenSegment {
     ProcessId to = kNoProcess;
     size_t outbox_index = 0;
+    size_t cap = 0;  // row cap latched from SegmentCap(to) at open time
     std::shared_ptr<TupleSegment> segment;
+  };
+
+  // Adaptive per-destination sizing state (see SegmentCap).
+  struct DestSizing {
+    size_t cap = 0;
+    uint32_t full_streak = 0;
   };
 
   std::vector<std::pair<ProcessId, Message>> outbox_;
   std::vector<OpenSegment> open_segments_;
+  std::unordered_map<ProcessId, DestSizing> dest_sizing_;
   // Per-firing observability scratch: tuples emitted during the
   // current OnMessage, counted only while observers are installed.
   uint32_t fire_tuples_out_ = 0;

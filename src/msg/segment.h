@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.h"
 #include "relational/tuple.h"
 
 namespace mpqe {
@@ -52,6 +53,20 @@ struct TupleSegment {
   void AppendRow(TupleRef row) {
     values.insert(values.end(), row.begin(), row.end());
     ++num_rows;
+  }
+
+  /// Aborts if the columnar invariants are violated: the value block
+  /// must hold exactly num_rows * arity entries and the lineage column
+  /// must be absent or exactly one id per row. Producers call this at
+  /// seal time so a desynchronized inputs/lineage column can never
+  /// reach the wire.
+  void CheckConsistent() const {
+    MPQE_CHECK(values.size() == num_rows * arity)
+        << "segment value block " << values.size() << " != " << num_rows
+        << " rows x arity " << arity;
+    MPQE_CHECK(lineage.empty() || lineage.size() == num_rows)
+        << "segment lineage column " << lineage.size() << " != num_rows "
+        << num_rows;
   }
 };
 

@@ -75,6 +75,18 @@ double NodeProfile::RowsPerSegmentOut() const {
                                  static_cast<double>(segments_out);
 }
 
+double NodeProfile::RowsPerSegmentIn() const {
+  return segments_in == 0 ? 0.0
+                          : static_cast<double>(segment_rows_in) /
+                                static_cast<double>(segments_in);
+}
+
+double NodeProfile::BatchDedupHitRate() const {
+  return batch_rows_in == 0 ? 0.0
+                            : static_cast<double>(batch_dedup_hits) /
+                                  static_cast<double>(batch_rows_in);
+}
+
 double NodeProfile::Selectivity() const {
   return tuples_in == 0 ? 0.0
                         : static_cast<double>(tuples_out) /
@@ -146,6 +158,12 @@ std::string ProfileReport::ToJson() const {
                   ", \"segment_rows_out\": ", n.segment_rows_out,
                   ", \"rows_per_segment_out\": ",
                   JsonDouble(n.RowsPerSegmentOut()),
+                  ", \"rows_per_segment_in\": ",
+                  JsonDouble(n.RowsPerSegmentIn()),
+                  ", \"batch_rows_in\": ", n.batch_rows_in,
+                  ", \"batch_dedup_hits\": ", n.batch_dedup_hits,
+                  ", \"batch_dedup_hit_rate\": ",
+                  JsonDouble(n.BatchDedupHitRate()),
                   ", \"fire_ns\": ", n.fire_ns,
                   ", \"queue_wait_ns\": ", n.queue_wait_ns);
     if (n.est_log10_tuples != kNoEstimate) {
@@ -251,6 +269,13 @@ void ProfilingObserver::OnNodeFire(const NodeFireEvent& event) {
   s.tuples_in += event.tuples_in;
   s.tuples_out += event.tuples_out;
   s.dedup_hits += event.dedup_hits;
+  if (event.trigger == MessageKind::kTupleSegment ||
+      event.trigger == MessageKind::kBatch) {
+    // Batched arrivals: the rows (and the dedup hits their handling
+    // produced) that flow through the whole-segment absorb paths.
+    s.batch_rows_in += event.tuples_in;
+    s.batch_dedup_hits += event.dedup_hits;
+  }
   s.fire_ns += event.handle_ns;
 }
 
@@ -331,6 +356,8 @@ ProfileReport ProfilingObserver::Finalize() const {
     row.segments_out = s.segments_out;
     row.segment_rows_in = s.segment_rows_in;
     row.segment_rows_out = s.segment_rows_out;
+    row.batch_rows_in = s.batch_rows_in;
+    row.batch_dedup_hits = s.batch_dedup_hits;
     row.fire_ns = s.fire_ns;
     row.queue_wait_ns = s.queue_wait_ns;
     if (graph_ != nullptr) {

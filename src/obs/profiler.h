@@ -68,11 +68,23 @@ struct NodeProfile {
   uint64_t segments_out = 0;
   uint64_t segment_rows_in = 0;
   uint64_t segment_rows_out = 0;
+  // Rows that arrived in batched envelopes (kTupleSegment or kBatch
+  // fires) and the dedup hits those firings produced — the traffic the
+  // vectorized batch kernels absorb, vs. per-tuple arrivals.
+  uint64_t batch_rows_in = 0;
+  uint64_t batch_dedup_hits = 0;
   uint64_t fire_ns = 0;        // wall time inside message handling
   uint64_t queue_wait_ns = 0;  // send-to-delivery-start latency
 
   /// Mean rows per emitted segment (0 when none were emitted).
   double RowsPerSegmentOut() const;
+
+  /// Mean rows per arriving segment (0 when none arrived).
+  double RowsPerSegmentIn() const;
+
+  /// Fraction of batch-delivered rows rejected by dedup:
+  /// batch_dedup_hits / batch_rows_in; 0 when no batches arrived.
+  double BatchDedupHitRate() const;
 
   // §4.3 estimates (rule nodes; kNoEstimate elsewhere). The estimate
   // is per tuple request, so the comparable figure is
@@ -178,6 +190,8 @@ class ProfilingObserver : public ExecutionObserver {
     uint64_t segments_out = 0;
     uint64_t segment_rows_in = 0;
     uint64_t segment_rows_out = 0;
+    uint64_t batch_rows_in = 0;
+    uint64_t batch_dedup_hits = 0;
     uint64_t fire_ns = 0;
     uint64_t queue_wait_ns = 0;
     NodeRole role = NodeRole::kGoal;

@@ -1,5 +1,7 @@
 #include "relational/operators.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace mpqe {
@@ -48,11 +50,6 @@ std::vector<size_t> RightColumns(const std::vector<JoinColumn>& on) {
   return cols;
 }
 
-// Fills `key` (pre-sized scratch) with `t` projected onto `cols`.
-inline void FillKey(Tuple& key, TupleRef t, const std::vector<size_t>& cols) {
-  for (size_t i = 0; i < cols.size(); ++i) key[i] = t[cols[i]];
-}
-
 }  // namespace
 
 Relation Join(const Relation& left, const Relation& right,
@@ -74,21 +71,40 @@ Relation Join(const Relation& left, const Relation& right,
   RelationIndex table(build_cols);
   for (size_t pos = 0; pos < build.size(); ++pos) table.Add(build, pos);
 
-  Tuple key(on.size(), Value());
-  Tuple out_row(left.arity() + right.arity(), Value());
-  for (size_t pos = 0; pos < probe.size(); ++pos) {
-    TupleRef p = probe.tuple(pos);
-    FillKey(key, p, probe_cols);
-    const std::vector<size_t>* hits = table.Lookup(build, key);
-    if (hits == nullptr) continue;
-    for (size_t bpos : *hits) {
-      TupleRef b = build.tuple(bpos);
-      TupleRef l = build_left ? b : p;
-      TupleRef r = build_left ? p : b;
-      std::copy(l.begin(), l.end(), out_row.begin());
-      std::copy(r.begin(), r.end(), out_row.begin() + left.arity());
-      out.Insert(out_row);
+  // Probe in blocks: gather each chunk's keys into a contiguous
+  // scratch block, resolve the whole chunk with one LookupBlock call,
+  // compose the matches row-major, and hand them to the output
+  // relation as one batch insert per chunk.
+  constexpr size_t kProbeChunk = 1024;
+  std::vector<Value> keys;
+  keys.reserve(kProbeChunk * on.size());
+  std::vector<size_t> offsets;
+  std::vector<size_t> positions;
+  std::vector<Value> out_block;
+  for (size_t base = 0; base < probe.size(); base += kProbeChunk) {
+    const size_t n = std::min(kProbeChunk, probe.size() - base);
+    keys.clear();
+    for (size_t i = 0; i < n; ++i) {
+      TupleRef p = probe.tuple(base + i);
+      for (size_t c : probe_cols) keys.push_back(p[c]);
     }
+    positions.clear();
+    table.LookupBlock(build, keys.data(), n, offsets, positions);
+    out_block.clear();
+    size_t rows = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (offsets[i] == offsets[i + 1]) continue;
+      TupleRef p = probe.tuple(base + i);
+      for (size_t j = offsets[i]; j < offsets[i + 1]; ++j) {
+        TupleRef b = build.tuple(positions[j]);
+        TupleRef l = build_left ? b : p;
+        TupleRef r = build_left ? p : b;
+        out_block.insert(out_block.end(), l.begin(), l.end());
+        out_block.insert(out_block.end(), r.begin(), r.end());
+        ++rows;
+      }
+    }
+    if (rows != 0) out.InsertBlock(out_block.data(), rows);
   }
   return out;
 }
@@ -99,14 +115,28 @@ Relation SemiJoin(const Relation& left, const Relation& right,
   const std::vector<size_t> left_cols = LeftColumns(on);
   const std::vector<size_t> right_cols = RightColumns(on);
 
-  RelationIndex keys(right_cols);
-  for (size_t pos = 0; pos < right.size(); ++pos) keys.Add(right, pos);
+  RelationIndex keys_index(right_cols);
+  for (size_t pos = 0; pos < right.size(); ++pos) keys_index.Add(right, pos);
 
-  Tuple key(on.size(), Value());
-  for (size_t pos = 0; pos < left.size(); ++pos) {
-    TupleRef t = left.tuple(pos);
-    FillKey(key, t, left_cols);
-    if (keys.Lookup(right, key) != nullptr) out.Insert(t);
+  // Same chunked shape as Join: one LookupBlock per block of gathered
+  // keys; a probe row passes on any hit.
+  constexpr size_t kProbeChunk = 1024;
+  std::vector<Value> keys;
+  keys.reserve(kProbeChunk * on.size());
+  std::vector<size_t> offsets;
+  std::vector<size_t> positions;
+  for (size_t base = 0; base < left.size(); base += kProbeChunk) {
+    const size_t n = std::min(kProbeChunk, left.size() - base);
+    keys.clear();
+    for (size_t i = 0; i < n; ++i) {
+      TupleRef t = left.tuple(base + i);
+      for (size_t c : left_cols) keys.push_back(t[c]);
+    }
+    positions.clear();
+    keys_index.LookupBlock(right, keys.data(), n, offsets, positions);
+    for (size_t i = 0; i < n; ++i) {
+      if (offsets[i] != offsets[i + 1]) out.Insert(left.tuple(base + i));
+    }
   }
   return out;
 }
@@ -114,8 +144,10 @@ Relation SemiJoin(const Relation& left, const Relation& right,
 Relation Union(const Relation& a, const Relation& b) {
   MPQE_CHECK(a.arity() == b.arity());
   Relation out(a.arity());
-  for (TupleRef t : a.tuples()) out.Insert(t);
-  for (TupleRef t : b.tuples()) out.Insert(t);
+  // Each input's arena is one contiguous row-major block — absorb it
+  // with a single batch insert instead of a per-row loop.
+  if (a.size() != 0) out.InsertBlock(a.tuple(0).begin(), a.size());
+  if (b.size() != 0) out.InsertBlock(b.tuple(0).begin(), b.size());
   return out;
 }
 

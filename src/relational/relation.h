@@ -53,6 +53,24 @@ class TupleIdAllocator {
   std::atomic<uint64_t> next_{0};
 };
 
+// Result of a batch insert (Relation::InsertBlock / InsertSegment).
+// Row dispositions are reported in segment order: rows[r] is the row id
+// input row r landed on — a freshly appended row when it was new, the
+// original row on a duplicate hit — which is exactly the order lineage
+// batching (PublishDeriveBatch) needs. The object is a reusable scratch
+// owned by the relation; it is valid until the next batch insert.
+struct BatchInsertResult {
+  size_t num_rows = 0;
+  size_t num_inserted = 0;
+  std::vector<uint64_t> inserted_bits;  // bit r set = input row r was new
+  std::vector<size_t> rows;             // per input row: its row id
+
+  bool inserted(size_t r) const {
+    return ((inserted_bits[r >> 6] >> (r & 63)) & 1) != 0;
+  }
+  bool all_inserted() const { return num_inserted == num_rows; }
+};
+
 // Hash index over a subset of columns. Bucket keys are row positions
 // into the owning relation's arena — the projected key tuples are
 // never materialized; hashing and comparison read the arena in place.
@@ -72,6 +90,29 @@ class RelationIndex {
   /// `key` (one value per key column, in key-column order), or nullptr
   /// if none.
   const std::vector<size_t>* Lookup(const Relation& rel, TupleRef key) const;
+
+  /// Lookup with a precomputed key hash (must equal the FNV/HashCombine
+  /// hash Lookup derives from `key`) — the batch-probe path hashes all
+  /// keys in one columnar pass and resolves each here.
+  const std::vector<size_t>* LookupHashed(const Relation& rel, TupleRef key,
+                                          uint64_t hash) const;
+
+  /// Batch lookup over a columnar key block (`num_rows` keys of
+  /// key_columns().size() values each, row-major). Matching arena
+  /// positions are appended to `positions`; `offsets` is rewritten to
+  /// num_rows + 1 entries so key r's matches are
+  /// positions[offsets[r] .. offsets[r+1]). A per-key Lookup serializes
+  /// a chain of dependent cache misses (slot line, group record,
+  /// position buffer, arena row); this kernel stages the chain across
+  /// chunks of keys with software prefetching so the misses overlap —
+  /// the point of probing whole segments at once.
+  void LookupBlock(const Relation& rel, const Value* keys, size_t num_rows,
+                   std::vector<size_t>& offsets,
+                   std::vector<size_t>& positions) const;
+
+  /// Drops every entry but keeps the slot array's capacity (the
+  /// reusable-scratch idiom behind Relation::Clear).
+  void Clear();
 
  private:
   struct Group {
@@ -111,6 +152,27 @@ class Relation {
   /// Inserts a copy of `tuple` if not already present; returns true if
   /// inserted. The tuple's size must equal arity().
   bool Insert(TupleRef tuple) { return InsertRow(tuple).inserted; }
+
+  /// Batch insert kernel: inserts every row of a columnar block
+  /// (`num_rows` rows of arity() values each, row-major — the
+  /// TupleSegment wire layout). All row hashes are computed in one pass
+  /// over the contiguous block, arena and dedup-table capacity are
+  /// reserved once for the worst case, then rows are bulk-inserted with
+  /// no per-row growth checks. Intra-block duplicates dedup against
+  /// earlier rows of the same block. The block must not alias this
+  /// relation's own arena. The result is a reusable scratch valid until
+  /// the next batch insert on this relation; see BatchInsertResult for
+  /// the segment-order row-id guarantee lineage batching relies on.
+  const BatchInsertResult& InsertBlock(const Value* values, size_t num_rows);
+
+  /// InsertBlock over anything shaped like a msg TupleSegment (fields
+  /// `arity`, `num_rows`, contiguous row-major `values`). Templated so
+  /// relational/ stays independent of the msg/ layer.
+  template <typename Segment>
+  const BatchInsertResult& InsertSegment(const Segment& segment) {
+    CheckBlockArity(segment.arity);
+    return InsertBlock(segment.values.data(), segment.num_rows);
+  }
 
   bool Contains(TupleRef tuple) const;
 
@@ -190,6 +252,37 @@ class Relation {
   /// Positions of tuples matching `key` on the index's key columns.
   const std::vector<size_t>* Probe(size_t index_handle, TupleRef key) const;
 
+  /// Batch probe kernel: probes `index_handle` for every row of a
+  /// columnar key block (`num_rows` keys, each one value per index key
+  /// column in key-column order, row-major and contiguous — a
+  /// TupleSegment value block whose arity equals the key width). Key
+  /// hashes are computed in a single pass over the block; matching
+  /// arena positions are APPENDED to the caller-owned scratch
+  /// `positions`, and `offsets` is rewritten to `num_rows + 1` entries
+  /// so key r's matches are positions[offsets[r] .. offsets[r+1]).
+  /// Reusing the same scratch vectors across calls makes the steady
+  /// state allocation-free.
+  void ProbeBlock(size_t index_handle, const Value* keys, size_t num_rows,
+                  std::vector<size_t>& offsets,
+                  std::vector<size_t>& positions) const;
+
+  /// ProbeBlock over anything shaped like a msg TupleSegment whose rows
+  /// are the probe keys (segment.arity == the index's key width).
+  template <typename Segment>
+  void ProbeSegment(size_t index_handle, const Segment& segment,
+                    std::vector<size_t>& offsets,
+                    std::vector<size_t>& positions) const {
+    ProbeBlock(index_handle, segment.values.data(), segment.num_rows, offsets,
+               positions);
+  }
+
+  /// Removes every row but keeps capacity — arena, per-row hash vector,
+  /// dedup table, and index registrations all survive with their
+  /// allocations intact. The reusable-scratch idiom for per-request
+  /// dedup relations (EdbProcess). Lineage stays enabled; cleared rows'
+  /// ids are simply retired.
+  void Clear();
+
   /// Sorted copy of the tuples (for deterministic output/comparison).
   std::vector<Tuple> SortedTuples() const;
 
@@ -202,6 +295,9 @@ class Relation {
 
   bool RowEquals(size_t position, TupleRef tuple) const;
   void GrowDedup();
+  void RebuildDedup(size_t capacity);
+  void ReserveRows(size_t total_rows);
+  void CheckBlockArity(size_t block_arity) const;
 
   size_t arity_;
   size_t num_rows_ = 0;
@@ -211,6 +307,8 @@ class Relation {
   std::vector<RelationIndex> indexes_;
   TupleIdAllocator* lineage_ids_ = nullptr;  // null = lineage off
   std::vector<uint64_t> row_ids_;            // per-row id when enabled
+  std::vector<uint64_t> batch_hashes_;       // InsertBlock hash scratch
+  BatchInsertResult batch_result_;           // InsertBlock result scratch
 };
 
 }  // namespace mpqe

@@ -232,5 +232,155 @@ TEST_P(RelationStorageProperty, MatchesReferenceModel) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RelationStorageProperty,
                          ::testing::Range(uint64_t{0}, uint64_t{12}));
 
+// ---------------------------------------------------------------------------
+// Batch kernels (InsertSegment / ProbeBlock) against the row-at-a-time
+// primitives they vectorize.
+
+// Local stand-in for msg's TupleSegment: relational/ is layered below
+// msg/, so InsertSegment/ProbeSegment are templated on the shape
+// (fields arity / num_rows / contiguous row-major values).
+struct TestSegment {
+  size_t arity = 0;
+  size_t num_rows = 0;
+  std::vector<Value> values;
+
+  void Append(const Tuple& t) {
+    values.insert(values.end(), t.begin(), t.end());
+    ++num_rows;
+  }
+  TupleRef row(size_t r) const {
+    return TupleRef(values.data() + r * arity, arity);
+  }
+};
+
+class BatchKernelProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// InsertSegment must be observationally identical to an InsertRow
+// loop: same per-row accept/reject verdicts, same row ids in segment
+// order (the lineage-batching contract), same final arena. Segments
+// cover the full mix — random rows with frequent duplicates,
+// wholesale all-duplicate re-derivations, empty segments, and the
+// arity-0 edge case.
+TEST_P(BatchKernelProperty, InsertSegmentMatchesInsertRow) {
+  Rng rng(GetParam());
+  const size_t arity = static_cast<size_t>(rng.Range(0, 2));
+  Relation batch(arity);
+  Relation serial(arity);
+  std::vector<TestSegment> history;
+  for (int s = 0; s < 40; ++s) {
+    TestSegment seg;
+    seg.arity = arity;
+    if (s % 9 == 8 && !history.empty()) {
+      // Wholesale re-derivation: an earlier segment arrives again.
+      seg = history[static_cast<size_t>(
+          rng.Range(0, static_cast<int64_t>(history.size()) - 1))];
+    } else if (s % 9 != 7) {  // every ninth-ish segment stays empty
+      const int64_t rows = rng.Range(1, 96);
+      for (int64_t i = 0; i < rows; ++i) {
+        Tuple t;
+        for (size_t j = 0; j < arity; ++j) {
+          t.push_back(Value::Int(rng.Range(0, 40)));
+        }
+        seg.Append(t);
+      }
+    }
+    history.push_back(seg);
+
+    const BatchInsertResult& res = batch.InsertSegment(seg);
+    ASSERT_EQ(res.num_rows, seg.num_rows);
+    ASSERT_EQ(res.rows.size(), seg.num_rows);
+    size_t inserted = 0;
+    for (size_t r = 0; r < seg.num_rows; ++r) {
+      Relation::InsertResult ins = serial.InsertRow(seg.row(r));
+      EXPECT_EQ(res.inserted(r), ins.inserted) << "segment " << s
+                                               << " row " << r;
+      EXPECT_EQ(res.rows[r], ins.row) << "segment " << s << " row " << r;
+      if (ins.inserted) ++inserted;
+    }
+    EXPECT_EQ(res.num_inserted, inserted);
+    ASSERT_EQ(batch.size(), serial.size());
+  }
+  EXPECT_TRUE(batch == serial);
+  for (size_t pos = 0; pos < batch.size(); ++pos) {
+    EXPECT_EQ(batch.tuple(pos).ToTuple(), serial.tuple(pos).ToTuple());
+  }
+}
+
+// ProbeBlock must partition its positions output exactly as per-key
+// Probe calls would answer, including missing keys (empty ranges) and
+// a not-yet-populated index.
+TEST_P(BatchKernelProperty, ProbeBlockMatchesProbe) {
+  Rng rng(GetParam() + 1000);
+  Relation r(2);
+  const size_t idx = r.EnsureIndex({0});
+
+  std::vector<size_t> offsets;
+  std::vector<size_t> positions;
+  // Empty relation: every key must come back with an empty range.
+  {
+    std::vector<Value> keys{Value::Int(1), Value::Int(2)};
+    r.ProbeBlock(idx, keys.data(), keys.size(), offsets, positions);
+    ASSERT_EQ(offsets.size(), keys.size() + 1);
+    EXPECT_TRUE(positions.empty());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(offsets[i], offsets[i + 1]);
+    }
+  }
+
+  const int64_t rows = rng.Range(50, 800);
+  for (int64_t i = 0; i < rows; ++i) {
+    r.Insert(T2(rng.Range(0, 30), rng.Range(0, 100)));
+  }
+  // Key block mixing present and absent keys.
+  const size_t num_keys = 200;
+  std::vector<Value> keys;
+  keys.reserve(num_keys);
+  for (size_t i = 0; i < num_keys; ++i) {
+    keys.push_back(Value::Int(rng.Range(0, 40)));
+  }
+  positions.clear();
+  r.ProbeBlock(idx, keys.data(), num_keys, offsets, positions);
+  ASSERT_EQ(offsets.size(), num_keys + 1);
+  for (size_t i = 0; i < num_keys; ++i) {
+    Tuple key{keys[i]};
+    const std::vector<size_t>* hits = r.Probe(idx, key);
+    std::vector<size_t> expected = hits ? *hits : std::vector<size_t>{};
+    ASSERT_LE(offsets[i], offsets[i + 1]);
+    ASSERT_LE(offsets[i + 1], positions.size());
+    std::vector<size_t> got(positions.begin() + offsets[i],
+                            positions.begin() + offsets[i + 1]);
+    EXPECT_EQ(got, expected) << "key " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchKernelProperty,
+                         ::testing::Range(uint64_t{0}, uint64_t{12}));
+
+TEST(RelationStorageTest, ClearKeepsBatchScaffoldingUsable) {
+  // Clear drops rows but keeps capacity, dedup slots, and index
+  // registrations — the reusable-scratch idiom batch consumers
+  // (EdbProcess request dedup) rely on between requests.
+  Relation r(2);
+  const size_t idx = r.EnsureIndex({0});
+  TestSegment seg;
+  seg.arity = 2;
+  for (int64_t i = 0; i < 300; ++i) seg.Append(T2(i % 10, i));
+  ASSERT_EQ(r.InsertSegment(seg).num_inserted, 300u);
+  r.Clear();
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_FALSE(r.Contains(T2(0, 0)));
+  const std::vector<size_t>* hits = r.Probe(idx, Tuple{Value::Int(0)});
+  EXPECT_TRUE(hits == nullptr || hits->empty());
+  // Re-absorbing the same segment after Clear must accept every row
+  // again and keep dedup exact within the new epoch.
+  const BatchInsertResult& res = r.InsertSegment(seg);
+  EXPECT_EQ(res.num_inserted, 300u);
+  EXPECT_EQ(r.InsertSegment(seg).num_inserted, 0u);
+  EXPECT_EQ(r.size(), 300u);
+  hits = r.Probe(idx, Tuple{Value::Int(3)});
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->size(), 30u);
+}
+
 }  // namespace
 }  // namespace mpqe

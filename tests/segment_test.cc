@@ -268,6 +268,9 @@ TEST(SegmentTest, SegmentsRespectTheRowCap) {
   SegmentRecorder recorder;
   EvaluationOptions options;
   options.segment_max_rows = 8;
+  // Pin the adaptive cap: this test asserts the exact fixed cap, so
+  // disable growth toward segment_max_rows_limit.
+  options.segment_max_rows_limit = 0;
   options.observers.push_back(&recorder);
   auto result = Evaluate(program, db, options);
   ASSERT_TRUE(result.ok()) << result.status();
@@ -286,6 +289,137 @@ TEST(SegmentTest, RowCapMustBePositive) {
   ASSERT_TRUE(ParseInto(workload::LinearTcProgram(0), program, db).ok());
   EvaluationOptions options;
   options.segment_max_rows = 0;
+  auto result = Evaluate(program, db, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized-vs-per-row equivalence (batch kernels on/off)
+
+TEST(SegmentTest, VectorizedMatchesRowAtATimeMatrix) {
+  // Nonlinear TC on a cycle re-derives heavily, so every arm of the
+  // matrix exercises real duplicate traffic. The vectorized batch
+  // kernels (InsertSegment absorption, batch child-answer dedup) must
+  // reproduce the row-at-a-time path's answer set exactly, and — on
+  // the deterministic scheduler, where both paths see the identical
+  // message stream — the identical duplicate-drop count.
+  Relation truth{0};
+  {
+    Database db;
+    ASSERT_TRUE(workload::MakeCycle(db, "edge", 12).ok());
+    Program program;
+    ASSERT_TRUE(ParseInto(workload::NonlinearTcProgram(0), program, db).ok());
+    auto t = SemiNaiveBottomUp(program, db);
+    ASSERT_TRUE(t.ok());
+    truth = t->goal;
+  }
+  auto eval = [](bool vectorized, SchedulerKind scheduler, bool lineage) {
+    Database db;
+    EXPECT_TRUE(workload::MakeCycle(db, "edge", 12).ok());
+    Program program;
+    EXPECT_TRUE(ParseInto(workload::NonlinearTcProgram(0), program, db).ok());
+    EvaluationOptions options;
+    options.vectorized_segments = vectorized;
+    options.scheduler = scheduler;
+    options.seed = 23;
+    options.workers = 3;
+    options.lineage = lineage;
+    auto result = Evaluate(program, db, options);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return *std::move(result);
+  };
+  for (SchedulerKind scheduler :
+       {SchedulerKind::kDeterministic, SchedulerKind::kThreaded}) {
+    for (bool lineage : {false, true}) {
+      EvaluationResult row = eval(false, scheduler, lineage);
+      EvaluationResult vec = eval(true, scheduler, lineage);
+      std::string arm = std::string("scheduler=") +
+                        SchedulerKindToName(scheduler) +
+                        " lineage=" + (lineage ? "on" : "off");
+      EXPECT_TRUE(row.answers == truth) << arm;
+      EXPECT_TRUE(vec.answers == truth) << arm;
+      EXPECT_TRUE(row.ended_by_protocol) << arm;
+      EXPECT_TRUE(vec.ended_by_protocol) << arm;
+      if (scheduler == SchedulerKind::kDeterministic) {
+        EXPECT_EQ(vec.counters.duplicate_drops,
+                  row.counters.duplicate_drops)
+            << arm;
+      }
+      if (lineage) {
+        ASSERT_NE(row.lineage, nullptr) << arm;
+        ASSERT_NE(vec.lineage, nullptr) << arm;
+        // One record per distinct tuple, whichever path derived it.
+        EXPECT_EQ(vec.lineage->records.size(), row.lineage->records.size())
+            << arm;
+      }
+    }
+  }
+}
+
+TEST(SegmentTest, VectorizedProofTreesMatchRowAtATime) {
+  // Chain TC from a fixed start: unique derivations, so proof trees
+  // must come out byte-identical (modulo ids) whichever kernel built
+  // them, under both schedulers.
+  auto eval = [](bool vectorized, SchedulerKind scheduler) {
+    Database db;
+    EXPECT_TRUE(workload::MakeChain(db, "edge", 16).ok());
+    Program program;
+    EXPECT_TRUE(ParseInto(workload::LinearTcProgram(0), program, db).ok());
+    EvaluationOptions options;
+    options.vectorized_segments = vectorized;
+    options.scheduler = scheduler;
+    options.workers = 3;
+    options.lineage = true;
+    auto result = Evaluate(program, db, options);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return *std::move(result);
+  };
+  EvaluationResult seed = eval(false, SchedulerKind::kDeterministic);
+  ASSERT_NE(seed.lineage, nullptr);
+  auto seed_proofs = ProofsByAnswer(seed);
+  ASSERT_EQ(seed_proofs.size(), seed.answers.size());
+  for (SchedulerKind scheduler :
+       {SchedulerKind::kDeterministic, SchedulerKind::kThreaded}) {
+    EvaluationResult vec = eval(true, scheduler);
+    ASSERT_NE(vec.lineage, nullptr);
+    EXPECT_TRUE(vec.answers == seed.answers);
+    EXPECT_EQ(ProofsByAnswer(vec), seed_proofs)
+        << "scheduler=" << SchedulerKindToName(scheduler);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive segment sizing
+
+TEST(SegmentTest, AdaptiveCapGrowsTowardLimit) {
+  // Nonlinear TC on a 16-cycle ships long answer runs. With a tiny
+  // starting cap and a higher limit, consecutive full seals must
+  // double the per-destination cap past the start, and no segment may
+  // ever exceed the limit.
+  Database db;
+  ASSERT_TRUE(workload::MakeCycle(db, "edge", 16).ok());
+  Program program;
+  ASSERT_TRUE(ParseInto(workload::NonlinearTcProgram(0), program, db).ok());
+  SegmentRecorder recorder;
+  EvaluationOptions options;
+  options.segment_max_rows = 4;
+  options.segment_max_rows_limit = 32;
+  options.observers.push_back(&recorder);
+  auto result = Evaluate(program, db, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(recorder.max_rows(), 4u);
+  EXPECT_LE(recorder.max_rows(), 32u);
+}
+
+TEST(SegmentTest, AdaptiveCapRejectsLimitBelowCap) {
+  Database db;
+  ASSERT_TRUE(workload::MakeChain(db, "edge", 4).ok());
+  Program program;
+  ASSERT_TRUE(ParseInto(workload::LinearTcProgram(0), program, db).ok());
+  EvaluationOptions options;
+  options.segment_max_rows = 64;
+  options.segment_max_rows_limit = 8;  // nonzero but below the cap
   auto result = Evaluate(program, db, options);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
