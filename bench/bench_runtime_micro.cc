@@ -12,6 +12,7 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "msg/network.h"
+#include "obs/flight_recorder.h"
 #include "obs/lineage.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -347,6 +348,38 @@ void BM_SegmentHopLineage(benchmark::State& state) {
                           static_cast<int64_t>(kSegmentRows));
 }
 BENCHMARK(BM_SegmentHopLineage);
+
+// The flight-recorder-overhead guard: the same dedup hop as
+// BM_SegmentHopDedup, but with a FlightSessionObserver attached — the
+// exact always-on tap every engine session runs with when
+// EngineOptions::flight_recorder is on (the default). Each event is a
+// clock read plus a seqlock-published 40-byte record into a per-thread
+// ring. bench_guard.py --flight asserts this stays within 1.05x of
+// BM_SegmentHopDedup, keeping the black box cheap enough to never turn
+// off. The recorder lives outside the timing loop like the engine's
+// does (one recorder per Engine, not per session).
+void BM_SegmentHopFlight(benchmark::State& state) {
+  const int64_t kHops = 1000;
+  FlightRecorder recorder;
+  uint64_t query_id = 0;
+  for (auto _ : state) {
+    Network net;
+    FlightSessionObserver observer(&recorder, ++query_id);
+    net.AddObserver(&observer);
+    net.AddProcess(
+        std::make_unique<SegmentDedupHop>(1, nullptr, &net.observers()));
+    net.AddProcess(
+        std::make_unique<SegmentDedupHop>(0, nullptr, &net.observers()));
+    net.Start();
+    net.Send(kNoProcess, 0, MakeTupleSegment(MakeSeedSegment(kHops)));
+    auto run = net.RunDeterministic();
+    MPQE_CHECK(run.ok() && run->quiescent);
+  }
+  MPQE_CHECK(recorder.recorded() > 0);
+  state.SetItemsProcessed(state.iterations() * (kHops + 1) *
+                          static_cast<int64_t>(kSegmentRows));
+}
+BENCHMARK(BM_SegmentHopFlight);
 
 // ---------------------------------------------------------------------------
 // Vectorized segment kernels (PR 9): row-at-a-time vs. batch absorption

@@ -54,6 +54,20 @@
 //   --log-level=<l>    engine log level (debug|info|warning|error|off;
 //                      also settable via MPQE_LOG_LEVEL)
 //   --progress-interval-ms=<n>  threaded-scheduler stall heartbeat
+//   --watchdog-ms=<n>  stall-watchdog threshold for the threaded
+//                      scheduler: no delivery progress for n ms
+//                      snapshots a flight-recorder diagnostic bundle
+//                      (0 keeps the engine default of 30s)
+//   --flight-dump=<f>  after the run, write the engine's flight dump
+//                      (the latest watchdog bundle, or a manual
+//                      snapshot of the black box) as mpqe-flightdump-v1
+//                      JSON to <f> (validate with scripts/check_trace.py
+//                      --flight)
+//   --park-scc         fault injection: park one member of the first
+//                      nontrivial SCC for --park-ms on its first work
+//                      message (wedges the SCC; pairs with
+//                      --watchdog-ms to demo/test the watchdog)
+//   --park-ms=<n>      park duration (default 1000)
 
 #include <fstream>
 #include <iostream>
@@ -102,6 +116,10 @@ int main(int argc, char** argv) {
   std::string lineage_out;
   std::string log_level;
   int progress_interval_ms = 0;
+  int watchdog_ms = 0;
+  std::string flight_dump_out;
+  bool park_scc = false;
+  int park_ms = 1000;
   std::vector<std::pair<std::string, std::string>> loads;
 
   for (int i = 1; i < argc; ++i) {
@@ -158,6 +176,16 @@ int main(int argc, char** argv) {
       log_level = value("--log-level=");
     } else if (arg.rfind("--progress-interval-ms=", 0) == 0) {
       progress_interval_ms = std::stoi(value("--progress-interval-ms="));
+    } else if (arg.rfind("--watchdog-ms=", 0) == 0) {
+      watchdog_ms = std::stoi(value("--watchdog-ms="));
+      if (watchdog_ms < 0) return Fail("--watchdog-ms must be >= 0");
+    } else if (arg.rfind("--flight-dump=", 0) == 0) {
+      flight_dump_out = value("--flight-dump=");
+    } else if (arg == "--park-scc") {
+      park_scc = true;
+    } else if (arg.rfind("--park-ms=", 0) == 0) {
+      park_ms = std::stoi(value("--park-ms="));
+      if (park_ms < 0) return Fail("--park-ms must be >= 0");
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       return Fail("unknown option: " + arg);
     } else {
@@ -239,6 +267,31 @@ int main(int argc, char** argv) {
   session_options.lineage = lineage;
   session_options.log_level = log_level;
   session_options.progress_interval_ms = progress_interval_ms;
+  session_options.watchdog_stall_ms = watchdog_ms;
+  if (park_scc) {
+    // Park a member of the first nontrivial SCC — a non-leader where
+    // one exists, so the wedge shows up as protocol state at the
+    // leader rather than a parked leader.
+    const mpqe::RuleGoalGraph& graph = (*plan)->graph();
+    mpqe::NodeId pick = mpqe::kNoNode;
+    for (mpqe::NodeId id = 0; id < static_cast<mpqe::NodeId>(graph.size());
+         ++id) {
+      const mpqe::GraphNode& n = graph.node(id);
+      if (n.scc_is_trivial) continue;
+      if (pick == mpqe::kNoNode) pick = id;
+      if (!n.is_leader) {
+        pick = id;
+        break;
+      }
+    }
+    if (pick == mpqe::kNoNode) {
+      return Fail("--park-scc: the plan has no nontrivial SCC to park");
+    }
+    session_options.fault_park_node = pick;
+    session_options.fault_park_ms = park_ms;
+    std::cerr << "parking node " << pick << " (scc "
+              << graph.node(pick).scc_id << ") for " << park_ms << "ms\n";
+  }
   auto scheduler_kind = mpqe::SchedulerKindFromName(scheduler);
   if (!scheduler_kind.ok()) return Fail(scheduler_kind.status().ToString());
   session_options.scheduler = *scheduler_kind;
@@ -319,6 +372,13 @@ int main(int argc, char** argv) {
     if (engine.telemetry() != nullptr) {
       std::cerr << "query log: " << engine.telemetry()->QueryLogJson();
     }
+  }
+  if (!flight_dump_out.empty()) {
+    std::ofstream out(flight_dump_out);
+    if (!out) return Fail("cannot write " + flight_dump_out);
+    out << engine.FlightDumpJson();
+    std::cerr << "flight dump written to " << flight_dump_out << " ("
+              << engine.watchdog_dumps() << " watchdog dump(s))\n";
   }
   if (!metrics_out.empty()) {
     if (engine.telemetry() == nullptr) {

@@ -4,7 +4,13 @@
 # BENCH_obs.json (the observability overhead guards: profiler-on vs.
 # profiler-off, and segmented lineage-on vs. lineage-off).
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [--append-history] [output.json]
+#
+# With --append-history, the BM_SegmentHop* medians plus the current
+# git SHA and date are appended as one JSON line to BENCH_history.jsonl
+# next to the output file — a per-commit benchmark ledger. CI feeds the
+# previous entry to `bench_guard.py --history` as the regression
+# baseline.
 #
 # Optionally set MPQE_BASELINE_MICRO / MPQE_BASELINE_DEDUP to prior
 # google-benchmark JSON files to embed before/after speedup ratios.
@@ -21,7 +27,16 @@ set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${repo}/build-release"
-out="${1:-${repo}/BENCH_relational.json}"
+
+append_history=0
+out=""
+for arg in "$@"; do
+  case "$arg" in
+    --append-history) append_history=1 ;;
+    *) out="$arg" ;;
+  esac
+done
+out="${out:-${repo}/BENCH_relational.json}"
 
 cmake_args=(-DCMAKE_BUILD_TYPE=Release)
 if [[ -n "${MPQE_BENCHMARK_SRC:-}" ]]; then
@@ -57,13 +72,14 @@ pair_json="${build}/bench_segment_pair.json"
 "${build}/bench/bench_duplicate_elimination" \
   --benchmark_out="${dedup_json}" --benchmark_out_format=json \
   --benchmark_repetitions=1 >&2
-# The lineage guard ratio is recorded from the MEDIAN of repeated runs
-# of the segment-hop pair — a single repetition is too noisy to sit
-# next to a hard ceiling.
+# The lineage and flight-recorder guard ratios are recorded from the
+# MEDIAN of repeated runs of the segment-hop trio — a single repetition
+# is too noisy to sit next to a hard ceiling.
 "${build}/bench/bench_runtime_micro" \
-  --benchmark_filter='BM_SegmentHop(Dedup|Lineage)$' \
+  --benchmark_filter='BM_SegmentHop(Dedup|Lineage|Flight)$' \
   --benchmark_out="${pair_json}" --benchmark_out_format=json \
   --benchmark_repetitions=5 >&2
+python3 "${repo}/scripts/bench_guard.py" --flight "${pair_json}"
 
 # The vectorized-kernel floor: medians of repeated runs of the
 # absorb/join pairs. bench_guard.py --absorb (also wired into CI)
@@ -234,6 +250,20 @@ if off and on:
         obs["per_tuple_lineage_on"] = lineage_on
         obs["per_tuple_lineage_overhead_ratio"] = round(
             lineage_on["real_time_ns"] / off["real_time_ns"], 3)
+    seg_flight = pair.get("BM_SegmentHopFlight")
+    if seg_off and seg_flight:
+        # The always-on black box: a FlightSessionObserver feeding the
+        # lock-free ring recorder vs. the zero-observer fast path.
+        # bench_guard.py --flight (CI) holds this at 1.05.
+        fratio = seg_flight["real_time_ns"] / seg_off["real_time_ns"]
+        obs["flight_off"] = seg_off
+        obs["flight_on"] = seg_flight
+        obs["flight_overhead_ratio"] = round(fratio, 3)
+        obs["flight_overhead_guard"] = 1.05
+        if fratio > obs["flight_overhead_guard"]:
+            sys.exit(
+                f"flight-recorder overhead ratio {fratio:.3f} exceeds "
+                f"guard {obs['flight_overhead_guard']}")
     if seg_off and seg_on:
         ratio = seg_on["real_time_ns"] / seg_off["real_time_ns"]
         obs["lineage_off"] = seg_off
@@ -253,3 +283,32 @@ if off and on:
         f.write("\n")
     print(f"wrote {obs_path}")
 EOF
+
+if [[ "${append_history}" == "1" ]]; then
+  history="$(dirname "$out")/BENCH_history.jsonl"
+  sha="$(git -C "${repo}" rev-parse HEAD 2>/dev/null || echo unknown)"
+  MPQE_HISTORY_SHA="${sha}" \
+  python3 - "${history}" "${pair_json}" <<'EOF'
+import datetime, json, os, sys
+
+history_path, pair_path = sys.argv[1:3]
+with open(pair_path) as f:
+    doc = json.load(f)
+medians = {}
+for b in doc.get("benchmarks", []):
+    if b.get("aggregate_name") == "median":
+        medians[b["run_name"]] = round(b["real_time"], 1)
+if not medians:
+    sys.exit(f"no medians in {pair_path}; was it run with repetitions?")
+entry = {
+    "sha": os.environ.get("MPQE_HISTORY_SHA", "unknown"),
+    "date": datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds"),
+    "medians_ns": medians,
+}
+with open(history_path, "a") as f:
+    f.write(json.dumps(entry, sort_keys=True) + "\n")
+print(f"appended {entry['sha'][:12]} to {history_path} "
+      f"({len(medians)} median(s))")
+EOF
+fi

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Fail if a recorded performance guard regresses.
 
-Five modes:
+Seven modes:
 
 Lineage overhead (default):
 
@@ -22,6 +22,30 @@ Telemetry end-to-end qps:
 Vectorized segment kernel speedup:
 
     bench_guard.py --absorb fresh_micro.json [min_speedup]
+
+Flight-recorder hop overhead:
+
+    bench_guard.py --flight fresh_micro.json [max_ratio]
+
+History regression (against the previous BENCH_history.jsonl entry):
+
+    bench_guard.py --history BENCH_history.jsonl fresh_micro.json [max_ratio]
+
+The --flight mode reads fresh google-benchmark output containing the
+segment-hop pair BM_SegmentHopDedup (no observers) and
+BM_SegmentHopFlight (a FlightSessionObserver feeding the lock-free
+flight recorder — exactly the always-on tap every engine session runs
+with) and fails if flight_on / flight_off exceeds max_ratio (default
+1.05): the black box must cost at most 5% per hop, or it stops being
+an always-on recorder.
+
+The --history mode reads the JSONL benchmark history appended by
+`scripts/bench.sh --append-history` (one object per commit: sha, date,
+and the BM_SegmentHop* medians in ns) plus a fresh micro run, and
+fails if any benchmark present in both regressed by more than
+max_ratio (default 1.25 — absolute nanoseconds move with machine load,
+so this is a coarse tripwire, not the ratio guards above). With fewer
+than one prior entry the check passes vacuously.
 
 The --absorb mode reads fresh google-benchmark output containing the
 vectorized-kernel pairs BM_SegmentAbsorb/{0,1} and BM_SegmentJoin/{0,1}
@@ -190,6 +214,65 @@ def check_absorb(fresh_path, min_speedup):
     sys.exit(0)
 
 
+def check_flight(fresh_path, max_ratio):
+    rows = micro_rows(fresh_path)
+    off = rows.get("BM_SegmentHopDedup")
+    on = rows.get("BM_SegmentHopFlight")
+    if not off or not on:
+        fail(f"{fresh_path} lacks BM_SegmentHopDedup/BM_SegmentHopFlight "
+             f"rows (got {sorted(rows)})")
+    ratio = on / off
+    if ratio > max_ratio:
+        fail(f"flight-recorder hop overhead ratio {ratio:.3f} exceeds guard "
+             f"{max_ratio} (off={off:.0f} ns, on={on:.0f} ns) — the black "
+             f"box must stay cheap enough to leave on")
+    print(f"bench_guard: OK: flight-recorder hop overhead ratio {ratio:.3f} "
+          f"<= guard {max_ratio}")
+    sys.exit(0)
+
+
+def check_history(history_path, fresh_path, max_ratio):
+    try:
+        with open(history_path, "r", encoding="utf-8") as f:
+            lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    except OSError as e:
+        fail(f"cannot load {history_path}: {e}")
+    if not lines:
+        print("bench_guard: OK: history is empty, nothing to compare against")
+        sys.exit(0)
+    try:
+        baseline = json.loads(lines[-1])
+    except json.JSONDecodeError as e:
+        fail(f"{history_path} last line is not JSON: {e}")
+    medians = baseline.get("medians_ns")
+    if not isinstance(medians, dict) or not medians:
+        fail(f"{history_path} last entry lacks a medians_ns object")
+
+    rows = micro_rows(fresh_path)
+    compared = regressed = 0
+    for name, base in sorted(medians.items()):
+        fresh = rows.get(name)
+        if fresh is None or not isinstance(base, (int, float)) or base <= 0:
+            continue
+        compared += 1
+        ratio = fresh / base
+        marker = "OK"
+        if ratio > max_ratio:
+            regressed += 1
+            marker = "REGRESSED"
+        print(f"bench_guard: {marker}: {name} {ratio:.3f}x of "
+              f"{baseline.get('sha', '?')[:12]} "
+              f"(base={base:.0f} ns, fresh={fresh:.0f} ns)")
+    if compared == 0:
+        fail(f"no benchmark appears in both {history_path} and {fresh_path}")
+    if regressed:
+        fail(f"{regressed}/{compared} benchmark(s) regressed past "
+             f"{max_ratio}x the previous history entry")
+    print(f"bench_guard: OK: {compared} benchmark(s) within {max_ratio}x of "
+          f"the previous history entry ({baseline.get('sha', '?')[:12]})")
+    sys.exit(0)
+
+
 def main():
     if len(sys.argv) >= 2 and sys.argv[1] == "--prepare":
         if len(sys.argv) not in (3, 4):
@@ -211,6 +294,20 @@ def main():
             sys.exit(2)
         min_speedup = float(sys.argv[3]) if len(sys.argv) == 4 else 2.0
         check_absorb(sys.argv[2], min_speedup)
+        return
+    if len(sys.argv) >= 2 and sys.argv[1] == "--flight":
+        if len(sys.argv) not in (3, 4):
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        max_ratio = float(sys.argv[3]) if len(sys.argv) == 4 else 1.05
+        check_flight(sys.argv[2], max_ratio)
+        return
+    if len(sys.argv) >= 2 and sys.argv[1] == "--history":
+        if len(sys.argv) not in (4, 5):
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        max_ratio = float(sys.argv[4]) if len(sys.argv) == 5 else 1.25
+        check_history(sys.argv[2], sys.argv[3], max_ratio)
         return
     if len(sys.argv) >= 2 and sys.argv[1] == "--qps":
         if len(sys.argv) not in (4, 5):

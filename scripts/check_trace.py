@@ -6,6 +6,9 @@ Usage: check_trace.py trace.json            # Chrome trace (TraceExporter)
        check_trace.py --lineage lineage.json  # mpqe-lineage-v1 (provenance)
        check_trace.py --prometheus scrape.txt [--queries querylog.json]
                                               # /metrics exposition + query log
+       check_trace.py --flight dump.json [--expect-stall]
+                                              # mpqe-flightdump-v1 (flight
+                                              # recorder / watchdog bundle)
 
 Trace checks (stdlib only, exit 0 = valid, 1 = invalid):
   * the file parses as JSON and has a non-empty "traceEvents" list;
@@ -64,6 +67,23 @@ served by the engine's GET /metrics and mpqe_query --metrics-out):
     scrape: query ids are unique and >= 1, and the log's completed
     total equals the scrape's mpqe_engine_session_latency_ns_count —
     every completed session shows up in both surfaces.
+
+Flight dump checks (--flight, schema "mpqe-flightdump-v1" as written
+by the stall watchdog, GET /debug/flight, and mpqe_query
+--flight-dump):
+  * top-level schema marker, reason in {stall, manual}, and the
+    scalar block (query_id, stalled_ms, delivered, in_flight,
+    stuck_scc) all present and well-typed;
+  * events are time-ordered, every event has a known type name, and
+    rows/aux are non-negative;
+  * scc rows are unique by id; nontrivial sccs have members >= 1 and
+    carry the Fig. 2 protocol block (wave, waiting_for, ...);
+  * node rows are unique by id, reference known sccs, and carry
+    labels;
+  * a "stall" dump names a stuck_scc that resolves to a nontrivial
+    scc row holding queued work, and carries at least one event;
+  * with --expect-stall, reason must be "stall" (the CI stall-
+    injection smoke asserts the watchdog actually fired).
 """
 
 import json
@@ -461,6 +481,117 @@ def check_prometheus(scrape_path, queries_path):
     sys.exit(0)
 
 
+FLIGHT_EVENT_TYPES = {
+    "session_start", "session_end", "send", "deliver", "node_fire",
+    "phase", "termination", "stall", "watchdog_dump", "plan_prepare",
+}
+
+
+def check_flight(path, expect_stall):
+    dump = load(path)
+    if dump.get("schema") != "mpqe-flightdump-v1":
+        fail(f'schema is {dump.get("schema")!r}, '
+             f'expected "mpqe-flightdump-v1"')
+    reason = dump.get("reason")
+    if reason not in ("stall", "manual"):
+        fail(f"reason is {reason!r}, expected 'stall' or 'manual'")
+    if expect_stall and reason != "stall":
+        fail(f"--expect-stall but reason is {reason!r} "
+             f"(the watchdog never fired)")
+    for key in ("query_id", "delivered", "in_flight"):
+        v = dump.get(key)
+        if not isinstance(v, int) or v < 0:
+            fail(f"{key} is {v!r}, expected a non-negative int")
+    for key in ("stalled_ms", "stuck_scc"):
+        if not isinstance(dump.get(key), int):
+            fail(f"{key} is {dump.get(key)!r}, expected an int")
+    for key in ("sccs", "nodes", "events"):
+        if not isinstance(dump.get(key), list):
+            fail(f'top-level "{key}" missing or not a list')
+
+    sccs = {}
+    for i, s in enumerate(dump["sccs"]):
+        sid = s.get("scc")
+        if not isinstance(sid, int):
+            fail(f"scc row {i} has bad id {sid!r}")
+        if sid in sccs:
+            fail(f"duplicate scc row {sid}")
+        sccs[sid] = s
+        if not isinstance(s.get("queue_depth"), int) or s["queue_depth"] < 0:
+            fail(f"scc {sid} queue_depth {s.get('queue_depth')!r} bad")
+        if s.get("nontrivial"):
+            if not isinstance(s.get("members"), int) or s["members"] < 1:
+                fail(f"nontrivial scc {sid} has members "
+                     f"{s.get('members')!r}, expected >= 1")
+            for key in ("wave", "waves_started", "waiting_for", "idleness"):
+                if not isinstance(s.get(key), int):
+                    fail(f"nontrivial scc {sid} lacks protocol field {key}")
+            for key in ("wave_active", "all_confirmed", "open_work",
+                        "notice_pending"):
+                if not isinstance(s.get(key), bool):
+                    fail(f"nontrivial scc {sid} lacks protocol flag {key}")
+
+    node_ids = set()
+    for i, n in enumerate(dump["nodes"]):
+        nid = n.get("node")
+        if not isinstance(nid, int) or nid < 0:
+            fail(f"node row {i} has bad id {nid!r}")
+        if nid in node_ids:
+            fail(f"duplicate node row {nid}")
+        node_ids.add(nid)
+        if not isinstance(n.get("label"), str) or not n["label"]:
+            fail(f"node {nid} lacks a label")
+        if n.get("scc") not in sccs:
+            fail(f"node {nid} references unknown scc {n.get('scc')!r}")
+        for key in ("queue_depth", "fires", "sends", "deliveries"):
+            v = n.get(key)
+            if not isinstance(v, int) or v < 0:
+                fail(f"node {nid}.{key} is {v!r}, expected non-negative int")
+
+    prev_ts = -1
+    for i, e in enumerate(dump["events"]):
+        if e.get("type") not in FLIGHT_EVENT_TYPES:
+            fail(f"event {i} has unknown type {e.get('type')!r}")
+        ts = e.get("ts_ns")
+        if not isinstance(ts, int) or ts < 0:
+            fail(f"event {i} has bad ts_ns {ts!r}")
+        if ts < prev_ts:
+            fail(f"event {i} ts_ns {ts} precedes event {i - 1} ({prev_ts}) "
+                 f"— events not time-ordered")
+        prev_ts = ts
+        for key in ("rows", "aux"):
+            v = e.get(key)
+            if not isinstance(v, int) or v < 0:
+                fail(f"event {i}.{key} is {v!r}, expected non-negative int")
+
+    if reason == "stall":
+        if not dump["events"]:
+            fail("stall dump retains no events — the black box is empty")
+        stuck = dump["stuck_scc"]
+        if stuck < 0:
+            fail("stall dump does not name a stuck_scc")
+        row = sccs.get(stuck)
+        if row is None:
+            fail(f"stuck_scc {stuck} has no scc row")
+        if not row.get("nontrivial"):
+            fail(f"stuck_scc {stuck} is trivial — cannot wedge the Fig. 2 "
+                 f"protocol")
+        stuck_nodes = [n for n in dump["nodes"] if n.get("scc") == stuck]
+        if not stuck_nodes:
+            fail(f"stuck_scc {stuck} has no node rows")
+        queued = row["queue_depth"] + sum(
+            n["queue_depth"] for n in stuck_nodes)
+        if queued == 0:
+            fail(f"stuck_scc {stuck} holds no queued work — nothing is "
+                 f"actually wedged")
+
+    print(f"check_trace: OK: flight dump ({reason}) for query "
+          f"{dump['query_id']}: {len(dump['events'])} event(s), "
+          f"{len(sccs)} scc row(s), {len(node_ids)} node row(s), "
+          f"stuck_scc={dump['stuck_scc']}")
+    sys.exit(0)
+
+
 def main():
     args = sys.argv[1:]
     if args and args[0] == "--profile":
@@ -483,6 +614,14 @@ def main():
             print(__doc__, file=sys.stderr)
             sys.exit(2)
         check_prometheus(args[1], queries_path)
+        return
+    if args and args[0] == "--flight":
+        expect_stall = "--expect-stall" in args[2:]
+        rest = [a for a in args[1:] if a != "--expect-stall"]
+        if len(rest) != 1:
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        check_flight(rest[0], expect_stall)
         return
     if len(args) != 1:
         print(__doc__, file=sys.stderr)

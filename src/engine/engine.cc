@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "datalog/parser.h"
 #include "obs/prometheus.h"
@@ -52,6 +54,16 @@ Status EngineOptions::Validate() const {
     return InvalidArgumentError(
         "stats_port: the stats endpoint serves telemetry; enable "
         "EngineOptions::telemetry");
+  }
+  if (watchdog_stall_ms < 0) {
+    return InvalidArgumentError(
+        StrCat("watchdog_stall_ms: must be >= 0, got ", watchdog_stall_ms));
+  }
+  if (flight_recorder && (flight_recorder_options.ring_capacity < 1 ||
+                          flight_recorder_options.ring_count < 1)) {
+    return InvalidArgumentError(
+        "flight_recorder_options: ring_capacity and ring_count must be "
+        ">= 1");
   }
   return Status::Ok();
 }
@@ -196,6 +208,14 @@ StatusOr<EvaluationResult> QuerySession::Run() {
   snapshot.EndSession(exclusive);
   engine_->RecordSessionLatency(latency_ns_);
 
+  if (options_.flight != nullptr) {
+    const uint64_t rows = result.ok() ? result.value().answers.size() : 0;
+    options_.flight->RecordEvent(
+        FlightEventType::kSessionEnd, options_.query_id,
+        result.ok() ? 1 : 0, -1,
+        static_cast<uint32_t>(std::min<uint64_t>(rows, UINT32_MAX)));
+  }
+
   if (telemetry != nullptr) {
     QueryLogEntry entry;
     entry.query_id = options_.query_id;
@@ -227,6 +247,11 @@ Engine::Engine(EngineOptions options)
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 
+  if (options_.flight_recorder) {
+    flight_ =
+        std::make_unique<FlightRecorder>(options_.flight_recorder_options);
+  }
+
   if (options_.telemetry) {
     telemetry_ = std::make_unique<EngineTelemetry>(options_.telemetry_options);
     // Pre-register the cumulative families so a scrape sees them (at
@@ -248,6 +273,8 @@ Engine::Engine(EngineOptions options)
     registry.GetCounter("msg/segment_rows");
     registry.GetCounter("node/fires");
     registry.GetCounter("dedup/hits");
+    registry.GetCounter("watchdog/stalls");
+    registry.GetCounter("watchdog/dumps");
     telemetry_->StartSampling(
         [this](MetricsRegistry& r) { SampleEngineGauges(r); });
 
@@ -267,6 +294,8 @@ Engine::Engine(EngineOptions options)
       });
       stats_server_->AddRoute("/healthz", "text/plain",
                               [] { return std::string("ok\n"); });
+      stats_server_->AddRoute("/debug/flight", "application/json",
+                              [this] { return FlightDumpJson(); });
       stats_server_status_ = stats_server_->Start();
       if (!stats_server_status_.ok()) stats_server_.reset();
     }
@@ -401,6 +430,9 @@ StatusOr<std::shared_ptr<const PreparedQuery>> Engine::PrepareImpl(
             plan_cache_.Lookup(raw_key, /*count_miss=*/false)) {
       record_prepare_ns();
       count("plan_cache/hit");
+      if (flight_) {
+        flight_->RecordEvent(FlightEventType::kPlanPrepare, 0, /*a=*/1);
+      }
       return plan;
     }
   }
@@ -432,6 +464,10 @@ StatusOr<std::shared_ptr<const PreparedQuery>> Engine::PrepareImpl(
 
   record_prepare_ns();
   count(hit ? "plan_cache/hit" : "plan_cache/miss");
+  if (flight_) {
+    flight_->RecordEvent(FlightEventType::kPlanPrepare, 0,
+                         /*a=*/hit ? 1 : 0);
+  }
   return plan;
 }
 
@@ -488,6 +524,19 @@ StatusOr<std::unique_ptr<QuerySession>> Engine::CreateSession(
     plan_reused =
         plan->sessions_created_.fetch_add(1, std::memory_order_relaxed) > 0;
   }
+  if (flight_) session_options.flight = flight_.get();
+  // Engine-level watchdog default; a session may set a tighter (or
+  // looser) threshold of its own. The sink persists through the
+  // engine unless the caller installed one.
+  if (session_options.watchdog_stall_ms == 0) {
+    session_options.watchdog_stall_ms = options_.watchdog_stall_ms;
+  }
+  if (session_options.watchdog_stall_ms > 0 &&
+      !session_options.flight_dump_sink) {
+    session_options.flight_dump_sink = [this](const FlightDump& dump) {
+      HandleFlightDump(dump);
+    };
+  }
   auto session = std::unique_ptr<QuerySession>(
       new QuerySession(this, std::move(plan), std::move(session_options)));
   session->plan_reused_ = plan_reused;
@@ -521,6 +570,50 @@ void Engine::RecordSessionLatency(uint64_t ns) {
     telemetry_->registry().GetHistogram("engine/session_latency_ns")
         .Record(ns);
   }
+}
+
+void Engine::HandleFlightDump(const FlightDump& dump) {
+  // Runs on a stalled session's monitor thread: serialize once here so
+  // /debug/flight is a string copy under the mutex.
+  FlightDump annotated = dump;
+  if (telemetry_) {
+    for (const QueryLogEntry& entry : telemetry_->QueryLog()) {
+      if (entry.query_id == dump.query_id) {
+        annotated.query_log_entry_json = entry.ToJson();
+        break;
+      }
+    }
+  }
+  std::string json = annotated.ToJson();
+  watchdog_dumps_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(flight_dump_mutex_);
+    latest_flight_dump_json_ = json;
+  }
+  MPQE_LOG(kWarning) << "watchdog: stall dump for query " << dump.query_id
+                     << " (stuck_scc=" << dump.stuck_scc << ", "
+                     << dump.events.size() << " events)";
+  if (!options_.debug_dump_dir.empty()) {
+    const std::string path = StrCat(options_.debug_dump_dir, "/flight-",
+                                    dump.query_id, ".json");
+    std::ofstream out(path, std::ios::trunc);
+    if (out) {
+      out << json;
+    } else {
+      MPQE_LOG(kWarning) << "watchdog: cannot write dump to " << path;
+    }
+  }
+}
+
+std::string Engine::FlightDumpJson() const {
+  {
+    std::lock_guard<std::mutex> lock(flight_dump_mutex_);
+    if (!latest_flight_dump_json_.empty()) return latest_flight_dump_json_;
+  }
+  // No watchdog has fired: a manual snapshot of the black box.
+  FlightDump dump;
+  if (flight_) dump.events = flight_->Snapshot();
+  return dump.ToJson();
 }
 
 PlanCacheStats Engine::plan_cache_stats() const {

@@ -108,6 +108,30 @@ struct EngineOptions {
   // widened.
   std::string stats_bind_address = "127.0.0.1";
 
+  // The engine black box (obs/flight_recorder.h): an always-on
+  // lock-free ring of recent events every session feeds. Cheap enough
+  // to leave on (CI guards <= 5% on the segment-hop bench); the switch
+  // exists for overhead A/B runs. With it off, sessions record
+  // nothing, /debug/flight serves an empty manual dump and the
+  // watchdog still fires but its dumps carry no event history.
+  bool flight_recorder = true;
+
+  // Flight-recorder retention (per ring / ring count; see
+  // FlightRecorderOptions).
+  FlightRecorderOptions flight_recorder_options = {};
+
+  // Default stall-watchdog threshold stamped into every session that
+  // does not set its own SessionOptions::watchdog_stall_ms (threaded
+  // scheduler only): a session with no delivery progress for this long
+  // gets a diagnostic FlightDump (counted as watchdog/stalls +
+  // watchdog/dumps, written to debug_dump_dir, served at
+  // /debug/flight). 0 disables the engine-level default.
+  int watchdog_stall_ms = 30000;
+
+  // Directory for watchdog dump files (flight-<query_id>.json). Empty
+  // = keep dumps in memory only (still served via /debug/flight).
+  std::string debug_dump_dir = "";
+
   Status Validate() const;
 };
 
@@ -313,6 +337,22 @@ class Engine {
   /// bind/listen error otherwise (the engine itself still works).
   const Status& stats_server_status() const { return stats_server_status_; }
 
+  /// The engine's black box (nullptr iff EngineOptions::flight_recorder
+  /// is off). Sessions record into it; the watchdog and /debug/flight
+  /// read it.
+  FlightRecorder* flight_recorder() const { return flight_.get(); }
+
+  /// The most recent watchdog diagnostic bundle as mpqe-flightdump-v1
+  /// JSON — or, when no watchdog has fired, a fresh "manual" dump of
+  /// the recorder's current contents. This is what GET /debug/flight
+  /// and `mpqe_query --flight-dump` serve.
+  std::string FlightDumpJson() const;
+
+  /// Dumps the watchdog has produced over the engine's lifetime.
+  uint64_t watchdog_dumps() const {
+    return watchdog_dumps_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class QuerySession;
 
@@ -329,6 +369,9 @@ class Engine {
 
   void WorkerLoop();
   void RecordSessionLatency(uint64_t ns);
+  /// The session watchdogs' dump sink: serialize once, retain as the
+  /// latest dump, persist to debug_dump_dir when set.
+  void HandleFlightDump(const FlightDump& dump);
   /// The gauge-refresh hook telemetry samples: plan-cache size /
   /// capacity / hit-rate, pool queue depth, worker count/utilization.
   void SampleEngineGauges(MetricsRegistry& registry);
@@ -344,6 +387,17 @@ class Engine {
   bool stopping_ = false;
   std::atomic<int> busy_workers_{0};
   std::vector<std::thread> workers_;
+
+  // The black box. Sessions hold the raw pointer through
+  // SessionOptions::flight; destroyed after the pool joins (and after
+  // the stats server stops) so no recording or snapshotting thread can
+  // outlive it.
+  std::unique_ptr<FlightRecorder> flight_;
+  // Latest watchdog bundle, pre-serialized (the monitor thread pays
+  // the serialization once; /debug/flight is then a string copy).
+  mutable std::mutex flight_dump_mutex_;
+  std::string latest_flight_dump_json_;
+  std::atomic<uint64_t> watchdog_dumps_{0};
 
   // Declared after the pool so they are destroyed first; ~Engine also
   // tears them down explicitly (server before telemetry — its handlers

@@ -63,6 +63,14 @@ Status SessionOptions::Validate() const {
         StrCat("progress_interval_ms: must be >= 0, got ",
                progress_interval_ms));
   }
+  if (watchdog_stall_ms < 0) {
+    return InvalidArgumentError(
+        StrCat("watchdog_stall_ms: must be >= 0, got ", watchdog_stall_ms));
+  }
+  if (fault_park_ms < 0) {
+    return InvalidArgumentError(
+        StrCat("fault_park_ms: must be >= 0, got ", fault_park_ms));
+  }
   return Status::Ok();
 }
 
@@ -83,9 +91,14 @@ struct ScopedObservers {
   std::optional<ProfilingObserver> profiler;
   std::optional<LineageObserver> lineage;
   std::optional<LoggingObserver> logger;
+  std::optional<FlightSessionObserver> flight;
 
   explicit ScopedObservers(const SessionOptions& options) {
     for (ExecutionObserver* o : options.observers) list.Add(o);
+    if (options.flight != nullptr) {
+      flight.emplace(options.flight, options.query_id);
+      list.Add(&*flight);
+    }
     if (options.metrics != nullptr) {
       MetricsObserver::Options metrics_options;
       metrics_options.per_arc = options.metrics_per_arc;
@@ -219,6 +232,122 @@ void LogStall(const RuleGoalGraph& graph, const StallInfo& info) {
                      << sink_detail;
 }
 
+// Assembles the watchdog's diagnostic bundle: per-SCC Fig. 2 protocol
+// state (leaders' TerminationParticipant exports), per-node queue
+// depths and recent-activity accounting, and the time-ordered flight
+// records of this session. Runs on the monitor thread while the
+// workers are (by definition of a stall) not delivering; every source
+// it reads is either immutable wiring state or a relaxed atomic.
+FlightDump BuildFlightDump(const RuleGoalGraph& graph, Database& db,
+                           const std::vector<NodeProcessBase*>& node_processes,
+                           const SessionOptions& options,
+                           const StallInfo& info) {
+  FlightDump dump;
+  dump.reason = "stall";
+  dump.query_id = options.query_id;
+  dump.stalled_ms = info.stalled_ms;
+  dump.delivered = info.delivered;
+  dump.in_flight = info.in_flight;
+
+  std::vector<uint64_t> depth_by_node(graph.size(), 0);
+  std::map<int64_t, uint64_t> depth_by_scc;
+  for (const auto& [pid, depth] : info.queue_depths) {
+    if (pid < static_cast<ProcessId>(graph.size())) {
+      depth_by_node[pid] = depth;
+      depth_by_scc[graph.node(pid).scc_id] += depth;
+    }
+  }
+
+  std::map<int64_t, FlightDumpScc> sccs;
+  for (NodeId id = 0; id < static_cast<NodeId>(graph.size()); ++id) {
+    const GraphNode& n = graph.node(id);
+    FlightDumpScc& row = sccs[n.scc_id];
+    row.scc = n.scc_id;
+    ++row.members;
+    if (!n.scc_is_trivial) {
+      row.nontrivial = true;
+      if (n.is_leader) {
+        row.leader = id;
+        TerminationState st = node_processes[id]->termination_state();
+        row.wave_active = st.wave_active;
+        row.wave = st.wave;
+        row.waves_started = st.waves_started;
+        row.waiting_for = st.waiting_for;
+        row.all_confirmed = st.all_confirmed;
+        row.idleness = st.idleness;
+        row.open_work = st.subtree_open_work;
+        row.notice_pending = st.notice_pending;
+      }
+    }
+  }
+  for (auto& [scc, row] : sccs) {
+    auto it = depth_by_scc.find(scc);
+    if (it != depth_by_scc.end()) row.queue_depth = it->second;
+  }
+
+  // The wedged component: deepest queues win; with every queue empty
+  // (a protocol-level wedge), the first nontrivial SCC whose protocol
+  // is visibly mid-flight.
+  uint64_t best_depth = 0;
+  for (const auto& [scc, depth] : depth_by_scc) {
+    if (depth > best_depth) {
+      best_depth = depth;
+      dump.stuck_scc = scc;
+    }
+  }
+  if (dump.stuck_scc == -1) {
+    for (const auto& [scc, row] : sccs) {
+      if (row.nontrivial &&
+          (row.wave_active || row.waiting_for > 0 || row.notice_pending)) {
+        dump.stuck_scc = scc;
+        break;
+      }
+    }
+  }
+  dump.sccs.reserve(sccs.size());
+  for (auto& [scc, row] : sccs) dump.sccs.push_back(row);
+
+  if (options.flight != nullptr) {
+    for (FlightRecord& r : options.flight->Snapshot()) {
+      // The recorder is engine-wide; keep this session's records plus
+      // engine-level ones (query_id 0: plan cache, lifecycle).
+      if (options.query_id == 0 || r.query_id == options.query_id ||
+          r.query_id == 0) {
+        dump.events.push_back(r);
+      }
+    }
+  }
+
+  dump.nodes.reserve(graph.size());
+  for (NodeId id = 0; id < static_cast<NodeId>(graph.size()); ++id) {
+    FlightDumpNode row;
+    row.node = id;
+    row.label = graph.NodeLabel(id, &db.symbols());
+    row.scc = graph.node(id).scc_id;
+    row.queue_depth = depth_by_node[id];
+    dump.nodes.push_back(std::move(row));
+  }
+  for (const FlightRecord& r : dump.events) {
+    const auto type = static_cast<FlightEventType>(r.type);
+    if (type == FlightEventType::kNodeFire) {
+      if (r.a >= 0 && r.a < static_cast<int32_t>(dump.nodes.size())) {
+        ++dump.nodes[r.a].fires;
+        dump.nodes[r.a].last_fire_ts_ns = r.ts_ns;
+      }
+    } else if (type == FlightEventType::kSend) {
+      if (r.a >= 0 && r.a < static_cast<int32_t>(dump.nodes.size())) {
+        ++dump.nodes[r.a].sends;
+      }
+    } else if (type == FlightEventType::kDeliver) {
+      if (r.b >= 0 && r.b < static_cast<int32_t>(dump.nodes.size())) {
+        ++dump.nodes[r.b].deliveries;
+        dump.nodes[r.b].last_delivery_ts_ns = r.ts_ns;
+      }
+    }
+  }
+  return dump;
+}
+
 }  // namespace
 
 StatusOr<EvaluationResult> RunSession(const RuleGoalGraph& graph, Database& db,
@@ -231,6 +360,14 @@ StatusOr<EvaluationResult> RunSession(const RuleGoalGraph& graph, Database& db,
   // engine" (one-shot Evaluate): no event, outputs stay id-free.
   if (options.query_id != 0 && !scoped.list.empty()) {
     scoped.list.NotifySessionStart(SessionStartEvent{options.query_id});
+  }
+  if (options.flight != nullptr) {
+    // The black box gets the session header directly (scheduler kind +
+    // worker count — the observer callbacks never see those).
+    options.flight->RecordEvent(FlightEventType::kSessionStart,
+                                options.query_id,
+                                static_cast<int32_t>(options.scheduler),
+                                options.workers);
   }
   if (scoped.profiler.has_value()) {
     scoped.profiler->AttachGraph(&graph, &db.symbols());
@@ -266,30 +403,8 @@ StatusOr<EvaluationResult> RunSession(const RuleGoalGraph& graph, Database& db,
       scoped.lineage->AttachEdbRelation(name, relation);
     }
   }
-  if (options.scheduler == SchedulerKind::kThreaded &&
-      options.progress_interval_ms > 0) {
-    EngineTelemetry* telemetry = options.telemetry;
-    const uint64_t query_id = options.query_id;
-    network.ConfigureStallMonitor(
-        options.progress_interval_ms,
-        [&graph, telemetry, query_id](const StallInfo& info) {
-          LogStall(graph, info);
-          if (telemetry == nullptr) return;
-          // Fold the nonempty mailboxes into per-SCC totals (the sink
-          // pseudo-process has no SCC and is covered by in_flight).
-          std::map<int64_t, uint64_t> by_scc;
-          for (const auto& [pid, depth] : info.queue_depths) {
-            if (pid < static_cast<ProcessId>(graph.size())) {
-              by_scc[graph.node(pid).scc_id] += depth;
-            }
-          }
-          telemetry->ReportQueueDepths(
-              query_id,
-              std::vector<std::pair<int64_t, uint64_t>>(by_scc.begin(),
-                                                        by_scc.end()),
-              info.in_flight);
-        });
-  }
+  shared.fault_park_node = options.fault_park_node;
+  shared.fault_park_ms = options.fault_park_ms;
 
   std::vector<NodeProcessBase*> node_processes;
   SinkProcess* sink_ptr = nullptr;
@@ -329,6 +444,87 @@ StatusOr<EvaluationResult> RunSession(const RuleGoalGraph& graph, Database& db,
           std::move(children));
     }
     network.Start();
+  }
+
+  // Stall heartbeat + watchdog. Configured after wiring so the monitor
+  // handler can read the node processes' termination state; the
+  // monitor thread only exists while Network::Run executes, so every
+  // capture below outlives it.
+  if (options.scheduler == SchedulerKind::kThreaded &&
+      (options.progress_interval_ms > 0 || options.watchdog_stall_ms > 0)) {
+    EngineTelemetry* telemetry = options.telemetry;
+    const uint64_t query_id = options.query_id;
+    // Report at the finer of the two cadences so a watchdog threshold
+    // is noticed within one interval of being crossed.
+    int interval = options.progress_interval_ms;
+    if (options.watchdog_stall_ms > 0 &&
+        (interval <= 0 || options.watchdog_stall_ms < interval)) {
+      interval = options.watchdog_stall_ms;
+    }
+    // One dump per stall episode: a delivery in between starts a new
+    // episode (only the monitor thread touches this state).
+    struct WatchdogState {
+      bool dumped = false;
+      uint64_t delivered_at_dump = 0;
+    };
+    auto watchdog = std::make_shared<WatchdogState>();
+    network.ConfigureStallMonitor(
+        interval,
+        [&graph, &db, &node_processes, &options, telemetry, query_id,
+         watchdog](const StallInfo& info) {
+          LogStall(graph, info);
+          if (options.flight != nullptr) {
+            options.flight->RecordEvent(
+                FlightEventType::kStall, query_id,
+                static_cast<int32_t>(
+                    std::min<uint64_t>(info.in_flight, INT32_MAX)),
+                -1, 0,
+                static_cast<uint32_t>(
+                    std::min<int64_t>(info.stalled_ms, UINT32_MAX)));
+          }
+          if (telemetry != nullptr) {
+            // Fold the nonempty mailboxes into per-SCC totals (the
+            // sink pseudo-process has no SCC and is covered by
+            // in_flight).
+            std::map<int64_t, uint64_t> by_scc;
+            for (const auto& [pid, depth] : info.queue_depths) {
+              if (pid < static_cast<ProcessId>(graph.size())) {
+                by_scc[graph.node(pid).scc_id] += depth;
+              }
+            }
+            telemetry->ReportQueueDepths(
+                query_id,
+                std::vector<std::pair<int64_t, uint64_t>>(by_scc.begin(),
+                                                          by_scc.end()),
+                info.in_flight);
+          }
+          if (options.watchdog_stall_ms <= 0 ||
+              info.stalled_ms < options.watchdog_stall_ms) {
+            return;
+          }
+          if (watchdog->dumped &&
+              watchdog->delivered_at_dump == info.delivered) {
+            return;  // already dumped this episode
+          }
+          watchdog->dumped = true;
+          watchdog->delivered_at_dump = info.delivered;
+          if (telemetry != nullptr) {
+            telemetry->registry().GetCounter("watchdog/stalls").Increment();
+          }
+          FlightDump dump =
+              BuildFlightDump(graph, db, node_processes, options, info);
+          if (options.flight != nullptr) {
+            options.flight->RecordEvent(
+                FlightEventType::kWatchdogDump, query_id,
+                static_cast<int32_t>(dump.stuck_scc));
+          }
+          if (options.flight_dump_sink) {
+            if (telemetry != nullptr) {
+              telemetry->registry().GetCounter("watchdog/dumps").Increment();
+            }
+            options.flight_dump_sink(dump);
+          }
+        });
   }
 
   StatusOr<RunResult> run = InternalError("scheduler did not run");

@@ -30,6 +30,7 @@
 #define MPQE_ENGINE_EVALUATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +40,7 @@
 #include "engine/node_processes.h"
 #include "graph/rule_goal_graph.h"
 #include "msg/network.h"
+#include "obs/flight_recorder.h"
 #include "obs/lineage.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
@@ -175,6 +177,35 @@ struct SessionOptions {
   // never by callers). When set, the stall heartbeat additionally
   // publishes per-SCC queue depths as live gauges.
   EngineTelemetry* telemetry = nullptr;
+
+  // Flight recorder sink (not owned; set by Engine::CreateSession when
+  // EngineOptions::flight_recorder is on, or directly by tests). When
+  // set, the session attaches a FlightSessionObserver so sends,
+  // deliveries, node fires, phases and termination-protocol events
+  // land in the engine's black box (obs/flight_recorder.h).
+  FlightRecorder* flight = nullptr;
+
+  // Stall watchdog (threaded scheduler only): when > 0 and the session
+  // makes no delivery progress for this many milliseconds, build a
+  // FlightDump diagnostic bundle — flight-recorder contents, per-SCC
+  // Fig. 2 protocol state, per-node queue depths — and hand it to
+  // flight_dump_sink (once per stall episode). Builds on the
+  // progress_interval_ms heartbeat; both may be set, and the monitor
+  // runs at the smaller interval. 0 disables.
+  int watchdog_stall_ms = 0;
+
+  // Receives the watchdog's diagnostic bundle. Called on the monitor
+  // thread while the session is stalled; must not block for long. Set
+  // by Engine::CreateSession (serialize + persist to debug_dump_dir);
+  // tests may set it directly. Unset drops dumps (the stall is still
+  // logged and counted).
+  std::function<void(const FlightDump&)> flight_dump_sink;
+
+  // Fault injection for watchdog tests: park the process of this graph
+  // node for fault_park_ms once, on its first work message
+  // (node_processes.cc). kNoNode = off.
+  NodeId fault_park_node = kNoNode;
+  int fault_park_ms = 0;
 
   /// Checks the session options for configuration errors — workers <
   /// 1, out-of-range scheduler — and returns an InvalidArgument Status

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -41,6 +42,13 @@ NodeRole NodeProcessBase::Role() const {
 }
 
 void NodeProcessBase::OnMessage(const Message& message) {
+  if (fault_park_armed_ && !IsProtocolMessage(message.kind)) {
+    // Watchdog fault injection: wedge this node (and with it, its
+    // SCC's progress) once, before handling its first work message.
+    fault_park_armed_ = false;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(shared_.fault_park_ms));
+  }
   const ObserverList& obs = network().observers();
   if (obs.empty()) {
     Dispatch(message);

@@ -112,6 +112,12 @@ struct EngineShared {
   // Message::lineage / publish DeriveEvents. Null keeps the lineage-off
   // fast path to one branch per insert site.
   TupleIdAllocator* lineage_ids = nullptr;
+  // Fault injection for watchdog tests: the process for this node
+  // sleeps fault_park_ms once, on its first work message, wedging its
+  // SCC long enough for the stall watchdog to fire. kNoNode (the
+  // default) keeps the hook to one compare per message.
+  NodeId fault_park_node = kNoNode;
+  int fault_park_ms = 0;
 };
 
 // Base for graph-node processes: message dispatch, the termination
@@ -137,9 +143,20 @@ class NodeProcessBase : public Process, public TerminationOwner {
   /// Contributes this node's counters into `out`.
   virtual void AccumulateCounters(EngineCounters& out) const;
 
+  /// This node's Fig. 2 protocol state, for diagnostics (safe from any
+  /// thread; see TerminationParticipant::ExportState).
+  TerminationState termination_state() const {
+    return termination_.ExportState();
+  }
+
+  NodeId node_id() const { return node_id_; }
+
  protected:
   NodeProcessBase(const EngineShared& shared, NodeId node_id)
-      : shared_(shared), node_id_(node_id) {}
+      : shared_(shared),
+        node_id_(node_id),
+        fault_park_armed_(shared.fault_park_node == node_id &&
+                          shared.fault_park_ms > 0) {}
 
   /// Total arrivals/results this node's duplicate elimination has
   /// rejected so far; OnMessage diffs it around each firing for the
@@ -237,6 +254,9 @@ class NodeProcessBase : public Process, public TerminationOwner {
   // current OnMessage, counted only while observers are installed.
   uint32_t fire_tuples_out_ = 0;
   bool observing_fire_ = false;
+  // Fault injection (EngineShared::fault_park_node): armed at
+  // construction, disarmed after the one park.
+  bool fault_park_armed_ = false;
 };
 
 /// Creates the process for graph node `id`.

@@ -42,13 +42,15 @@ void WriteAll(int fd, const std::string& data) {
   }
 }
 
+// `extra_headers` are complete "Name: value\r\n" lines (may be "").
 std::string HttpResponse(int code, const std::string& reason,
                          const std::string& content_type,
-                         const std::string& body) {
+                         const std::string& body,
+                         const std::string& extra_headers = "") {
   return StrCat("HTTP/1.0 ", code, " ", reason,
                 "\r\nContent-Type: ", content_type,
-                "\r\nContent-Length: ", body.size(),
-                "\r\nConnection: close\r\n\r\n", body);
+                "\r\nContent-Length: ", body.size(), "\r\n", extra_headers,
+                "Connection: close\r\n\r\n", body);
 }
 
 }  // namespace
@@ -164,8 +166,11 @@ void StatsServer::ServeConnection(int fd) {
   if (query != std::string::npos) path.resize(query);
 
   if (method != "GET" && method != "HEAD") {
+    // RFC 9110 §15.5.6: a 405 MUST carry an Allow header naming the
+    // methods the target does support.
     WriteAll(fd, HttpResponse(405, "Method Not Allowed", "text/plain",
-                              "only GET is served here\n"));
+                              "only GET is served here\n",
+                              "Allow: GET, HEAD\r\n"));
     return;
   }
   auto it = routes_.find(path);

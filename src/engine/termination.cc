@@ -29,7 +29,7 @@ bool TerminationParticipant::EmptyQueues() const {
 
 void TerminationParticipant::OnWorkMessage() {
   if (!configured()) return;
-  idleness_ = 0;
+  idleness_.store(0, std::memory_order_relaxed);
 }
 
 void TerminationParticipant::Publish(TerminationEvent::Kind kind) const {
@@ -38,9 +38,9 @@ void TerminationParticipant::Publish(TerminationEvent::Kind kind) const {
   TerminationEvent event;
   event.kind = kind;
   event.node = self_;
-  event.wave = wave_;
-  event.idleness = idleness_;
-  event.open_work = subtree_open_work_;
+  event.wave = wave_.load(std::memory_order_relaxed);
+  event.idleness = idleness_.load(std::memory_order_relaxed);
+  event.open_work = subtree_open_work_.load(std::memory_order_relaxed);
   observers.NotifyTermination(event);
 }
 
@@ -53,40 +53,50 @@ void TerminationParticipant::NotifyExternalWork() {
 void TerminationParticipant::OnWorkNotice(const Message& m) {
   (void)m;
   MPQE_CHECK(configured() && is_leader_) << "work notice at a non-leader";
-  notice_pending_ = true;
+  notice_pending_.store(true, std::memory_order_relaxed);
 }
 
 void TerminationParticipant::MaybeInitiate() {
-  if (!configured() || !is_leader_ || wave_active_) return;
-  if (!owner_->HasOpenCustomerWork() && !notice_pending_) return;
+  if (!configured() || !is_leader_ ||
+      wave_active_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (!owner_->HasOpenCustomerWork() &&
+      !notice_pending_.load(std::memory_order_relaxed)) {
+    return;
+  }
   if (!EmptyQueues()) return;
   // Fig. 2, send-answer-tuple: "idleness := 1; create-end-request;
   // process-end-request".
-  idleness_ = 1;
+  idleness_.store(1, std::memory_order_relaxed);
   StartWave();
 }
 
 void TerminationParticipant::StartWave() {
-  wave_active_ = true;
-  notice_pending_ = false;  // re-reported by answers' open-work bits
-  ++wave_;
-  ++waves_started_;
+  wave_active_.store(true, std::memory_order_relaxed);
+  // Re-reported by answers' open-work bits.
+  notice_pending_.store(false, std::memory_order_relaxed);
+  wave_.fetch_add(1, std::memory_order_relaxed);
+  waves_started_.fetch_add(1, std::memory_order_relaxed);
   Publish(TerminationEvent::Kind::kWaveStarted);
   ProcessEndRequest();
 }
 
 void TerminationParticipant::ProcessEndRequest() {
   if (EmptyQueues()) {
-    ++idleness_;
+    idleness_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    idleness_ = 0;
+    idleness_.store(0, std::memory_order_relaxed);
   }
-  waiting_for_ = static_cast<int>(bfst_children_.size());
-  all_confirmed_ = true;
-  subtree_open_work_ = owner_->HasOpenCustomerWork();
-  if (waiting_for_ > 0) {
+  const int children = static_cast<int>(bfst_children_.size());
+  waiting_for_.store(children, std::memory_order_relaxed);
+  all_confirmed_.store(true, std::memory_order_relaxed);
+  subtree_open_work_.store(owner_->HasOpenCustomerWork(),
+                           std::memory_order_relaxed);
+  if (children > 0) {
     for (ProcessId child : bfst_children_) {
-      network_->Send(self_, child, MakeEndRequest(wave_));
+      network_->Send(self_, child,
+                     MakeEndRequest(wave_.load(std::memory_order_relaxed)));
     }
   } else {
     AnswerParent();
@@ -95,21 +105,22 @@ void TerminationParticipant::ProcessEndRequest() {
 
 void TerminationParticipant::AnswerParent() {
   MPQE_CHECK(!is_leader_) << "leader has children; it never answers a parent";
-  if (all_confirmed_ && idleness_ > 1) {
+  const int64_t wave = wave_.load(std::memory_order_relaxed);
+  const bool open = subtree_open_work_.load(std::memory_order_relaxed);
+  if (all_confirmed_.load(std::memory_order_relaxed) &&
+      idleness_.load(std::memory_order_relaxed) > 1) {
     owner_->SnapshotForConclusion();
     Publish(TerminationEvent::Kind::kAnswerConfirmed);
-    network_->Send(self_, bfst_parent_,
-                   MakeEndConfirmed(wave_, subtree_open_work_));
+    network_->Send(self_, bfst_parent_, MakeEndConfirmed(wave, open));
   } else {
     Publish(TerminationEvent::Kind::kAnswerNegative);
-    network_->Send(self_, bfst_parent_,
-                   MakeEndNegative(wave_, subtree_open_work_));
+    network_->Send(self_, bfst_parent_, MakeEndNegative(wave, open));
   }
 }
 
 void TerminationParticipant::OnEndRequest(const Message& m) {
   MPQE_CHECK(configured()) << "end request at a trivial-SCC node";
-  wave_ = m.wave;
+  wave_.store(m.wave, std::memory_order_relaxed);
   ProcessEndRequest();
 }
 
@@ -136,8 +147,9 @@ void TerminationParticipant::OnSccConcluded(const Message& m) {
 
 void TerminationParticipant::OnWaveComplete() {
   if (is_leader_) {
-    wave_active_ = false;
-    if (all_confirmed_ && idleness_ > 1) {
+    wave_active_.store(false, std::memory_order_relaxed);
+    if (all_confirmed_.load(std::memory_order_relaxed) &&
+        idleness_.load(std::memory_order_relaxed) > 1) {
       // "If the BFST leader receives end confirmed from all its
       // children and has itself been idle since its last end request,
       // then it concludes the protocol."
@@ -145,19 +157,20 @@ void TerminationParticipant::OnWaveComplete() {
       // members' snapshots and ends with this conclusion; only a work
       // notice (which may signal a post-snapshot arrival) forces
       // another round.
-      bool more_work = notice_pending_;
+      bool more_work = notice_pending_.load(std::memory_order_relaxed);
       ConcludeAndBroadcast();
       if (more_work && EmptyQueues()) {
-        idleness_ = 1;
+        idleness_.store(1, std::memory_order_relaxed);
         StartWave();
       }
       return;
     }
     // Fig. 2, process-end-negative: restart immediately while idle.
     if (EmptyQueues() &&
-        (owner_->HasOpenCustomerWork() || subtree_open_work_ ||
-         notice_pending_)) {
-      idleness_ = 1;
+        (owner_->HasOpenCustomerWork() ||
+         subtree_open_work_.load(std::memory_order_relaxed) ||
+         notice_pending_.load(std::memory_order_relaxed))) {
+      idleness_.store(1, std::memory_order_relaxed);
       StartWave();
     }
     return;
@@ -167,15 +180,35 @@ void TerminationParticipant::OnWaveComplete() {
 
 void TerminationParticipant::OnEndNegative(const Message& m) {
   MPQE_CHECK(configured());
-  all_confirmed_ = false;
-  subtree_open_work_ = subtree_open_work_ || m.flag;
-  if (--waiting_for_ == 0) OnWaveComplete();
+  all_confirmed_.store(false, std::memory_order_relaxed);
+  if (m.flag) subtree_open_work_.store(true, std::memory_order_relaxed);
+  if (waiting_for_.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    OnWaveComplete();
+  }
 }
 
 void TerminationParticipant::OnEndConfirmed(const Message& m) {
   MPQE_CHECK(configured());
-  subtree_open_work_ = subtree_open_work_ || m.flag;
-  if (--waiting_for_ == 0) OnWaveComplete();
+  if (m.flag) subtree_open_work_.store(true, std::memory_order_relaxed);
+  if (waiting_for_.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    OnWaveComplete();
+  }
+}
+
+
+TerminationState TerminationParticipant::ExportState() const {
+  TerminationState s;
+  s.configured = configured();
+  s.is_leader = is_leader_;
+  s.wave_active = wave_active_.load(std::memory_order_relaxed);
+  s.wave = wave_.load(std::memory_order_relaxed);
+  s.waves_started = waves_started_.load(std::memory_order_relaxed);
+  s.waiting_for = waiting_for_.load(std::memory_order_relaxed);
+  s.all_confirmed = all_confirmed_.load(std::memory_order_relaxed);
+  s.idleness = idleness_.load(std::memory_order_relaxed);
+  s.subtree_open_work = subtree_open_work_.load(std::memory_order_relaxed);
+  s.notice_pending = notice_pending_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace mpqe

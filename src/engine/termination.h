@@ -34,6 +34,7 @@
 #ifndef MPQE_ENGINE_TERMINATION_H_
 #define MPQE_ENGINE_TERMINATION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -41,6 +42,22 @@
 #include "msg/network.h"
 
 namespace mpqe {
+
+// A point-in-time copy of one participant's Fig. 2 protocol state, for
+// diagnostics (the stall watchdog folds leaders' states into the
+// flight dump). Exportable from any thread while the run is live.
+struct TerminationState {
+  bool configured = false;
+  bool is_leader = false;
+  bool wave_active = false;
+  int64_t wave = 0;
+  int64_t waves_started = 0;
+  int waiting_for = 0;
+  bool all_confirmed = false;
+  int64_t idleness = 0;
+  bool subtree_open_work = false;
+  bool notice_pending = false;
+};
 
 // Owner hooks; implemented by the engine node processes.
 class TerminationOwner {
@@ -77,8 +94,18 @@ class TerminationParticipant {
                  std::vector<ProcessId> bfst_children);
 
   bool configured() const { return owner_ != nullptr; }
-  int64_t idleness() const { return idleness_; }
-  int64_t waves_started() const { return waves_started_; }
+  int64_t idleness() const {
+    return idleness_.load(std::memory_order_relaxed);
+  }
+  int64_t waves_started() const {
+    return waves_started_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the protocol fields. Safe from any thread at any time
+  /// (the fields are relaxed atomics with the owner process as the
+  /// only writer); the copy may mix fields across a transition, which
+  /// is fine for the diagnostics it feeds.
+  TerminationState ExportState() const;
 
   /// Any non-protocol message resets idleness ("it resets idleness to
   /// zero whenever it receives work").
@@ -120,14 +147,19 @@ class TerminationParticipant {
   ProcessId bfst_parent_ = kNoProcess;
   std::vector<ProcessId> bfst_children_;
 
-  int64_t idleness_ = 0;
-  int waiting_for_ = 0;
-  bool all_confirmed_ = false;
-  bool subtree_open_work_ = false;  // OR over own + children's answers
-  bool notice_pending_ = false;     // leader: a member reported work
-  bool wave_active_ = false;        // leader: a wave is in flight
-  int64_t wave_ = 0;
-  int64_t waves_started_ = 0;
+  // Protocol state. Mutated only by the owner process (the network
+  // serializes a process's message handling), but read by the stall
+  // watchdog's monitor thread via ExportState() — hence relaxed
+  // atomics: single-writer, so relaxed read-modify-writes stay exact,
+  // and cross-thread reads are race-free.
+  std::atomic<int64_t> idleness_{0};
+  std::atomic<int> waiting_for_{0};
+  std::atomic<bool> all_confirmed_{false};
+  std::atomic<bool> subtree_open_work_{false};  // OR over own + children
+  std::atomic<bool> notice_pending_{false};  // leader: a member has work
+  std::atomic<bool> wave_active_{false};     // leader: wave in flight
+  std::atomic<int64_t> wave_{0};
+  std::atomic<int64_t> waves_started_{0};
 };
 
 }  // namespace mpqe

@@ -422,7 +422,10 @@ StatusOr<RunResult> Network::RunThreaded(int workers, uint64_t max_messages) {
         lock.unlock();
         stall_handler_(info);
         lock.lock();
-        last_change = now;  // re-arm: next report after a further interval
+        // No re-arm: while the stall persists the handler keeps firing
+        // every interval with a *cumulative* stalled_ms, so a watchdog
+        // can threshold on total stall age (watchdog_stall_ms) instead
+        // of counting heartbeats. Any delivery resets the clock above.
       }
     });
   }

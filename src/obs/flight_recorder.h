@@ -1,0 +1,223 @@
+// The flight recorder (DESIGN.md §14): the engine's black box. A set
+// of fixed-size lock-free ring buffers holds compact binary records of
+// the most recent engine events — sends, deliveries, node fires,
+// Fig. 2 protocol transitions, phases, scheduler/session lifecycle —
+// cheap enough to leave on in production (the CI guard holds the
+// segment-hop overhead at <= 5% vs. recording off), unlike the full
+// Chrome trace exporter which retains every event of a run.
+//
+// Writers never block and never allocate: a thread claims a slot with
+// one fetch_add on its ring's cursor and publishes the record under a
+// per-slot seqlock (all record words are relaxed atomics, so
+// concurrent snapshot reads are race-free and TSan-clean; a torn slot
+// is detected by its sequence and dropped). Rings are selected by a
+// cheap per-thread index, so unrelated threads rarely share a cursor
+// cache line. Old records are overwritten — the recorder answers
+// "what was the engine doing just now", not "what has it ever done".
+//
+// Readers (the stall watchdog, GET /debug/flight, `mpqe_query
+// --flight-dump`) call Snapshot() at any time, from any thread, and
+// get a time-ordered copy of whatever is currently retained.
+//
+// The diagnostic bundle a watchdog (engine/evaluator.cc) or operator
+// snapshot produces is the FlightDump below, serialized as
+// `mpqe-flightdump-v1` JSON: the merged recorder contents plus per-SCC
+// termination-protocol state, per-node queue/fire accounting, and the
+// query-log entry when one exists. scripts/check_trace.py --flight
+// validates the schema.
+
+#ifndef MPQE_OBS_FLIGHT_RECORDER_H_
+#define MPQE_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/observer.h"
+
+namespace mpqe {
+
+// What one FlightRecord describes. Serialized names (ToJson /
+// FlightEventTypeToString) are part of the mpqe-flightdump-v1 schema.
+enum class FlightEventType : uint8_t {
+  kSessionStart = 0,  // query_id minted; a = scheduler kind, b = workers
+  kSessionEnd = 1,    // a = ok(1)/error(0), rows = answers
+  kSend = 2,          // kind = MessageKind, a = from, b = to, rows
+  kDeliver = 3,       // kind = MessageKind, a = from, b = to, rows, aux = ns
+  kNodeFire = 4,      // kind = trigger, a = node, b = tuples_in,
+                      // rows = tuples_out, aux = handle ns
+  kPhase = 5,         // kind = Phase, a = begin(1)/end(0)
+  kTermination = 6,   // kind = TerminationEvent::Kind, a = node, b = wave,
+                      // rows = idleness, aux = open_work
+  kStall = 7,         // a = in-flight messages, aux = stalled ms
+  kWatchdogDump = 8,  // a = stuck scc id
+  kPlanPrepare = 9,   // a = cache hit(1)/miss(0)
+  kEventTypeCount = 10,
+};
+
+const char* FlightEventTypeToString(FlightEventType type);
+
+// One compact binary event record. Fixed-size and trivially copyable —
+// recording is a handful of relaxed stores, no allocation, no
+// formatting. Field meaning depends on `type` (see FlightEventType);
+// unused fields are zero.
+struct FlightRecord {
+  uint64_t ts_ns = 0;     // steady-clock time (stamped by Record)
+  uint64_t query_id = 0;  // engine-minted id; 0 = engine-level event
+  int32_t a = -1;
+  int32_t b = -1;
+  uint32_t rows = 0;
+  uint32_t aux = 0;
+  uint8_t type = 0;  // FlightEventType
+  uint8_t kind = 0;  // MessageKind / Phase / TerminationEvent::Kind
+  uint16_t unused = 0;
+  uint32_t unused2 = 0;
+};
+static_assert(sizeof(FlightRecord) == 40, "keep flight records compact");
+
+struct FlightRecorderOptions {
+  // Per-ring record capacity; rounded up to a power of two. Retention
+  // is ring_count * ring_capacity records total.
+  size_t ring_capacity = 4096;
+  // Number of rings. Threads spread across rings by a per-thread
+  // index, so with ring_count >= the number of concurrently recording
+  // threads each cursor cache line has a single writer.
+  size_t ring_count = 16;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options = {});
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends `record` (stamping ts_ns) to the calling thread's ring.
+  /// Lock-free, allocation-free, safe from any thread at any time.
+  void Record(FlightRecord record);
+
+  /// Convenience: record with the common fields filled in.
+  void RecordEvent(FlightEventType type, uint64_t query_id, int32_t a = -1,
+                   int32_t b = -1, uint32_t rows = 0, uint32_t aux = 0,
+                   uint8_t kind = 0);
+
+  /// A time-ordered copy of every retained record. Torn slots (being
+  /// overwritten during the copy) are dropped, not misread.
+  std::vector<FlightRecord> Snapshot() const;
+
+  /// Total records ever written (monotonic; wraps never).
+  uint64_t recorded() const;
+
+  const FlightRecorderOptions& options() const { return options_; }
+
+ private:
+  // One slot = a sequence word plus the record payload, all relaxed
+  // atomics. seq == 2*(claim+1) marks a fully published record from
+  // claim index `claim`; odd values mark a write in progress.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> words[5];
+  };
+
+  struct alignas(64) Ring {
+    std::atomic<uint64_t> next{0};  // claim cursor (monotonic)
+    std::unique_ptr<Slot[]> slots;
+  };
+
+  Ring& ThisThreadRing();
+
+  FlightRecorderOptions options_;
+  size_t slot_mask_ = 0;  // ring_capacity - 1 (capacity is pow2)
+  std::vector<Ring> rings_;
+};
+
+// The per-session event tap: an ExecutionObserver that forwards the
+// session's events into the engine's FlightRecorder as FlightRecords
+// stamped with the session's query id. Attached by RunSession whenever
+// SessionOptions::flight is set (i.e. for every engine session when
+// EngineOptions::flight_recorder is on). All callbacks are a clock
+// read plus a handful of relaxed stores.
+class FlightSessionObserver : public ExecutionObserver {
+ public:
+  FlightSessionObserver(FlightRecorder* recorder, uint64_t query_id)
+      : recorder_(recorder), query_id_(query_id) {}
+
+  // (No OnSessionStart override: the engine writes the kSessionStart
+  // record itself, with scheduler and worker settings the observer
+  // cannot see.)
+  void OnSend(const SendEvent& event) override;
+  void OnDeliver(const DeliverEvent& event) override;
+  void OnNodeFire(const NodeFireEvent& event) override;
+  void OnPhase(const PhaseEvent& event) override;
+  void OnTermination(const TerminationEvent& event) override;
+
+ private:
+  FlightRecorder* recorder_;
+  uint64_t query_id_;
+};
+
+// ---------------------------------------------------------------------------
+// The diagnostic bundle (mpqe-flightdump-v1).
+
+// Fig. 2 protocol state of one strong component at snapshot time, as
+// exported by the leader's TerminationParticipant (plain data here so
+// obs/ stays independent of engine/).
+struct FlightDumpScc {
+  int64_t scc = -1;
+  int32_t leader = -1;       // graph node id of the BFST leader
+  uint64_t queue_depth = 0;  // undelivered messages across members
+  size_t members = 0;
+  bool nontrivial = false;
+  // Leader protocol state (meaningful iff nontrivial).
+  bool wave_active = false;
+  int64_t wave = 0;
+  int64_t waves_started = 0;
+  int32_t waiting_for = 0;  // children yet to answer the open wave
+  bool all_confirmed = false;
+  int64_t idleness = 0;
+  bool open_work = false;
+  bool notice_pending = false;
+};
+
+// Per-node accounting at snapshot time: live queue depth plus fire /
+// send / delivery counts and last-activity timestamps derived from the
+// retained flight records of the dumped session.
+struct FlightDumpNode {
+  int32_t node = -1;
+  std::string label;
+  int64_t scc = -1;
+  uint64_t queue_depth = 0;
+  uint64_t fires = 0;
+  uint64_t last_fire_ts_ns = 0;  // 0 = no retained fire record
+  uint64_t sends = 0;
+  uint64_t deliveries = 0;
+  uint64_t last_delivery_ts_ns = 0;
+};
+
+struct FlightDump {
+  // "stall" (watchdog-triggered) or "manual" (--flight-dump /
+  // GET /debug/flight with no stall on record).
+  std::string reason = "manual";
+  uint64_t query_id = 0;
+  int64_t stalled_ms = 0;
+  uint64_t delivered = 0;
+  uint64_t in_flight = 0;
+  // The wedged strong component: the one holding the deepest queues
+  // (protocol state as tiebreaker); -1 when nothing is stuck.
+  int64_t stuck_scc = -1;
+  std::vector<FlightDumpScc> sccs;
+  std::vector<FlightDumpNode> nodes;
+  std::vector<FlightRecord> events;  // time-ordered
+  // The query log entry for query_id as JSON, or "" when none exists
+  // yet (a stalled session has not completed).
+  std::string query_log_entry_json;
+
+  /// Serializes the bundle as mpqe-flightdump-v1 JSON.
+  std::string ToJson() const;
+};
+
+}  // namespace mpqe
+
+#endif  // MPQE_OBS_FLIGHT_RECORDER_H_

@@ -76,6 +76,25 @@ std::string SanitizeName(const std::string& name) {
   return out;
 }
 
+// Text-format 0.0.4 escaping for HELP text: backslash and line feed
+// only (quotes stay literal — help is not quoted).
+std::string EscapeHelp(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// Text-format 0.0.4 escaping for quoted label values: backslash,
+// double-quote, and line feed.
 std::string EscapeLabelValue(const std::string& value) {
   std::string out;
   out.reserve(value.size());
@@ -221,7 +240,7 @@ std::string ToPrometheusText(const MetricsRegistry& registry,
       options.prefix.empty() ? "" : options.prefix + "_";
   for (auto& [family, data] : families) {
     const std::string full = prefix + family;
-    out += StrCat("# HELP ", full, " ", data.help, "\n");
+    out += StrCat("# HELP ", full, " ", EscapeHelp(data.help), "\n");
     out += StrCat("# TYPE ", full, " ", TypeName(data.type), "\n");
     // Rows within a family come out sorted by label: the registry rows
     // arrive sorted by path, and within one family the label is the

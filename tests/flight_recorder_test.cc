@@ -1,0 +1,410 @@
+// Tests of the flight recorder (DESIGN.md §14): seqlock ring
+// semantics (ordering, wraparound, torn-slot rejection under
+// concurrent writers), the session observer tap, the stall watchdog
+// end-to-end with fault injection (a parked SCC member must yield a
+// diagnostic bundle naming the wedged SCC), and the engine surfaces —
+// GET /debug/flight and Engine::FlightDumpJson. The concurrent-writer
+// and watchdog cases double as the TSan coverage for the recorder's
+// race-free-snapshot claim.
+
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <mutex>
+
+#include "datalog/parser.h"
+#include "engine/engine.h"
+#include "engine/evaluator.h"
+#include "graph/rule_goal_graph.h"
+#include "sips/strategy.h"
+
+namespace mpqe {
+namespace {
+
+constexpr const char* kTcFacts = R"(
+    edge(1, 2). edge(2, 3). edge(3, 4). edge(4, 2). edge(2, 5).
+)";
+
+constexpr const char* kTcRules = R"(
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Y) :- edge(X, Z), tc(Z, Y).
+    ?- tc(1, W).
+)";
+
+std::string HttpGet(int port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Ring semantics
+
+TEST(FlightRecorderTest, RecordsComeBackTimeOrderedWithPayloadIntact) {
+  FlightRecorder recorder({.ring_capacity = 64, .ring_count = 1});
+  for (int i = 0; i < 10; ++i) {
+    recorder.RecordEvent(FlightEventType::kSend, /*query_id=*/7, /*a=*/i,
+                         /*b=*/i + 1, /*rows=*/static_cast<uint32_t>(i * 100),
+                         /*aux=*/42, /*kind=*/3);
+  }
+  std::vector<FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(
+      records.begin(), records.end(),
+      [](const FlightRecord& x, const FlightRecord& y) {
+        return x.ts_ns < y.ts_ns;
+      }));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(records[i].type, static_cast<uint8_t>(FlightEventType::kSend));
+    EXPECT_EQ(records[i].query_id, 7u);
+    EXPECT_EQ(records[i].a, i);
+    EXPECT_EQ(records[i].b, i + 1);
+    EXPECT_EQ(records[i].rows, static_cast<uint32_t>(i * 100));
+    EXPECT_EQ(records[i].aux, 42u);
+    EXPECT_EQ(records[i].kind, 3u);
+  }
+  EXPECT_EQ(recorder.recorded(), 10u);
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsOnlyTheNewestRecords) {
+  // Capacity rounds up to a power of two; 16 stays 16. Writing 100
+  // records must retain exactly the last 16, in order.
+  FlightRecorder recorder({.ring_capacity = 16, .ring_count = 1});
+  for (int i = 0; i < 100; ++i) {
+    recorder.RecordEvent(FlightEventType::kNodeFire, /*query_id=*/1,
+                         /*a=*/i);
+  }
+  std::vector<FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 16u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].a, static_cast<int32_t>(84 + i));
+  }
+  EXPECT_EQ(recorder.recorded(), 100u);
+}
+
+TEST(FlightRecorderTest, CapacityRoundsUpToPowerOfTwo) {
+  FlightRecorder recorder({.ring_capacity = 5, .ring_count = 1});
+  for (int i = 0; i < 8; ++i) {
+    recorder.RecordEvent(FlightEventType::kSend, 1, i);
+  }
+  // 5 rounds up to 8: all 8 retained.
+  EXPECT_EQ(recorder.Snapshot().size(), 8u);
+  recorder.RecordEvent(FlightEventType::kSend, 1, 8);
+  EXPECT_EQ(recorder.Snapshot().size(), 8u);  // 9th evicts the oldest
+}
+
+TEST(FlightRecorderTest, ConcurrentWritersNeverTearASnapshot) {
+  // Hammer a deliberately tiny recorder (constant wraparound, threads
+  // sharing rings) while snapshotting concurrently. Every record that
+  // comes out must be one that some thread put in, intact: the payload
+  // words are self-consistent (a encodes the writer, b the sequence,
+  // rows/aux derive from both) so a torn slot that slipped through the
+  // seqlock would be visible as a mismatched tuple. Run under TSan.
+  FlightRecorder recorder({.ring_capacity = 64, .ring_count = 2});
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 20000;
+  std::atomic<bool> start{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      while (!start.load()) {
+      }
+      for (int i = 0; i < kPerWriter; ++i) {
+        recorder.RecordEvent(FlightEventType::kDeliver,
+                             /*query_id=*/static_cast<uint64_t>(w + 1),
+                             /*a=*/w, /*b=*/i,
+                             /*rows=*/static_cast<uint32_t>(w * 31 + i),
+                             /*aux=*/static_cast<uint32_t>(i ^ (w << 16)));
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      for (const FlightRecord& r : recorder.Snapshot()) {
+        ASSERT_EQ(r.type, static_cast<uint8_t>(FlightEventType::kDeliver));
+        ASSERT_GE(r.a, 0);
+        ASSERT_LT(r.a, kWriters);
+        ASSERT_EQ(r.query_id, static_cast<uint64_t>(r.a + 1));
+        ASSERT_EQ(r.rows, static_cast<uint32_t>(r.a * 31 + r.b));
+        ASSERT_EQ(r.aux, static_cast<uint32_t>(r.b ^ (r.a << 16)));
+      }
+    }
+  });
+  start.store(true);
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(recorder.recorded(),
+            static_cast<uint64_t>(kWriters) * kPerWriter);
+  // After the dust settles the rings hold full, valid records.
+  EXPECT_EQ(recorder.Snapshot().size(), 128u);
+}
+
+TEST(FlightRecorderTest, EventTypeNamesAreStableSchema) {
+  // Serialized names are part of mpqe-flightdump-v1; renames break
+  // check_trace.py --flight and downstream dashboards.
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kSessionStart),
+               "session_start");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kSessionEnd),
+               "session_end");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kSend), "send");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kDeliver), "deliver");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kNodeFire),
+               "node_fire");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kPhase), "phase");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kTermination),
+               "termination");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kStall), "stall");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kWatchdogDump),
+               "watchdog_dump");
+  EXPECT_STREQ(FlightEventTypeToString(FlightEventType::kPlanPrepare),
+               "plan_prepare");
+}
+
+// ---------------------------------------------------------------------------
+// Session tap
+
+TEST(FlightRecorderTest, SessionTapRecordsTheWholeEventAlphabet) {
+  auto unit = Parse(R"(
+    edge(1, 2). edge(2, 3). edge(3, 4). edge(4, 2).
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Y) :- edge(X, Z), tc(Z, Y).
+    ?- tc(1, W).
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  FlightRecorder recorder;
+  EvaluationOptions options;
+  options.flight = &recorder;
+  options.query_id = 99;
+  auto result = Evaluate(unit->program, unit->database, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  std::set<uint8_t> types;
+  for (const FlightRecord& r : recorder.Snapshot()) {
+    EXPECT_EQ(r.query_id, 99u);
+    types.insert(r.type);
+  }
+  EXPECT_TRUE(types.count(static_cast<uint8_t>(FlightEventType::kSend)));
+  EXPECT_TRUE(types.count(static_cast<uint8_t>(FlightEventType::kDeliver)));
+  EXPECT_TRUE(types.count(static_cast<uint8_t>(FlightEventType::kNodeFire)));
+  EXPECT_TRUE(types.count(static_cast<uint8_t>(FlightEventType::kPhase)));
+  EXPECT_TRUE(
+      types.count(static_cast<uint8_t>(FlightEventType::kTermination)));
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog + fault injection
+
+TEST(FlightRecorderTest, WatchdogDumpNamesTheParkedScc) {
+  // Park one member of the recursive SCC long enough for the watchdog
+  // to fire: the diagnostic bundle must name that SCC as stuck, carry
+  // its protocol state, and the run must still complete correctly
+  // after the park ends. Run under TSan in CI (monitor thread +
+  // workers + recorder all racing).
+  auto unit = Parse(R"(
+    edge(1, 2). edge(2, 3). edge(3, 4). edge(4, 2). edge(2, 5).
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Y) :- edge(X, Z), tc(Z, Y).
+    ?- tc(1, W).
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  ASSERT_TRUE(unit->program.Validate(&unit->database).ok());
+  auto strategy = MakeStrategyByName("greedy");
+  ASSERT_TRUE(strategy.ok());
+  auto built = RuleGoalGraph::Build(unit->program, **strategy);
+  ASSERT_TRUE(built.ok()) << built.status();
+  const RuleGoalGraph& graph = **built;
+
+  // Find a nontrivial-SCC member to park (prefer a non-leader, as the
+  // CLI's --park-scc does).
+  NodeId park = kNoNode;
+  int64_t park_scc = -1;
+  for (NodeId id = 0; id < static_cast<NodeId>(graph.size()); ++id) {
+    const GraphNode& n = graph.node(id);
+    if (n.scc_is_trivial) continue;
+    if (park == kNoNode) {
+      park = id;
+      park_scc = n.scc_id;
+    }
+    if (!n.is_leader) {
+      park = id;
+      park_scc = n.scc_id;
+      break;
+    }
+  }
+  ASSERT_NE(park, kNoNode) << "tc program must have a recursive SCC";
+
+  FlightRecorder recorder;
+  std::vector<FlightDump> dumps;
+  std::mutex dumps_mutex;
+
+  SessionOptions options;
+  options.scheduler = SchedulerKind::kThreaded;
+  options.workers = 2;
+  options.query_id = 5;
+  options.flight = &recorder;
+  options.watchdog_stall_ms = 150;
+  options.fault_park_node = park;
+  options.fault_park_ms = 1200;
+  options.flight_dump_sink = [&](const FlightDump& dump) {
+    std::lock_guard<std::mutex> lock(dumps_mutex);
+    dumps.push_back(dump);
+  };
+
+  auto result = RunSession(graph, unit->database, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // The park only delays; answers are unaffected.
+  EXPECT_EQ(result->answers.size(), 4u);
+  EXPECT_TRUE(result->ended_by_protocol);
+
+  ASSERT_GE(dumps.size(), 1u) << "watchdog never fired";
+  const FlightDump& dump = dumps.front();
+  EXPECT_EQ(dump.reason, "stall");
+  EXPECT_EQ(dump.query_id, 5u);
+  EXPECT_GE(dump.stalled_ms, 150);
+  EXPECT_EQ(dump.stuck_scc, park_scc) << "dump blames the wrong SCC";
+  EXPECT_FALSE(dump.events.empty());
+
+  // The stuck SCC's row exists, is nontrivial, and holds the queued
+  // work the parked node is sitting on.
+  bool found_scc = false;
+  for (const FlightDumpScc& scc : dump.sccs) {
+    if (scc.scc != dump.stuck_scc) continue;
+    found_scc = true;
+    EXPECT_TRUE(scc.nontrivial);
+    EXPECT_GT(scc.members, 0u);
+    EXPECT_GT(scc.queue_depth, 0u);
+  }
+  EXPECT_TRUE(found_scc);
+
+  // The parked node's row carries its live queue depth.
+  bool found_node = false;
+  for (const FlightDumpNode& node : dump.nodes) {
+    if (node.node != static_cast<int32_t>(park)) continue;
+    found_node = true;
+    EXPECT_EQ(node.scc, park_scc);
+    EXPECT_GT(node.queue_depth, 0u);
+    EXPECT_FALSE(node.label.empty());
+  }
+  EXPECT_TRUE(found_node);
+
+  // The bundle serializes as schema v1 with its scalars present.
+  const std::string json = dump.ToJson();
+  EXPECT_NE(json.find("\"schema\": \"mpqe-flightdump-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"reason\": \"stall\""), std::string::npos);
+  EXPECT_NE(json.find("\"stuck_scc\": "), std::string::npos);
+
+  // One dump per stall episode, not one per monitor tick: the park
+  // lasted ~8 watchdog intervals but each episode dumps once.
+  EXPECT_LE(dumps.size(), 2u);
+}
+
+TEST(FlightRecorderTest, WatchdogQuietOnHealthyRuns) {
+  auto unit = Parse(R"(
+    edge(1, 2). edge(2, 3).
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Y) :- edge(X, Z), tc(Z, Y).
+    ?- tc(1, W).
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  FlightRecorder recorder;
+  int dumps = 0;
+  EvaluationOptions options;
+  options.scheduler = SchedulerKind::kThreaded;
+  options.workers = 2;
+  options.flight = &recorder;
+  options.watchdog_stall_ms = 2000;
+  options.flight_dump_sink = [&](const FlightDump&) { ++dumps; };
+  auto result = Evaluate(unit->program, unit->database, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(dumps, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine surfaces
+
+TEST(FlightRecorderTest, EngineServesFlightDumpOverHttpAndApi) {
+  auto facts = Parse(kTcFacts);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  EngineOptions engine_options;
+  engine_options.workers = 2;
+  engine_options.stats_port = 0;
+  Engine engine(engine_options);
+  ASSERT_TRUE(engine.stats_server_status().ok());
+  ASSERT_NE(engine.flight_recorder(), nullptr);
+
+  auto snapshot = engine.Attach(std::move(facts->database));
+  auto plan = engine.Prepare(snapshot, kTcRules);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_TRUE(engine.RunAsync(*plan).get().ok());
+
+  // No watchdog fired: both surfaces serve a "manual" dump of the
+  // black box, which retains this run's events.
+  const std::string json = engine.FlightDumpJson();
+  EXPECT_NE(json.find("\"schema\": \"mpqe-flightdump-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"reason\": \"manual\""), std::string::npos);
+  EXPECT_NE(json.find("\"session_start\""), std::string::npos);
+  EXPECT_NE(json.find("\"session_end\""), std::string::npos);
+
+  const std::string http =
+      HttpGet(engine.stats_port(), "/debug/flight");
+  EXPECT_NE(http.find("200"), std::string::npos);
+  EXPECT_NE(http.find("mpqe-flightdump-v1"), std::string::npos);
+  EXPECT_EQ(engine.watchdog_dumps(), 0u);
+}
+
+TEST(FlightRecorderTest, EngineFlightRecorderOffDisablesTheTap) {
+  auto facts = Parse(kTcFacts);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  EngineOptions engine_options;
+  engine_options.workers = 2;
+  engine_options.flight_recorder = false;
+  Engine engine(engine_options);
+  EXPECT_EQ(engine.flight_recorder(), nullptr);
+  auto snapshot = engine.Attach(std::move(facts->database));
+  auto plan = engine.Prepare(snapshot, kTcRules);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_TRUE(engine.RunAsync(*plan).get().ok());
+  // A dump is still answerable — just empty of events.
+  const std::string json = engine.FlightDumpJson();
+  EXPECT_NE(json.find("\"schema\": \"mpqe-flightdump-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"events\": [\n  ]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpqe

@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <string>
 #include <thread>
@@ -70,6 +71,31 @@ std::string HttpGet(int port, const std::string& path) {
 std::string Body(const std::string& response) {
   size_t head_end = response.find("\r\n\r\n");
   return head_end == std::string::npos ? "" : response.substr(head_end + 4);
+}
+
+// As HttpGet, but with an arbitrary request line / raw request text —
+// for exercising the server's non-GET and malformed-request paths.
+std::string HttpRaw(int port, const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
 }
 
 // ---------------------------------------------------------------------------
@@ -226,6 +252,23 @@ TEST(TelemetryTest, PrometheusEscapesLabelsAndSanitizesNames) {
                       "\"has\\\"quote\\\\slash\"} 1"),
             std::string::npos)
       << text;
+}
+
+TEST(TelemetryTest, PrometheusGoldenEscapedLabelValue) {
+  // Pinned, byte-for-byte: a label value holding every character the
+  // text format 0.0.4 requires escaping in quoted label values —
+  // double quote, backslash, line feed — must come out as \",
+  // \\ and \n, and the HELP line (which quotes the raw registry
+  // path) must escape backslash and line feed too.
+  MetricsRegistry registry;
+  registry.GetCounter(std::string("predicate/a\"b\\c\nd/stored_tuples"))
+      .Increment(3);
+  const std::string expected =
+      "# HELP mpqe_predicate_stored_tuples counter from registry path "
+      "'predicate/a\"b\\\\c\\nd/stored_tuples'\n"
+      "# TYPE mpqe_predicate_stored_tuples counter\n"
+      "mpqe_predicate_stored_tuples{predicate=\"a\\\"b\\\\c\\nd\"} 3\n";
+  EXPECT_EQ(ToPrometheusText(registry), expected);
 }
 
 // ---------------------------------------------------------------------------
@@ -601,6 +644,73 @@ TEST(TelemetryTest, SilentClientDoesNotWedgeServerOrStop) {
   ::close(idle);
   server.Stop();
   EXPECT_FALSE(server.running());
+}
+
+TEST(TelemetryTest, StatsServerMethodNotAllowedAndNotFound) {
+  StatsServer server{StatsServerOptions{}};
+  server.AddRoute("/x", "text/plain", [] { return std::string("x"); });
+  ASSERT_TRUE(server.Start().ok());
+
+  // Non-GET on a real route: 405 with the mandatory Allow header
+  // (RFC 9110 §15.5.6), not a 404 and not a served body.
+  std::string post =
+      HttpRaw(server.port(), "POST /x HTTP/1.0\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(post.find("405 Method Not Allowed"), std::string::npos) << post;
+  EXPECT_NE(post.find("Allow: GET, HEAD"), std::string::npos) << post;
+  std::string put = HttpRaw(server.port(), "PUT /x HTTP/1.0\r\n\r\n");
+  EXPECT_NE(put.find("405"), std::string::npos);
+  EXPECT_NE(put.find("Allow: GET, HEAD"), std::string::npos);
+
+  // Unknown path: 404 listing the routes that do exist.
+  std::string missing = HttpGet(server.port(), "/unknown");
+  EXPECT_NE(missing.find("404 Not Found"), std::string::npos);
+  EXPECT_NE(Body(missing).find("/x"), std::string::npos);
+
+  // Garbage request line: 400, and the server keeps serving.
+  std::string bad = HttpRaw(server.port(), "nonsense\r\n\r\n");
+  EXPECT_NE(bad.find("400"), std::string::npos);
+  std::string ok = HttpGet(server.port(), "/x");
+  EXPECT_NE(ok.find("200"), std::string::npos);
+  EXPECT_EQ(Body(ok), "x");
+
+  server.Stop();
+}
+
+TEST(TelemetryTest, StatsServerStopWhileRequestsInFlight) {
+  // Stop() must join cleanly while a handler is mid-request and other
+  // clients are still connecting: no hang, no crash, no serve-after-
+  // stop. The handler stalls long enough that Stop() lands while the
+  // acceptor is inside ServeConnection. Run under TSan in CI.
+  StatsServerOptions options;
+  options.io_timeout_ms = 200;
+  StatsServer server{options};
+  server.AddRoute("/slow", "text/plain", [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return std::string("slow\n");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.emplace_back([&] {
+      while (!stop.load()) {
+        std::string response = HttpGet(port, "/slow");
+        // Served fully or refused — never a torn 200.
+        if (response.find("200") != std::string::npos) {
+          EXPECT_EQ(Body(response), "slow\n");
+        }
+      }
+    });
+  }
+  // Let requests get in flight, then stop the server under load.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(HttpGet(port, "/slow"), "");
 }
 
 TEST(TelemetryTest, StatsServerRejectsBadPortAndStops) {
